@@ -1,0 +1,53 @@
+/// \file bench_fig1_timescale.cpp
+/// Reproduces paper Fig. 1: the maximum MD timescale achievable in a
+/// 30-day wall-clock run of the 801,792-atom Ta benchmark, for the WSE
+/// versus exascale GPU hardware, against the QM / MD / CM regime boxes.
+
+#include <cstdio>
+
+#include "baseline/platform_model.hpp"
+#include "perf/timescale.hpp"
+#include "perf/workload.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wsmd;
+
+  std::printf(
+      "Fig. 1 — maximum achievable MD timescale (30-day runs, 2 fs steps,\n"
+      "801,792 Ta atoms). Paper annotations: WSE ~1.3e-3 s, Frontier =\n"
+      "WSE/179 ~ 7.2e-6 s; length scale ~7.5e-8 m.\n\n");
+
+  const auto ta = perf::paper_workload("Ta");
+  const double wse_rate = ta.measured_steps_per_s;
+  const double gpu_rate = baseline::FrontierModel("Ta").best_steps_per_second();
+  const double cpu_rate = baseline::QuartzModel("Ta").best_steps_per_second();
+
+  TablePrinter t({"Platform", "steps/s", "simulated time (30 days)",
+                  "vs GPU"});
+  auto row = [&](const char* name, double rate) {
+    const double ts = perf::reachable_timescale_seconds(rate, 2.0, 30.0);
+    t.add_row({name, with_commas(static_cast<long long>(rate)),
+               format("%.3e s", ts),
+               format("%.0fx", rate / gpu_rate)});
+  };
+  row("CS-2 (WSE)", wse_rate);
+  row("Frontier (GPU)", gpu_rate);
+  row("Quartz (CPU)", cpu_rate);
+  t.print();
+
+  std::printf("\nRegime boxes (typical ranges):\n");
+  TablePrinter r({"Method", "Length (m)", "Time (s)"});
+  r.add_row({"QM (quantum electronic)", "1e-10 .. 1e-8", "1e-14 .. 1e-10"});
+  r.add_row({"MD (molecular dynamics)", "1e-9 .. 1e-5", "1e-12 .. 1e-3"});
+  r.add_row({"CM (continuum mechanics)", "1e-6 .. 1e-2", "1e-6 .. 1e2"});
+  r.print();
+
+  std::printf("\nBenchmark slab length scale: %.2e m (250 atoms x ~3 A).\n",
+              perf::length_scale_meters(250.0, 3.0));
+  std::printf(
+      "Maximum MD length scale (weak scaling, ~1.2e9 Ta atoms): ~%.0e m.\n",
+      perf::length_scale_meters(10000.0, 3.0));
+  return 0;
+}

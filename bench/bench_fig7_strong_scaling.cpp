@@ -1,0 +1,92 @@
+/// \file bench_fig7_strong_scaling.cpp
+/// Reproduces paper Fig. 7: (a) timesteps/s versus node count for the WSE
+/// point and the Frontier/Quartz scaling curves; (b) timesteps/s versus
+/// timesteps/Joule; (c) WSE-normalized speedup and energy-efficiency
+/// factors (the Pareto plot). Series print in CSV-like blocks, one per
+/// sub-figure.
+
+#include <cstdio>
+
+#include "baseline/platform_model.hpp"
+#include "perf/workload.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wsmd;
+
+  std::printf(
+      "Fig. 7a — timesteps per second vs node count (801,792 atoms).\n\n");
+  for (const char* el : {"Ta", "Cu", "W"}) {
+    const baseline::FrontierModel gpu(el);
+    const baseline::QuartzModel cpu(el);
+    const auto wse = baseline::wse_point(el);
+
+    std::printf("# %s: series nodes,steps_per_second\n", el);
+    std::printf("Frontier(GPU):");
+    for (const auto& p : gpu.sweep()) {
+      std::printf(" %.3g,%.0f", p.nodes, p.steps_per_second);
+    }
+    std::printf("\nQuartz(CPU):");
+    for (const auto& p : cpu.sweep()) {
+      std::printf(" %.3g,%.0f", p.nodes, p.steps_per_second);
+    }
+    std::printf("\nCS-2(WSE): 1,%.0f\n", wse.steps_per_second);
+
+    const double best_gpu = gpu.best_steps_per_second();
+    const double best_cpu = cpu.best_steps_per_second();
+    std::printf("%s speedups: %.0fx vs best GPU, %.0fx vs best CPU "
+                "(paper: %s)\n\n",
+                el, wse.steps_per_second / best_gpu,
+                wse.steps_per_second / best_cpu,
+                el == std::string("Ta") ? "179x / 55x"
+                : el == std::string("Cu") ? "109x / 34x" : "96x / 26x");
+  }
+
+  std::printf(
+      "Fig. 7b — timesteps per second vs timesteps per Joule.\n\n");
+  for (const char* el : {"Ta", "Cu", "W"}) {
+    const baseline::FrontierModel gpu(el);
+    const baseline::QuartzModel cpu(el);
+    const auto wse = baseline::wse_point(el);
+    std::printf("# %s: series steps_per_joule,steps_per_second\n", el);
+    std::printf("Frontier(GPU):");
+    for (const auto& p : gpu.sweep()) {
+      std::printf(" %.3g,%.0f", p.steps_per_joule, p.steps_per_second);
+    }
+    std::printf("\nQuartz(CPU):");
+    for (const auto& p : cpu.sweep()) {
+      std::printf(" %.3g,%.0f", p.steps_per_joule, p.steps_per_second);
+    }
+    std::printf("\nCS-2(WSE): %.3g,%.0f\n\n", wse.steps_per_joule,
+                wse.steps_per_second);
+  }
+
+  std::printf(
+      "Fig. 7c — relative energy efficiency and performance vs the WSE\n"
+      "(WSE normalized to 1,1; larger factors = WSE advantage).\n\n");
+  TablePrinter t({"Element", "Platform", "Nodes", "WSE speedup factor",
+                  "WSE energy factor"});
+  for (const char* el : {"Ta", "Cu", "W"}) {
+    const auto wse = baseline::wse_point(el);
+    const baseline::FrontierModel gpu(el);
+    const baseline::QuartzModel cpu(el);
+    for (double gcds : {1.0, 8.0, 32.0, 256.0}) {
+      const auto p = gpu.at(gcds);
+      t.add_row({el, "Frontier", format("%.3g", p.nodes),
+                 format("%.1f", wse.steps_per_second / p.steps_per_second),
+                 format("%.1f", wse.steps_per_joule / p.steps_per_joule)});
+    }
+    for (double nodes : {1.0, 64.0, 400.0, 1600.0}) {
+      const auto p = cpu.at(nodes);
+      t.add_row({el, "Quartz", format("%.3g", p.nodes),
+                 format("%.1f", wse.steps_per_second / p.steps_per_second),
+                 format("%.1f", wse.steps_per_joule / p.steps_per_joule)});
+    }
+  }
+  t.print();
+  std::printf(
+      "\nEvery factor exceeds 1 on both axes: the WSE Pareto-dominates\n"
+      "(paper Fig. 7c).\n");
+  return 0;
+}

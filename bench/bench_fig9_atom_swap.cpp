@@ -1,0 +1,96 @@
+/// \file bench_fig9_atom_swap.cpp
+/// Reproduces paper Fig. 9: atom motion and assignment cost in a tungsten
+/// grain-boundary simulation, as a function of the swap interval.
+///
+/// The paper ran 61,600 W atoms on 62,500 cores (900 empty) and showed
+/// that swap intervals of 100 steps or fewer hold the assignment cost to
+/// within ~3 A plus the EAM cutoff (their best offline mapping: 2.1 A).
+/// This bench runs a scaled-down bicrystal with the same protocol: start
+/// from a deliberately sub-optimal mapping, sweep the swap interval, track
+/// the max-norm atom displacement (black curve) and assignment cost
+/// (colored curves).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/wse_md.hpp"
+#include "eam/tabulated.hpp"
+#include "eam/zhou.hpp"
+#include "lattice/grain_boundary.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wsmd;
+
+  std::printf(
+      "Fig. 9 — assignment cost vs swap interval for a W grain boundary\n"
+      "(scaled-down bicrystal, same protocol as the paper's 61,600-atom\n"
+      "run; sub-optimal initial mapping).\n\n");
+
+  const auto p = eam::zhou_parameters("W");
+  lattice::GrainBoundaryParams gb_params;
+  gb_params.element = "W";
+  gb_params.tilt_angle_deg = 16.0;
+  gb_params.cells_z = 3;
+  const auto gb = lattice::make_grain_boundary_with_atom_count(gb_params, 1600);
+
+  auto analytic = std::make_shared<eam::ZhouEam>("W", p.paper_cutoff());
+  auto pot = std::make_shared<eam::TabulatedEam>(
+      eam::TabulatedEam::from_potential(*analytic, 1500, 1500));
+
+  std::printf("Bicrystal: %zu atoms (%zu + %zu per grain, %zu fused)\n\n",
+              gb.structure.size(), gb.grain_a_atoms, gb.grain_b_atoms,
+              gb.fused_atoms);
+
+  const int total_steps = 300;
+  const int sample_every = 60;
+
+  TablePrinter t({"Swap interval", "initial cost (A)", "t=60", "t=120",
+                  "t=180", "t=240", "t=300", "max disp (A)"});
+
+  // The scramble displaces atoms by up to two extra hops; widen the
+  // exchange neighborhood accordingly so no interaction is missed (the
+  // paper likewise provisions b for the worst maintained cost).
+  int b_needed = 0;
+  {
+    core::WseMdConfig probe;
+    probe.mapping.cell_size = p.lattice_constant();
+    probe.mapping.refine_rounds = 0;
+    core::WseMd probe_engine(gb.structure, pot, probe);
+    b_needed = probe_engine.b() + 2;
+  }
+
+  for (const int interval : {1, 10, 100, 0 /* never */}) {
+    core::WseMdConfig cfg;
+    cfg.mapping.cell_size = p.lattice_constant();
+    cfg.mapping.refine_rounds = 0;  // sub-optimal initial mapping
+    cfg.swap_interval = interval;
+    cfg.b_override = b_needed;
+    core::WseMd engine(gb.structure, pot, cfg);
+    Rng rng(7);
+    engine.scramble_mapping(rng, static_cast<int>(engine.atom_count() / 4));
+    engine.thermalize(290.0, rng);
+
+    std::vector<std::string> cells;
+    cells.push_back(interval == 0 ? "never" : format("%d", interval));
+    cells.push_back(format("%.2f", engine.assignment_cost()));
+    for (int step = 0; step < total_steps; ++step) {
+      engine.step();
+      if ((step + 1) % sample_every == 0) {
+        cells.push_back(format("%.2f", engine.assignment_cost()));
+      }
+    }
+    cells.push_back(format("%.2f", engine.max_inplane_displacement()));
+    t.add_row(cells);
+  }
+  t.print();
+
+  std::printf(
+      "\nReading: with swaps every <=100 steps the assignment cost falls\n"
+      "from the scrambled start and holds near the offline-quality level\n"
+      "(paper: within 3 A + cutoff for intervals of 100 or less); without\n"
+      "swaps it stays at the scrambled level while atoms keep diffusing.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+/// \file bench_kernels.cpp
+/// google-benchmark microbenchmarks for the library's hot kernels:
+/// potential evaluation, force passes, neighbor-list builds, the
+/// wavelet-level marching multicast, and full WSE-MD steps. These measure
+/// *host* performance of the simulator itself (not modeled WSE time) and
+/// guard against performance regressions in the reproduction code.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/wse_md.hpp"
+#include "eam/tabulated.hpp"
+#include "eam/zhou.hpp"
+#include "lattice/lattice.hpp"
+#include "md/simulation.hpp"
+#include "util/spline.hpp"
+#include "wse/multicast.hpp"
+
+namespace {
+
+using namespace wsmd;
+
+void BM_ZhouAnalyticPair(benchmark::State& state) {
+  const eam::ZhouEam ta("Ta");
+  double r = 2.5, acc = 0.0;
+  for (auto _ : state) {
+    acc += ta.pair(0, 0, r);
+    r = 2.5 + (r * 1.0001 - static_cast<int>(r * 1.0001 / 2.0) * 2.0) * 0.5;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ZhouAnalyticPair);
+
+void BM_TabulatedPair(benchmark::State& state) {
+  const eam::ZhouEam ta("Ta");
+  const auto tab = eam::TabulatedEam::from_potential(ta, 2000, 2000);
+  double r = 2.5, acc = 0.0;
+  for (auto _ : state) {
+    acc += tab.pair(0, 0, r);
+    r = 2.5 + (r * 1.0001 - static_cast<int>(r * 1.0001 / 2.0) * 2.0) * 0.5;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_TabulatedPair);
+
+void BM_CubicSplineEval(benchmark::State& state) {
+  const auto sp = CubicSplineTable::sample(
+      [](double x) { return std::exp(-x) * x * x; }, 0.0, 6.0, 2000);
+  double x = 1.0, acc = 0.0;
+  for (auto _ : state) {
+    acc += sp.value(x);
+    x = 0.5 + (x * 1.001 - static_cast<int>(x * 1.001 / 5.0) * 5.0);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_CubicSplineEval);
+
+void BM_NeighborListBuild(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const auto p = eam::zhou_parameters("Ta");
+  const auto s = lattice::replicate(
+      lattice::UnitCell::of(p.structure, p.lattice_constant()), n, n, n, 0,
+      {true, true, true});
+  md::NeighborList nl(p.paper_cutoff(), 1.0);
+  for (auto _ : state) {
+    nl.build(s.box, s.positions);
+    benchmark::DoNotOptimize(nl.total_entries());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_NeighborListBuild)->Arg(6)->Arg(10);
+
+void BM_EamForceStep(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const auto p = eam::zhou_parameters("Ta");
+  const auto s = lattice::replicate(
+      lattice::UnitCell::of(p.structure, p.lattice_constant()), n, n, n, 0,
+      {true, true, true});
+  auto analytic = std::make_shared<eam::ZhouEam>("Ta", p.paper_cutoff());
+  auto pot = std::make_shared<eam::TabulatedEam>(
+      eam::TabulatedEam::from_potential(*analytic, 2000, 2000));
+  md::AtomSystem sys(s, pot);
+  Rng rng(3);
+  sys.thermalize(290.0, rng);
+  md::Simulation sim(std::move(sys));
+  sim.compute_forces();
+  for (auto _ : state) {
+    sim.run(1);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_EamForceStep)->Arg(6)->Arg(10);
+
+void BM_WseMdStep(benchmark::State& state) {
+  const auto scale = static_cast<int>(state.range(0));
+  const auto p = eam::zhou_parameters("Ta");
+  const auto slab = lattice::paper_slab("Ta", scale);
+  auto analytic = std::make_shared<eam::ZhouEam>("Ta", p.paper_cutoff());
+  auto pot = std::make_shared<eam::TabulatedEam>(
+      eam::TabulatedEam::from_potential(*analytic, 2000, 2000));
+  core::WseMdConfig cfg;
+  cfg.mapping.cell_size = p.lattice_constant();
+  core::WseMd engine(slab, pot, cfg);
+  Rng rng(5);
+  engine.thermalize(290.0, rng);
+  for (auto _ : state) {
+    engine.step();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(engine.atom_count()));
+}
+BENCHMARK(BM_WseMdStep)->Arg(64)->Arg(32);
+
+void BM_MarchingMulticast(benchmark::State& state) {
+  const auto b = static_cast<int>(state.range(0));
+  const int W = 16, H = 16;
+  std::vector<std::vector<std::uint32_t>> payloads(
+      static_cast<std::size_t>(W) * H, std::vector<std::uint32_t>{1, 2, 3});
+  for (auto _ : state) {
+    const auto result = wse::neighborhood_exchange(W, H, b, payloads);
+    benchmark::DoNotOptimize(result.total_cycles());
+  }
+}
+BENCHMARK(BM_MarchingMulticast)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace

@@ -1,0 +1,71 @@
+/// \file bench_lj_smallsys.cpp
+/// Context for paper Sec. II-B: the 1,000-atom Lennard-Jones system that
+/// mimics the strong-scaling limit. Published production-code rates:
+/// < 10k steps/s on an NVIDIA V100 (kernel-launch bound), ~25k steps/s on
+/// a dual-socket Skylake with 36 MPI ranks. This bench actually *runs*
+/// 1k-atom LJ on this host with the reference engine and compares, then
+/// shows the modeled WSE rate for the same system (one atom per core).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "baseline/platform_model.hpp"
+#include "eam/lennard_jones.hpp"
+#include "lattice/lattice.hpp"
+#include "md/simulation.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+#include "wse/cost_model.hpp"
+
+int main() {
+  using namespace wsmd;
+
+  std::printf(
+      "Sec. II-B context — 1k-atom LJ system (the strong-scaling mimic).\n\n");
+
+  // ~1k atoms: 6x6x7 FCC = 1008.
+  auto lj = std::make_shared<eam::LennardJones>(
+      eam::LennardJones::Species{"Ar", 39.948, 0.0104, 3.4}, 8.5);
+  const auto s = lattice::replicate(lattice::UnitCell::fcc(5.26), 6, 6, 7, 0,
+                                    {true, true, true});
+  md::AtomSystem sys(s, lj);
+  Rng rng(11);
+  sys.thermalize(120.0, rng);
+  md::SimulationConfig cfg;
+  cfg.dt = 0.002;
+  md::Simulation sim(std::move(sys), cfg);
+  sim.compute_forces();
+
+  const int steps = 400;
+  const auto start = std::chrono::steady_clock::now();
+  sim.run(steps);
+  const auto stop = std::chrono::steady_clock::now();
+  const double secs =
+      std::chrono::duration<double>(stop - start).count();
+  const double host_rate = steps / secs;
+
+  TablePrinter t({"Platform", "steps/s", "source"});
+  t.add_row({"This host (reference engine, serial)",
+             with_commas(static_cast<long long>(host_rate)), "measured"});
+  for (const auto& ref : baseline::lj_1k_references()) {
+    t.add_row({ref.platform,
+               with_commas(static_cast<long long>(ref.steps_per_second)),
+               ref.source});
+  }
+  // WSE model: LJ with rcut ~ 2.5 sigma on FCC: ~55 interactions; a b=4
+  // neighborhood (80 candidates) covers it at one atom per core.
+  const auto model = wse::CostModel::paper_baseline();
+  t.add_row({"CS-2 (WSE model, 1 atom/core)",
+             with_commas(static_cast<long long>(
+                 model.steps_per_second(80, 55))),
+             "cost model"});
+  t.print();
+
+  std::printf(
+      "\nThe point of the paper's Sec. II-B: even for 1k atoms, production\n"
+      "codes top out at 1e4-2.5e4 steps/s on conventional hardware, far\n"
+      "from the ~1e6 steps/s needed for 100-microsecond timescales. The\n"
+      "WSE's per-step time is independent of machine scale.\n");
+  return 0;
+}

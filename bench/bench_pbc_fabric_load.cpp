@@ -1,0 +1,77 @@
+/// \file bench_pbc_fabric_load.cpp
+/// Reproduces the paper's Sec. V-F experiment: fabric load of the position
+/// exchange with and without periodic boundary conditions.
+///
+/// With PBC, the Fig. 5 fold interleaves the two halves of the coordinate
+/// ring, so logical neighbors sit two hops apart and the neighborhood
+/// radius roughly doubles — doubling on-chip data transfer. The paper
+/// verified the exchange takes the same wall time because the routers
+/// carry both directions concurrently and bandwidth is not the limiting
+/// resource. This bench measures (a) the neighborhood radius with and
+/// without the fold, (b) wavelet-level exchange cycles, and (c) the
+/// per-link data volume, on the same crystal.
+
+#include <cstdio>
+
+#include "core/mapping.hpp"
+#include "eam/zhou.hpp"
+#include "lattice/lattice.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+#include "wse/cost_model.hpp"
+#include "wse/multicast.hpp"
+
+int main() {
+  using namespace wsmd;
+
+  std::printf(
+      "Sec. V-F — fabric load of the position exchange with and without\n"
+      "periodic boundaries (Ta crystal, 12x6x4 cells).\n\n");
+
+  const auto p = eam::zhou_parameters("Ta");
+  const auto open = lattice::replicate(
+      lattice::UnitCell::of(p.structure, p.lattice_constant()), 12, 6, 4, 0,
+      {false, false, false});
+  auto periodic = open;
+  periodic.box.periodic = {true, false, false};
+
+  core::MappingConfig cfg;
+  cfg.cell_size = p.lattice_constant();
+  const auto m_open = core::AtomMapping::for_structure(open, cfg);
+  const auto m_fold = core::AtomMapping::for_structure(periodic, cfg);
+
+  const int b_open = m_open.required_b(open.positions, p.paper_cutoff());
+  const int b_fold = m_fold.required_b(periodic.positions, p.paper_cutoff());
+
+  // Wavelet-level position exchange (3 words = 12-byte position per atom)
+  // on a 24x24 tile patch for both radii.
+  const int W = 24, H = 24;
+  std::vector<std::vector<std::uint32_t>> payloads(
+      static_cast<std::size_t>(W) * H, std::vector<std::uint32_t>{1, 2, 3});
+  const auto ex_open = wse::neighborhood_exchange(W, H, b_open, payloads);
+  const auto ex_fold = wse::neighborhood_exchange(W, H, b_fold, payloads);
+
+  TablePrinter t({"Configuration", "b", "candidates", "exchange cycles",
+                  "contention", "words gathered/core"});
+  auto row = [&](const char* name, int b, const wse::ExchangeResult& ex) {
+    const std::size_t center =
+        static_cast<std::size_t>(H / 2) * W + W / 2;
+    t.add_row({name, format("%d", b),
+               format("%.0f", wse::CostModel::candidates_for_b(b)),
+               format("%llu", static_cast<unsigned long long>(ex.total_cycles())),
+               format("%llu", static_cast<unsigned long long>(ex.contention_events)),
+               format("%zu", ex.gathered[center].size())});
+  };
+  row("Open boundaries", b_open, ex_open);
+  row("Periodic (folded)", b_fold, ex_fold);
+  t.print();
+
+  std::printf(
+      "\nThe fold roughly doubles b and the per-core data gathered (the\n"
+      "paper's 'PBCs double the fabric data transfer'), with zero link\n"
+      "contention in both cases. On hardware the added transfers hide\n"
+      "behind the routers' concurrent bidirectional links, so measured\n"
+      "exchange *time* was unchanged; the added cost that remains is the\n"
+      "modular arithmetic in the distance computation (paper Sec. V-F).\n");
+  return 0;
+}

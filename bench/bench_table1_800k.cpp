@@ -1,0 +1,121 @@
+/// \file bench_table1_800k.cpp
+/// Reproduces paper Table I: predicted and measured timesteps/s for the
+/// 801,792-atom Cu/W/Ta slabs on the WSE versus Frontier (GPU) and Quartz
+/// (CPU).
+///
+/// "Predicted" uses the calibrated linear cost model at the paper's
+/// candidate/interaction counts. "Measured (sim)" runs the functional
+/// wafer-scale engine on a scaled-down replica of the same slab geometry
+/// (identical thickness, same per-worker workload) and reports the modeled
+/// array rate from its per-worker cycle counters — the per-tile cost is
+/// size-independent, which Fig. 8's weak-scaling bench demonstrates
+/// explicitly. Frontier/Quartz columns come from the calibrated
+/// strong-scaling platform models.
+
+#include <cstdio>
+#include <memory>
+
+#include "baseline/platform_model.hpp"
+#include "core/wse_md.hpp"
+#include "eam/tabulated.hpp"
+#include "eam/zhou.hpp"
+#include "lattice/lattice.hpp"
+#include "perf/workload.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+#include "wse/cost_model.hpp"
+
+namespace {
+
+using namespace wsmd;
+
+struct Result {
+  double predicted, measured_sim, frontier, quartz;
+  double mean_inter, mean_cand;
+  int b;
+};
+
+Result run_element(const perf::PaperWorkload& w) {
+  Result r{};
+
+  const auto model = wse::CostModel::paper_baseline();
+  r.predicted = model.steps_per_second(w.candidates, w.interactions);
+
+  // Scaled replica of the slab (1/16 of the x-y extent, same thickness),
+  // equilibrated at 290 K like the paper's benchmark configurations.
+  const auto p = eam::zhou_parameters(w.element);
+  const auto slab = lattice::paper_slab(w.element, 16);
+  auto analytic =
+      std::make_shared<eam::ZhouEam>(w.element, p.paper_cutoff());
+  auto pot = std::make_shared<eam::TabulatedEam>(
+      eam::TabulatedEam::from_potential(*analytic, 2000, 2000));
+
+  core::WseMdConfig cfg;
+  cfg.mapping.cell_size = p.lattice_constant();
+  cfg.b_override = w.b;  // the paper's neighborhood radius
+  core::WseMd engine(slab, pot, cfg);
+  Rng rng(12345);
+  engine.thermalize(290.0, rng);
+  core::WseStepStats stats;
+  for (int k = 0; k < 25; ++k) stats = engine.step();
+
+  // The slowest (bulk, full-neighborhood) worker synchronizes the array,
+  // so its cycle count sets the step time — the scaled slab has a larger
+  // surface fraction than the full problem, which would skew an
+  // array-mean rate optimistic. Thermal fluctuation of its interaction
+  // count gives the few-percent measured-vs-predicted scatter the paper
+  // also reports.
+  r.measured_sim = 1.0 / stats.wall_seconds;
+  r.mean_inter = stats.mean_interactions;
+  r.mean_cand = stats.mean_candidates;
+  r.b = engine.b();
+
+  r.frontier = baseline::FrontierModel(w.element).best_steps_per_second();
+  r.quartz = baseline::QuartzModel(w.element).best_steps_per_second();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Table I — 800,000-atom models: predicted and measured performance\n"
+      "(timesteps per second) on the WSE compared with Frontier (GPU) and\n"
+      "Quartz (CPU). 'paper' columns quote the published values.\n\n");
+
+  TablePrinter t({"Element", "Replication", "Atoms", "Inter/Cand", "b",
+                  "Predicted", "Measured(sim)", "paper pred", "paper meas",
+                  "Frontier", "paper", "Quartz", "paper", "WSE/GPU",
+                  "WSE/CPU"});
+
+  for (const auto& w : perf::all_paper_workloads()) {
+    const Result r = run_element(w);
+    t.add_row({
+        w.element,
+        format("%dx%dx%d", w.repl_x, w.repl_y, w.repl_z),
+        with_commas(w.atoms),
+        format("%d/ %d", w.interactions, w.candidates),
+        format("%d", r.b),
+        with_commas(static_cast<long long>(r.predicted)),
+        with_commas(static_cast<long long>(r.measured_sim)),
+        with_commas(static_cast<long long>(w.predicted_steps_per_s)),
+        with_commas(static_cast<long long>(w.measured_steps_per_s)),
+        with_commas(static_cast<long long>(r.frontier)),
+        with_commas(static_cast<long long>(w.frontier_steps_per_s)),
+        with_commas(static_cast<long long>(r.quartz)),
+        with_commas(static_cast<long long>(w.quartz_steps_per_s)),
+        format("%.0fx", r.measured_sim / r.frontier),
+        format("%.0fx", r.measured_sim / r.quartz),
+    });
+  }
+  t.print();
+
+  std::printf(
+      "\nNotes: the simulated 'measured' rate comes from per-worker cycle\n"
+      "counters of the functional wafer engine on a 1/16-scale slab of the\n"
+      "same thickness (per-tile cost is size-independent; see Fig. 8\n"
+      "bench). Thermal motion transiently reduces interaction counts, the\n"
+      "same effect the paper reports as measured rates 1-3%% above\n"
+      "prediction.\n");
+  return 0;
+}

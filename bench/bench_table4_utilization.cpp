@@ -1,0 +1,54 @@
+/// \file bench_table4_utilization.cpp
+/// Reproduces paper Table IV: fraction of theoretical peak FLOPS achieved
+/// by the three platforms on the Cu/W/Ta benchmarks, using the Table III
+/// FLOP accounting and the measured (paper) simulation rates.
+
+#include <cstdio>
+
+#include "perf/flop_model.hpp"
+#include "perf/workload.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wsmd;
+  const perf::FlopModel m;
+
+  std::printf(
+      "Table IV — utilization (fraction of peak) for three architectures.\n"
+      "Paper values in parentheses.\n\n");
+
+  const perf::Platform platforms[] = {perf::platform_cs2(),
+                                      perf::platform_frontier_32gcd(),
+                                      perf::platform_quartz_800cpu()};
+  const double paper[3][3] = {
+      {22.0, 23.0, 20.0},  // CS-2: Cu W Ta
+      {0.4, 0.4, 0.2},     // Frontier
+      {1.9, 2.5, 1.0},     // Quartz
+  };
+
+  TablePrinter t({"Machine", "Chips", "Peak PFLOP/s", "Cu %", "W %", "Ta %"});
+  int pi = 0;
+  for (const auto& platform : platforms) {
+    std::string cells[3];
+    int ei = 0;
+    for (const char* el : {"Cu", "W", "Ta"}) {
+      const auto w = perf::paper_workload(el);
+      const double rate = platform.name == "CS-2" ? w.measured_steps_per_s
+                          : platform.name == "Frontier"
+                              ? w.frontier_steps_per_s
+                              : w.quartz_steps_per_s;
+      const double u =
+          m.utilization(static_cast<double>(w.atoms), w.candidates,
+                        w.interactions, rate, platform.peak_pflops);
+      cells[ei] = format("%.2f (%.1f)", 100.0 * u, paper[pi][ei]);
+      ++ei;
+    }
+    t.add_row({platform.name, platform.chips,
+               format("%.2f", platform.peak_pflops), cells[0], cells[1],
+               cells[2]});
+    ++pi;
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,66 @@
+/// \file bench_table6_multiwafer.cpp
+/// Reproduces paper Table VI: modeled multi-wafer weak scaling as a
+/// function of ghost-region size, for interior fractions of 20% ("low
+/// utilization") and 80% ("high utilization"). Between ~92% and ~99% of
+/// single-wafer performance is preserved.
+
+#include <cstdio>
+
+#include "perf/multiwafer.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wsmd;
+
+  std::printf(
+      "Table VI — modeled multi-wafer performance vs ghost region size\n"
+      "(omega = 1.2 Tb/s, tau = 2 us). Paper values in parentheses.\n\n");
+
+  struct Row {
+    const char* el;
+    perf::MultiWaferParams params;
+    double paper_low_steps, paper_low_frac;
+    double paper_high_steps, paper_high_frac;
+  };
+  const Row rows[] = {
+      {"Cu", {283, 10, 1.94, 9.41}, 105152, 0.99, 99239, 0.93},
+      {"W", {317, 8, 2.02, 10.4}, 95281, 0.99, 91743, 0.95},
+      {"Ta", {317, 8, 1.39, 3.65}, 269214, 0.98, 251046, 0.92},
+  };
+
+  TablePrinter t({"El", "X", "Z", "Natom", "rc/rl", "twall us",
+                  "util", "lambda", "k", "steps/s", "perf",
+                  "(paper steps/s)", "(paper perf)"});
+  for (const Row& r : rows) {
+    for (const double target : {0.20, 0.80}) {
+      const auto out = perf::multiwafer_performance(r.params, target);
+      const bool low = target < 0.5;
+      t.add_row({r.el, format("%d", r.params.x_extent),
+                 format("%d", r.params.z_extent), with_commas(out.natom),
+                 format("%.2f", r.params.rcut_over_rlattice),
+                 format("%.2f", r.params.twall_us),
+                 low ? "20%" : "80%", format("%d", out.lambda),
+                 format("%d", out.k),
+                 with_commas(static_cast<long long>(out.steps_per_second)),
+                 format("%.0f%%", 100.0 * out.performance_fraction),
+                 with_commas(static_cast<long long>(
+                     low ? r.paper_low_steps : r.paper_high_steps)),
+                 format("%.0f%%", 100.0 * (low ? r.paper_low_frac
+                                               : r.paper_high_frac))});
+    }
+  }
+  t.print();
+
+  std::printf(
+      "\nDeployment estimate (paper Sec. VI-C): a 64-node WSE cluster\n"
+      "simulates Ta systems of ");
+  const auto low = perf::multiwafer_performance({317, 8, 1.39, 3.65}, 0.20);
+  const auto high = perf::multiwafer_performance({317, 8, 1.39, 3.65}, 0.80);
+  std::printf(
+      "%.0fM (20%% interior) or %.0fM (80%%) atoms\nat %s / %s steps/s.\n",
+      64.0 * low.ninterior / 1e6, 64.0 * high.ninterior / 1e6,
+      with_commas(static_cast<long long>(low.steps_per_second)).c_str(),
+      with_commas(static_cast<long long>(high.steps_per_second)).c_str());
+  return 0;
+}

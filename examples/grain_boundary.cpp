@@ -1,0 +1,97 @@
+/// \file grain_boundary.cpp
+/// The paper's motivating science case (Sec. I, Figs. 2 and 9): a tungsten
+/// grain boundary in a thin slab, simulated on the wafer-scale engine with
+/// online atom swaps maintaining the atom-to-core mapping as the boundary
+/// evolves. Writes an extended-XYZ snapshot for OVITO/VMD visualization.
+///
+///   $ ./grain_boundary [tilt_deg] [atoms]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/wse_md.hpp"
+#include "eam/tabulated.hpp"
+#include "eam/zhou.hpp"
+#include "io/xyz.hpp"
+#include "lattice/grain_boundary.hpp"
+#include "md/analysis.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wsmd;
+
+  const double tilt = argc > 1 ? std::atof(argv[1]) : 16.0;
+  const std::size_t target_atoms =
+      argc > 2 ? static_cast<std::size_t>(std::atol(argv[2])) : 5000;
+
+  // Bicrystal: two W grains misoriented by `tilt` degrees about the slab
+  // normal, meeting at a plane (paper Fig. 2 geometry).
+  lattice::GrainBoundaryParams params;
+  params.element = "W";
+  params.tilt_angle_deg = tilt;
+  params.cells_z = 3;
+  const auto gb = lattice::make_grain_boundary_with_atom_count(params,
+                                                               target_atoms);
+  std::printf("W bicrystal: %zu atoms, tilt %.1f deg, %zu seam atoms fused\n",
+              gb.structure.size(), tilt, gb.fused_atoms);
+
+  const auto p = eam::zhou_parameters("W");
+  auto analytic = std::make_shared<eam::ZhouEam>("W", p.paper_cutoff());
+  auto potential = std::make_shared<eam::TabulatedEam>(
+      eam::TabulatedEam::from_potential(*analytic, 2000, 2000));
+
+  // Wafer engine with online swaps every 20 steps (paper Fig. 9 found
+  // 10-100 sufficient).
+  core::WseMdConfig cfg;
+  cfg.mapping.cell_size = p.lattice_constant();
+  cfg.swap_interval = 20;
+  core::WseMd engine(gb.structure, potential, cfg);
+  Rng rng(77);
+  engine.thermalize(290.0, rng);
+
+  std::printf("Mapped to %zu cores (%dx%d), b = %d, initial assignment "
+              "cost %.2f A\n",
+              engine.mapping().core_count(), engine.mapping().grid_width(),
+              engine.mapping().grid_height(), engine.b(),
+              engine.assignment_cost());
+
+  std::printf("\n step | assignment cost (A) | max in-plane disp (A) | "
+              "swaps\n");
+  std::size_t swaps_total = 0;
+  for (int block = 0; block < 5; ++block) {
+    for (int k = 0; k < 40; ++k) {
+      const auto stats = engine.step();
+      swaps_total += stats.swaps_applied;
+    }
+    std::printf(" %4ld | %19.2f | %21.3f | %zu\n", engine.step_count(),
+                engine.assignment_cost(), engine.max_inplane_displacement(),
+                swaps_total);
+  }
+
+  // Structural classification (the paper's Fig. 2: grain-boundary atoms
+  // in white): centrosymmetry flags the non-crystalline boundary band.
+  lattice::Structure snapshot = gb.structure;
+  snapshot.positions = engine.positions();
+  const auto analysis = md::analyze_structure(
+      snapshot.box, snapshot.positions, 1.2 * p.lattice_constant(), 8);
+  const auto defect = md::defective_atoms(analysis, 1.5);
+  std::size_t gb_atoms = 0;
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    if (defect[i]) {
+      snapshot.types[i] = 1;  // species "GB" in the dump
+      ++gb_atoms;
+    }
+  }
+  std::printf("\nCentrosymmetry classification: %zu atoms in boundary/"
+              "surface environments (%.1f%%)\n",
+              gb_atoms, 100.0 * gb_atoms / snapshot.size());
+
+  io::write_xyz_file("grain_boundary.xyz", snapshot, {"W", "Gb"},
+                     "tilt=" + std::to_string(tilt));
+  std::printf("Wrote grain_boundary.xyz (%zu atoms; species 'Gb' marks the "
+              "boundary, as in the paper's Fig. 2).\n",
+              snapshot.size());
+  std::printf("Modeled wafer rate for this workload: %.0f steps/s\n",
+              1.0 / engine.run(1).wall_seconds);
+  return 0;
+}

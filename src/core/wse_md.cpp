@@ -1,0 +1,329 @@
+#include "core/wse_md.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace wsmd::core {
+
+WseMd::WseMd(const lattice::Structure& s, eam::EamPotentialPtr potential,
+             WseMdConfig config)
+    : config_(config),
+      potential_(std::move(potential)),
+      box_(s.box),
+      mapping_(AtomMapping::for_structure(s, config.mapping)) {
+  WSMD_REQUIRE(potential_ != nullptr, "WseMd needs a potential");
+  rcut_ = potential_->cutoff();
+
+  positions_.resize(s.size());
+  velocities_.assign(s.size(), Vec3f{0, 0, 0});
+  types_ = s.types;
+  fprime_.assign(s.size(), 0.0f);
+  initial_positions_.resize(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    positions_[i] = Vec3f(s.positions[i]);
+    // Displacement diagnostics are measured against the FP32-rounded
+    // state the workers actually hold.
+    initial_positions_[i] = Vec3d(positions_[i]);
+  }
+
+  if (config_.b_override > 0) {
+    b_ = config_.b_override;
+  } else {
+    // One extra hop of slack over the initial configuration's exact
+    // requirement absorbs thermal motion between swaps.
+    b_ = mapping_.required_b(s.positions, rcut_) + 1;
+  }
+  WSMD_REQUIRE(b_ >= 1, "neighborhood radius must be at least 1");
+}
+
+std::vector<Vec3d> WseMd::positions() const {
+  std::vector<Vec3d> out(positions_.size());
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    out[i] = Vec3d(positions_[i]);
+  }
+  return out;
+}
+
+std::vector<Vec3d> WseMd::velocities() const {
+  std::vector<Vec3d> out(velocities_.size());
+  for (std::size_t i = 0; i < velocities_.size(); ++i) {
+    out[i] = Vec3d(velocities_[i]);
+  }
+  return out;
+}
+
+void WseMd::set_velocities(const std::vector<Vec3d>& v) {
+  WSMD_REQUIRE(v.size() == velocities_.size(), "velocity count mismatch");
+  for (std::size_t i = 0; i < v.size(); ++i) velocities_[i] = Vec3f(v[i]);
+}
+
+void WseMd::thermalize(double temperature_K, Rng& rng) {
+  WSMD_REQUIRE(temperature_K >= 0.0, "temperature must be non-negative");
+  Vec3d p_total{0, 0, 0};
+  double mass_total = 0.0;
+  std::vector<Vec3d> v(velocities_.size());
+  for (std::size_t i = 0; i < velocities_.size(); ++i) {
+    const double m = potential_->mass(types_[i]);
+    const double sigma = std::sqrt(units::kBoltzmann * temperature_K / m *
+                                   units::kForceToAccel);
+    v[i] = rng.gaussian_vec3(sigma);
+    p_total += v[i] * m;
+    mass_total += m;
+  }
+  const Vec3d v_cm = p_total / mass_total;
+  for (auto& vi : v) vi -= v_cm;
+  set_velocities(v);
+}
+
+void WseMd::gather_neighborhood(int cx, int cy,
+                                std::vector<std::size_t>& out) const {
+  out.clear();
+  const int w = mapping_.grid_width();
+  const int h = mapping_.grid_height();
+  // Deterministic candidate order: row-major sweep of the clipped square,
+  // mirroring the fixed arrival order of the marching multicast.
+  for (int y = std::max(0, cy - b_); y <= std::min(h - 1, cy + b_); ++y) {
+    for (int x = std::max(0, cx - b_); x <= std::min(w - 1, cx + b_); ++x) {
+      if (x == cx && y == cy) continue;
+      const long a = mapping_.atom_at(x, y);
+      if (a >= 0) out.push_back(static_cast<std::size_t>(a));
+    }
+  }
+}
+
+WseStepStats WseMd::step() { return do_timestep(); }
+
+WseStepStats WseMd::run(int n) {
+  WSMD_REQUIRE(n >= 0, "negative step count");
+  WseStepStats last;
+  for (int k = 0; k < n; ++k) last = do_timestep();
+  return last;
+}
+
+WseStepStats WseMd::do_timestep() {
+  const int w = mapping_.grid_width();
+  const int h = mapping_.grid_height();
+  const auto rc2 = static_cast<float>(rcut_ * rcut_);
+
+  WseStepStats stats;
+  RunningStats cycles;
+  double cand_total = 0.0, inter_total = 0.0;
+
+  // Phases 1-3a per worker: candidate exchange, neighbor list, density.
+  // Two sweeps are needed because forces use neighbors' F' values, which
+  // the real machine obtains with the second (embedding) exchange.
+  struct WorkerScratch {
+    std::vector<std::size_t> neighbors;  // accepted candidates (atom ids)
+    std::size_t candidates = 0;
+  };
+  std::vector<WorkerScratch> scratch(positions_.size());
+
+  double pe_pair = 0.0, pe_embed = 0.0;
+  std::vector<std::size_t> gathered;
+  for (int cy = 0; cy < h; ++cy) {
+    for (int cx = 0; cx < w; ++cx) {
+      const long ai = mapping_.atom_at(cx, cy);
+      if (ai < 0) continue;
+      const auto i = static_cast<std::size_t>(ai);
+      gather_neighborhood(cx, cy, gathered);
+      auto& sc = scratch[i];
+      sc.candidates = gathered.size();
+      sc.neighbors.clear();
+      const Vec3f ri = positions_[i];
+      float rho = 0.0f;
+      for (std::size_t j : gathered) {
+        // FP32 displacement with minimum image (open axes unaffected).
+        const Vec3d d64 = box_.minimum_image(Vec3d(ri), Vec3d(positions_[j]));
+        const Vec3f d(d64);
+        const float r2 = dot(d, d);
+        if (r2 >= rc2) continue;
+        sc.neighbors.push_back(j);
+        rho += static_cast<float>(
+            potential_->density(types_[j], std::sqrt(static_cast<double>(r2))));
+      }
+      pe_embed += potential_->embed(types_[i], rho);
+      fprime_[i] =
+          static_cast<float>(potential_->embed_deriv(types_[i], rho));
+    }
+  }
+
+  // Phase 4: force evaluation + leap-frog integration (F' of neighbors now
+  // available, as after the embedding exchange).
+  const auto dt = static_cast<float>(config_.dt);
+  std::vector<Vec3f> new_positions = positions_;
+  std::vector<Vec3f> new_velocities = velocities_;
+  for (int cy = 0; cy < h; ++cy) {
+    for (int cx = 0; cx < w; ++cx) {
+      const long ai = mapping_.atom_at(cx, cy);
+      if (ai < 0) continue;
+      const auto i = static_cast<std::size_t>(ai);
+      const auto& sc = scratch[i];
+      const Vec3f ri = positions_[i];
+      Vec3f force{0, 0, 0};
+      float pair_acc = 0.0f;
+      for (std::size_t j : sc.neighbors) {
+        const Vec3d d64 = box_.minimum_image(Vec3d(ri), Vec3d(positions_[j]));
+        const Vec3f d(d64);
+        const float r2 = dot(d, d);
+        const auto r = static_cast<float>(std::sqrt(static_cast<double>(r2)));
+        const double rd = r;
+        pair_acc += static_cast<float>(potential_->pair(types_[i], types_[j], rd));
+        const auto dphi =
+            static_cast<float>(potential_->pair_deriv(types_[i], types_[j], rd));
+        const auto drho_j =
+            static_cast<float>(potential_->density_deriv(types_[j], rd));
+        const auto drho_i =
+            static_cast<float>(potential_->density_deriv(types_[i], rd));
+        const float fmag = fprime_[i] * drho_j + fprime_[j] * drho_i + dphi;
+        force += d * (fmag / r);
+      }
+      pe_pair += 0.5 * static_cast<double>(pair_acc);
+
+      const auto inv_m = static_cast<float>(
+          1.0 / potential_->mass(types_[i]) * units::kForceToAccel);
+      const Vec3f a = force * inv_m;
+      new_velocities[i] = velocities_[i] + a * dt;
+      new_positions[i] = Vec3f(box_.wrap(Vec3d(ri + new_velocities[i] * dt)));
+
+      // Cycle accounting for this worker's timestep.
+      const double c = config_.cost_model.timestep_cycles(
+          static_cast<double>(sc.candidates),
+          static_cast<double>(sc.neighbors.size()));
+      cycles.add(c);
+      cand_total += static_cast<double>(sc.candidates);
+      inter_total += static_cast<double>(sc.neighbors.size());
+    }
+  }
+  positions_.swap(new_positions);
+  velocities_.swap(new_velocities);
+  pe_ = pe_pair + pe_embed;
+  ++step_count_;
+
+  // Phase 5: occasional atom swap.
+  if (config_.swap_interval > 0 &&
+      step_count_ % config_.swap_interval == 0) {
+    stats.swaps_applied = do_atom_swap();
+    stats.swapped = true;
+  }
+
+  const auto n = static_cast<double>(positions_.size());
+  stats.mean_candidates = cand_total / n;
+  stats.mean_interactions = inter_total / n;
+  stats.max_cycles = cycles.max();
+  stats.mean_cycles = cycles.mean();
+  stats.stddev_cycles = cycles.stddev();
+  // Workers synchronize through the neighborhood exchanges, so the slowest
+  // worker sets the array step time (paper Sec. V-B).
+  stats.wall_seconds =
+      cycles.max() / (config_.cost_model.clock_ghz() * 1e9);
+  if (stats.swapped) {
+    // A swap costs roughly one timestep (paper Sec. V-E).
+    stats.wall_seconds *= 2.0;
+  }
+  elapsed_seconds_ += stats.wall_seconds;
+  return stats;
+}
+
+std::size_t WseMd::do_atom_swap() {
+  // Paper Sec. III-D: two neighborhood exchanges. First, workers see
+  // neighbors' atom state and score the best swap; second, they exchange
+  // chosen partner ids; mutual choices commit. Empty tiles participate.
+  const int w = mapping_.grid_width();
+  const int h = mapping_.grid_height();
+  const int radius = 1;  // greedy swaps with immediate neighbors
+
+  auto disp = [&](long atom, const CoreCoord& c) {
+    if (atom < 0) return 0.0;
+    const Vec3d nom = mapping_.nominal_position(c);
+    const Vec3d lg =
+        mapping_.logical_xy(Vec3d(positions_[static_cast<std::size_t>(atom)]));
+    return std::max(std::fabs(lg.x - nom.x), std::fabs(lg.y - nom.y));
+  };
+
+  // Pass 1: each core picks its best partner.
+  std::vector<int> partner(mapping_.core_count(), -1);
+  for (int cy = 0; cy < h; ++cy) {
+    for (int cx = 0; cx < w; ++cx) {
+      const CoreCoord me{cx, cy};
+      const long a = mapping_.atom_at(cx, cy);
+      double best_gain = 1e-9;
+      int best = -1;
+      for (int dy = -radius; dy <= radius; ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const int nx = cx + dx, ny = cy + dy;
+          if (nx < 0 || nx >= w || ny < 0 || ny >= h) continue;
+          const CoreCoord other{nx, ny};
+          const long bt = mapping_.atom_at(nx, ny);
+          if (a < 0 && bt < 0) continue;
+          const double before = std::max(disp(a, me), disp(bt, other));
+          const double after = std::max(disp(a, other), disp(bt, me));
+          const double gain = before - after;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best = ny * w + nx;
+          }
+        }
+      }
+      partner[static_cast<std::size_t>(cy) * w + cx] = best;
+    }
+  }
+
+  // Pass 2: mutual agreement commits the swap.
+  std::size_t applied = 0;
+  for (int cy = 0; cy < h; ++cy) {
+    for (int cx = 0; cx < w; ++cx) {
+      const int me = cy * w + cx;
+      const int p = partner[static_cast<std::size_t>(me)];
+      if (p < 0 || p <= me) continue;  // each pair handled once
+      if (partner[static_cast<std::size_t>(p)] != me) continue;
+      const CoreCoord ca{cx, cy};
+      const CoreCoord cb{p % w, p / w};
+      mapping_.swap_atoms(ca, cb);
+      ++applied;
+    }
+  }
+  return applied;
+}
+
+double WseMd::kinetic_energy() const {
+  double mv2 = 0.0;
+  for (std::size_t i = 0; i < velocities_.size(); ++i) {
+    mv2 += potential_->mass(types_[i]) * norm2(Vec3d(velocities_[i]));
+  }
+  return 0.5 * mv2 * units::kMv2ToEnergy;
+}
+
+void WseMd::scramble_mapping(Rng& rng, int count) {
+  const int w = mapping_.grid_width();
+  const int h = mapping_.grid_height();
+  for (int k = 0; k < count; ++k) {
+    const int x1 = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(w)));
+    const int y1 = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(h)));
+    const int x2 = std::min(w - 1, x1 + static_cast<int>(rng.uniform_index(3)));
+    const int y2 = std::min(h - 1, y1 + static_cast<int>(rng.uniform_index(3)));
+    mapping_.swap_atoms({x1, y1}, {x2, y2});
+  }
+}
+
+double WseMd::assignment_cost() const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    worst = std::max(worst, mapping_.displacement(i, Vec3d(positions_[i])));
+  }
+  return worst;
+}
+
+double WseMd::max_inplane_displacement() const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    const Vec3d d = Vec3d(positions_[i]) - initial_positions_[i];
+    worst = std::max(worst, std::max(std::fabs(d.x), std::fabs(d.y)));
+  }
+  return worst;
+}
+
+}  // namespace wsmd::core

@@ -1,0 +1,145 @@
+#pragma once
+
+/// \file wse_md.hpp
+/// The wafer-scale MD engine: one atom per core (paper Secs. III-A..III-D).
+///
+/// Each core is a worker owning at most one atom (id, position, velocity,
+/// FP32 — the paper's wafer kernels run single precision) plus local copies
+/// of the potential tables. A timestep executes the paper's five phases:
+///
+///   1. Candidate exchange — multicast positions through the (2b+1)^2
+///      neighborhood (systolic marching multicast; the wavelet-level
+///      schedule is validated in src/wse, and this engine performs the
+///      equivalent gather functionally while charging cycles from the
+///      calibrated cost model);
+///   2. Neighbor list — r^2 against rcut^2, candidates arriving in
+///      deterministic order;
+///   3. Embedding — accumulate rho_i, evaluate F_i and F'_i, and exchange
+///      F' with the neighborhood (it enters the force on other atoms);
+///   4. Force + leap-frog integration (paper Eqs. 4-5);
+///   5. Atom swap — optional greedy remapping every `swap_interval` steps
+///      (paper Sec. III-D), with empty tiles ("atoms at infinity")
+///      participating so atoms can migrate across cores.
+///
+/// Physics equivalence with the FP64 reference engine (src/md) is enforced
+/// by the integration tests; performance comes from wse::CostModel.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "eam/potential.hpp"
+#include "lattice/lattice.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "wse/cost_model.hpp"
+
+namespace wsmd::core {
+
+struct WseMdConfig {
+  double dt = 0.002;  ///< ps (paper: 2 fs)
+  /// Perform the greedy atom-swap remap every this many steps (0 = never).
+  int swap_interval = 0;
+  /// Mapping construction parameters (cell size defaults to ~8 atoms per
+  /// column when zero; pass the lattice constant for crystal workloads).
+  MappingConfig mapping;
+  /// Cycle/time accounting model.
+  wse::CostModel cost_model = wse::CostModel::paper_baseline();
+  /// Neighborhood radius override; 0 derives the radius from the mapping
+  /// (required_b plus one hop of slack for thermal motion).
+  int b_override = 0;
+};
+
+/// Per-step accounting, mirroring the counters the paper reports.
+struct WseStepStats {
+  double mean_candidates = 0.0;    ///< exchanged candidate atoms per worker
+  double mean_interactions = 0.0;  ///< neighbor-list entries per worker
+  double max_cycles = 0.0;         ///< slowest worker (sets the step time)
+  double mean_cycles = 0.0;
+  double stddev_cycles = 0.0;
+  double wall_seconds = 0.0;       ///< modeled step time (max worker)
+  bool swapped = false;
+  std::size_t swaps_applied = 0;
+};
+
+class WseMd {
+ public:
+  WseMd(const lattice::Structure& s, eam::EamPotentialPtr potential,
+        WseMdConfig config = {});
+
+  std::size_t atom_count() const { return positions_.size(); }
+  const AtomMapping& mapping() const { return mapping_; }
+  int b() const { return b_; }
+  const WseMdConfig& config() const { return config_; }
+
+  /// FP32-held atom state, widened for inspection.
+  std::vector<Vec3d> positions() const;
+  std::vector<Vec3d> velocities() const;
+  /// Overwrite velocities (e.g. copied from the reference engine so both
+  /// integrate the same trajectory).
+  void set_velocities(const std::vector<Vec3d>& v);
+
+  /// Maxwell-Boltzmann initialization at T (FP32-rounded).
+  void thermalize(double temperature_K, Rng& rng);
+
+  /// Advance one timestep; returns the accounting.
+  WseStepStats step();
+
+  /// Advance n steps; returns the last step's stats.
+  WseStepStats run(int n);
+
+  /// Total potential energy of the last force evaluation (eV, FP32 sums).
+  double potential_energy() const { return pe_; }
+
+  /// Kinetic energy of the current (half-step) velocities (eV).
+  double kinetic_energy() const;
+
+  /// Current assignment cost C(g) in Angstrom (paper Fig. 9 metric).
+  double assignment_cost() const;
+
+  /// Degrade the mapping with `count` random local swaps. Fig. 9-style
+  /// experiments start "from a sub-optimal initial mapping" and watch the
+  /// online atom swaps recover it.
+  void scramble_mapping(Rng& rng, int count);
+
+  /// Largest in-plane (max-norm) displacement of any atom from its initial
+  /// position (the black curve of paper Fig. 9).
+  double max_inplane_displacement() const;
+
+  long step_count() const { return step_count_; }
+
+  /// Cumulative modeled wall time (s) and cycles since construction.
+  double elapsed_seconds() const { return elapsed_seconds_; }
+
+ private:
+  struct Worker {
+    long atom = -1;  ///< atom index or -1 (empty tile: "atom at infinity")
+  };
+
+  void gather_neighborhood(int cx, int cy,
+                           std::vector<std::size_t>& out) const;
+  WseStepStats do_timestep();
+  std::size_t do_atom_swap();
+
+  WseMdConfig config_;
+  eam::EamPotentialPtr potential_;
+  Box box_;
+  AtomMapping mapping_;
+  int b_ = 1;
+  double rcut_ = 0.0;
+
+  // FP32 per-atom state (SoA).
+  std::vector<Vec3f> positions_;
+  std::vector<Vec3f> velocities_;
+  std::vector<int> types_;
+  std::vector<float> fprime_;  // embedding derivative, exchanged per step
+  std::vector<Vec3d> initial_positions_;
+
+  double pe_ = 0.0;
+  long step_count_ = 0;
+  double elapsed_seconds_ = 0.0;
+};
+
+}  // namespace wsmd::core

@@ -1,0 +1,90 @@
+#include "eam/lennard_jones.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wsmd::eam {
+
+LennardJones::LennardJones(Species species, double cutoff)
+    : LennardJones(std::vector<Species>{std::move(species)},
+                   cutoff > 0.0 ? cutoff : 0.0) {}
+
+LennardJones::LennardJones(std::vector<Species> species, double cutoff)
+    : species_(std::move(species)) {
+  WSMD_REQUIRE(!species_.empty(), "LennardJones needs at least one species");
+  for (const auto& s : species_) {
+    WSMD_REQUIRE(s.epsilon > 0.0 && s.sigma > 0.0 && s.mass > 0.0,
+                 "invalid LJ species '" << s.name << "'");
+  }
+  rc_ = cutoff;
+  if (rc_ <= 0.0) {
+    for (const auto& s : species_) rc_ = std::max(rc_, 2.5 * s.sigma);
+  }
+  const int nt = num_types();
+  phi_rc_.resize(static_cast<std::size_t>(nt) * nt);
+  dphi_rc_.resize(static_cast<std::size_t>(nt) * nt);
+  for (int a = 0; a < nt; ++a) {
+    for (int b = 0; b < nt; ++b) {
+      phi_rc_[static_cast<std::size_t>(a) * nt + b] = raw_pair(a, b, rc_);
+      dphi_rc_[static_cast<std::size_t>(a) * nt + b] = raw_pair_deriv(a, b, rc_);
+    }
+  }
+}
+
+LennardJones LennardJones::copper_like() {
+  return LennardJones({"Cu", 63.546, 0.4093, 2.338});
+}
+
+int LennardJones::num_types() const { return static_cast<int>(species_.size()); }
+
+std::string LennardJones::type_name(int type) const {
+  WSMD_REQUIRE(type >= 0 && type < num_types(), "type out of range");
+  return species_[static_cast<std::size_t>(type)].name;
+}
+
+double LennardJones::mass(int type) const {
+  WSMD_REQUIRE(type >= 0 && type < num_types(), "type out of range");
+  return species_[static_cast<std::size_t>(type)].mass;
+}
+
+void LennardJones::mix(int ti, int tj, double& eps, double& sig) const {
+  const auto& a = species_[static_cast<std::size_t>(ti)];
+  const auto& b = species_[static_cast<std::size_t>(tj)];
+  eps = std::sqrt(a.epsilon * b.epsilon);  // Berthelot
+  sig = 0.5 * (a.sigma + b.sigma);         // Lorentz
+}
+
+double LennardJones::raw_pair(int ti, int tj, double r) const {
+  double eps, sig;
+  mix(ti, tj, eps, sig);
+  const double sr2 = sig * sig / (r * r);
+  const double sr6 = sr2 * sr2 * sr2;
+  return 4.0 * eps * (sr6 * sr6 - sr6);
+}
+
+double LennardJones::raw_pair_deriv(int ti, int tj, double r) const {
+  double eps, sig;
+  mix(ti, tj, eps, sig);
+  const double sr2 = sig * sig / (r * r);
+  const double sr6 = sr2 * sr2 * sr2;
+  return 4.0 * eps * (-12.0 * sr6 * sr6 + 6.0 * sr6) / r;
+}
+
+double LennardJones::pair(int ti, int tj, double r) const {
+  if (r >= rc_) return 0.0;
+  const std::size_t idx =
+      static_cast<std::size_t>(ti) * static_cast<std::size_t>(num_types()) +
+      static_cast<std::size_t>(tj);
+  return raw_pair(ti, tj, r) - phi_rc_[idx] - dphi_rc_[idx] * (r - rc_);
+}
+
+double LennardJones::pair_deriv(int ti, int tj, double r) const {
+  if (r >= rc_) return 0.0;
+  const std::size_t idx =
+      static_cast<std::size_t>(ti) * static_cast<std::size_t>(num_types()) +
+      static_cast<std::size_t>(tj);
+  return raw_pair_deriv(ti, tj, r) - dphi_rc_[idx];
+}
+
+}  // namespace wsmd::eam

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file potential.hpp
+/// Abstract interface for Embedded Atom Method potentials (paper Sec. II-A).
+///
+/// The EAM total energy is
+///     U = 1/2 sum_{i != j} phi_{ij}(r_ij) + sum_i F_i(rho(r_i)),
+///     rho(r_i) = sum_{j != i} rho_j(r_ij)
+/// (paper Eqs. 2-3), with all three functions depending on atom type so
+/// heterogeneous ensembles are supported. Forces follow paper Eq. 4.
+///
+/// A pairwise potential (e.g. Lennard-Jones) is representable as the special
+/// case with zero density and zero embedding, so the MD engines accept a
+/// single interface for both families.
+
+#include <memory>
+#include <string>
+
+namespace wsmd::eam {
+
+/// Type-resolved EAM potential. Distances in Angstrom, energies in eV,
+/// masses in amu. All radial functions must vanish (value and first
+/// derivative) at and beyond `cutoff()` so that neighbor-list truncation is
+/// exact (paper Sec. II-A: functions "vanish exactly beyond rcut").
+class EamPotential {
+ public:
+  virtual ~EamPotential() = default;
+
+  /// Number of atom types (>= 1).
+  virtual int num_types() const = 0;
+
+  /// Chemical symbol for a type ("Cu", "Ta", ...).
+  virtual std::string type_name(int type) const = 0;
+
+  /// Atomic mass in amu.
+  virtual double mass(int type) const = 0;
+
+  /// Global interaction cutoff radius in Angstrom.
+  virtual double cutoff() const = 0;
+
+  /// Electron density contributed by an atom of `type` at distance r.
+  virtual double density(int type, double r) const = 0;
+
+  /// d(density)/dr.
+  virtual double density_deriv(int type, double r) const = 0;
+
+  /// Pair energy phi_{ij}(r) between types ti and tj (symmetric in ti,tj).
+  virtual double pair(int ti, int tj, double r) const = 0;
+
+  /// d(phi_{ij})/dr.
+  virtual double pair_deriv(int ti, int tj, double r) const = 0;
+
+  /// Embedding energy F_i(rho).
+  virtual double embed(int type, double rho) const = 0;
+
+  /// dF/d(rho).
+  virtual double embed_deriv(int type, double rho) const = 0;
+
+  /// True when density and embedding are identically zero (pure pair
+  /// potential); lets engines skip the density pass.
+  virtual bool is_pairwise_only() const { return false; }
+};
+
+using EamPotentialPtr = std::shared_ptr<const EamPotential>;
+
+}  // namespace wsmd::eam

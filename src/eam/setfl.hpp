@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file setfl.hpp
+/// DYNAMO/LAMMPS `setfl` (.eam.alloy) potential file IO.
+///
+/// The paper's reference LAMMPS runs consume tabulated potentials in this
+/// format (Adams Cu [28], Zhou W [29], Li Ta [30]). WSMD can both *write*
+/// setfl files from any EamPotential (so our Zhou parameterisation can be
+/// exported and diffed against LAMMPS) and *read* arbitrary setfl files (so
+/// a user with the original files can run the genuine article).
+///
+/// Format (whitespace-delimited text):
+///   line 1-3 : comments
+///   line 4   : Nelements  name_1 ... name_N
+///   line 5   : Nrho  drho  Nr  dr  cutoff
+///   per element: "atomic_number mass lattice_constant structure"
+///                F(rho) on Nrho points, rho(r) on Nr points
+///   then for i = 1..N, j = 1..i : r*phi_ij(r) on Nr points
+
+#include <iosfwd>
+#include <string>
+
+#include "eam/tabulated.hpp"
+
+namespace wsmd::eam {
+
+/// Write `pot` in setfl format. `nrho`/`nr` control the table resolution;
+/// `rho_max` bounds the embedding grid (0 = automatic).
+void write_setfl(const EamPotential& pot, std::ostream& os, int nrho = 2000,
+                 int nr = 2000, double rho_max = 0.0,
+                 const std::string& comment = "");
+
+/// Convenience overload writing to a file path.
+void write_setfl_file(const EamPotential& pot, const std::string& path,
+                      int nrho = 2000, int nr = 2000, double rho_max = 0.0,
+                      const std::string& comment = "");
+
+/// Parse a setfl stream into a tabulated potential. Throws wsmd::Error on
+/// malformed input.
+TabulatedEam read_setfl(std::istream& is);
+
+/// Convenience overload reading from a file path.
+TabulatedEam read_setfl_file(const std::string& path);
+
+}  // namespace wsmd::eam

@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file zhou.hpp
+/// Analytic EAM of Zhou, Johnson & Wadley, Phys. Rev. B 69, 144113 (2004).
+///
+/// The paper's tungsten potential [29] (Zhou et al., Acta Mater. 49, 4005
+/// (2001)) is this functional form; for Cu and Ta the paper used tabulated
+/// potentials (Adams 1989, Li 2003) that are not redistributable, so WSMD
+/// substitutes the Zhou parameterisation, which has the same ground-state
+/// structures (FCC Cu; BCC Ta, W) and comparable cutoffs. DESIGN.md records
+/// this substitution; interaction counts — the quantity the wafer-scale
+/// performance actually depends on — are matched to the paper by the cutoff
+/// choice (Cu 42, W ~59, Ta 14 neighbors in the perfect bulk crystal).
+///
+/// Functional form (r in Angstrom, energies in eV):
+///   f(r)   = fe exp(-beta (r/re - 1)) / (1 + (r/re - lambda)^20)
+///   phi(r) = A exp(-alpha (r/re - 1)) / (1 + (r/re - kappa)^20)
+///          - B exp(-beta  (r/re - 1)) / (1 + (r/re - lambda)^20)
+///   F(rho) three-branch:
+///     rho <  rho_n = 0.85 rho_e : sum_i Fn_i (rho/rho_n - 1)^i,  i = 0..3
+///     rho <  rho_0 = 1.15 rho_e : sum_i F_i  (rho/rho_e - 1)^i,  i = 0..3
+///     rho >= rho_0              : Fe (1 - eta ln(rho/rho_s)) (rho/rho_s)^eta
+///
+/// The raw radial functions decay rapidly but do not vanish exactly; WSMD
+/// applies a shift-force truncation g(r) -> g(r) - g(rc) - g'(rc)(r - rc)
+/// so value and slope are exactly zero at the cutoff, which the paper's
+/// algorithm (and our energy-conservation tests) require.
+
+#include <string>
+#include <vector>
+
+#include "eam/potential.hpp"
+
+namespace wsmd::eam {
+
+/// Parameter set for one element in the Zhou 2004 form.
+struct ZhouParams {
+  std::string name;    ///< chemical symbol
+  double mass = 0.0;   ///< amu
+  double re = 0.0;     ///< equilibrium nearest-neighbor distance (A)
+  double fe = 0.0;     ///< density scale
+  double rhoe = 0.0;   ///< equilibrium host density
+  double rhos = 0.0;   ///< density scale in the third embedding branch
+  double alpha = 0.0;  ///< repulsive pair exponent
+  double beta = 0.0;   ///< attractive pair / density exponent
+  double A = 0.0;      ///< repulsive pair amplitude (eV)
+  double B = 0.0;      ///< attractive pair amplitude (eV)
+  double kappa = 0.0;  ///< repulsive soft-cutoff offset
+  double lambda = 0.0; ///< attractive soft-cutoff offset
+  double Fn[4] = {0, 0, 0, 0};  ///< low-density embedding coefficients (eV)
+  double F[4] = {0, 0, 0, 0};   ///< mid-density embedding coefficients (eV)
+  double eta = 0.0;    ///< high-density embedding exponent
+  double Fe = 0.0;     ///< high-density embedding scale (eV)
+
+  /// Crystal structure of the ground state ("fcc" or "bcc").
+  std::string structure;
+
+  /// Conventional cubic lattice constant implied by re (A):
+  /// FCC a0 = re*sqrt(2); BCC a0 = 2*re/sqrt(3).
+  double lattice_constant() const;
+
+  /// Default (physics) cutoff used when none is given explicitly: wide
+  /// enough that shift-force truncation barely perturbs cohesion.
+  double default_cutoff() const;
+
+  /// The cutoff of the potential the *paper* benchmarked for this element
+  /// (Table VI rcut/r_nn ratios: Cu 1.94, W 2.02, Ta 1.39). Reproduces the
+  /// paper's per-atom interaction counts (Cu 42, W ~59, Ta 14), which is
+  /// what the wafer-scale timestep cost depends on. Falls back to the
+  /// physics cutoff for elements the paper did not run.
+  double paper_cutoff() const;
+};
+
+/// Elements with built-in parameter sets.
+std::vector<std::string> zhou_available_elements();
+
+/// Look up the parameter set for a chemical symbol; throws for unknown ones.
+ZhouParams zhou_parameters(const std::string& element);
+
+/// Zhou-form analytic EAM, optionally multi-element (alloy pair functions
+/// use Johnson's density-weighted mixing:
+///   phi_ab = 1/2 [ f_b/f_a phi_aa + f_a/f_b phi_bb ]).
+class ZhouEam final : public EamPotential {
+ public:
+  /// Single element with its default cutoff.
+  explicit ZhouEam(const std::string& element);
+
+  /// Single element with an explicit cutoff (Angstrom).
+  ZhouEam(const std::string& element, double cutoff);
+
+  /// Alloy: one parameter set per type; cutoff is the max of the defaults
+  /// unless given.
+  explicit ZhouEam(std::vector<ZhouParams> params, double cutoff = 0.0);
+
+  int num_types() const override;
+  std::string type_name(int type) const override;
+  double mass(int type) const override;
+  double cutoff() const override { return rc_; }
+
+  double density(int type, double r) const override;
+  double density_deriv(int type, double r) const override;
+  double pair(int ti, int tj, double r) const override;
+  double pair_deriv(int ti, int tj, double r) const override;
+  double embed(int type, double rho) const override;
+  double embed_deriv(int type, double rho) const override;
+
+  const ZhouParams& params(int type) const;
+
+ private:
+  /// Raw (untruncated) radial functions.
+  double raw_density(int type, double r) const;
+  double raw_density_deriv(int type, double r) const;
+  double raw_pair_same(int type, double r) const;
+  double raw_pair_same_deriv(int type, double r) const;
+  double raw_pair(int ti, int tj, double r) const;
+  double raw_pair_deriv(int ti, int tj, double r) const;
+
+  std::vector<ZhouParams> p_;
+  double rc_ = 0.0;
+  // Shift-force constants per type / type-pair, evaluated at rc.
+  std::vector<double> rho_rc_, drho_rc_;
+  std::vector<double> phi_rc_, dphi_rc_;  // indexed ti*num_types+tj
+};
+
+}  // namespace wsmd::eam

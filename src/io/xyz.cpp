@@ -1,0 +1,58 @@
+#include "io/xyz.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace wsmd::io {
+
+void write_xyz_frame(std::ostream& os, const lattice::Structure& s,
+                     const std::vector<std::string>& names,
+                     const std::string& comment) {
+  os << s.size() << '\n';
+  const Vec3d len = s.box.lengths();
+  os << "Lattice=\"" << len.x << " 0 0 0 " << len.y << " 0 0 0 " << len.z
+     << "\" Properties=species:S:1:pos:R:3";
+  if (!comment.empty()) os << ' ' << comment;
+  os << '\n';
+  os << std::setprecision(10);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const auto t = static_cast<std::size_t>(s.types[i]);
+    WSMD_REQUIRE(t < names.size(), "atom type without a species name");
+    os << names[t] << ' ' << s.positions[i].x << ' ' << s.positions[i].y << ' '
+       << s.positions[i].z << '\n';
+  }
+}
+
+void write_xyz_file(const std::string& path, const lattice::Structure& s,
+                    const std::vector<std::string>& names,
+                    const std::string& comment) {
+  std::ofstream os(path);
+  WSMD_REQUIRE(os.good(), "cannot open '" << path << "' for writing");
+  write_xyz_frame(os, s, names, comment);
+  WSMD_REQUIRE(os.good(), "write to '" << path << "' failed");
+}
+
+void write_lammps_dump_frame(std::ostream& os, const lattice::Structure& s,
+                             long timestep) {
+  os << "ITEM: TIMESTEP\n" << timestep << '\n';
+  os << "ITEM: NUMBER OF ATOMS\n" << s.size() << '\n';
+  os << "ITEM: BOX BOUNDS";
+  for (std::size_t a = 0; a < 3; ++a) {
+    os << (s.box.periodic[a] ? " pp" : " ff");
+  }
+  os << '\n';
+  os << s.box.lo.x << ' ' << s.box.hi.x << '\n';
+  os << s.box.lo.y << ' ' << s.box.hi.y << '\n';
+  os << s.box.lo.z << ' ' << s.box.hi.z << '\n';
+  os << "ITEM: ATOMS id type x y z\n";
+  os << std::setprecision(10);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    os << (i + 1) << ' ' << (s.types[i] + 1) << ' ' << s.positions[i].x << ' '
+       << s.positions[i].y << ' ' << s.positions[i].z << '\n';
+  }
+}
+
+}  // namespace wsmd::io

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file xyz.hpp
+/// Extended-XYZ trajectory output and LAMMPS-style dump writing.
+///
+/// Used by the examples so users can inspect slabs and grain boundaries in
+/// OVITO/VMD, the same tools used for figures like the paper's Fig. 2.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lattice/lattice.hpp"
+#include "util/vec3.hpp"
+
+namespace wsmd::io {
+
+/// Write one XYZ frame. `names` maps type index -> chemical symbol.
+void write_xyz_frame(std::ostream& os, const lattice::Structure& s,
+                     const std::vector<std::string>& names,
+                     const std::string& comment = "");
+
+/// Convenience: write a single-frame .xyz file.
+void write_xyz_file(const std::string& path, const lattice::Structure& s,
+                    const std::vector<std::string>& names,
+                    const std::string& comment = "");
+
+/// Write a LAMMPS dump-style frame ("ITEM: TIMESTEP" etc., atom style
+/// "id type x y z").
+void write_lammps_dump_frame(std::ostream& os, const lattice::Structure& s,
+                             long timestep);
+
+}  // namespace wsmd::io

@@ -1,0 +1,158 @@
+#include "lattice/grain_boundary.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "eam/zhou.hpp"
+#include "util/error.hpp"
+
+namespace wsmd::lattice {
+
+namespace {
+
+Vec3d rotate_z(const Vec3d& r, double angle_rad) {
+  const double c = std::cos(angle_rad);
+  const double s = std::sin(angle_rad);
+  return {c * r.x - s * r.y, s * r.x + c * r.y, r.z};
+}
+
+/// Fill the axis-aligned region [0,Lx]x[ylo,yhi]x[0,Lz] with a lattice
+/// rotated by `angle_rad` about z. Over-generates in the rotated frame and
+/// clips, which is exact for any angle.
+void fill_rotated(const UnitCell& cell, double angle_rad, double lx,
+                  double ylo, double yhi, double lz,
+                  std::vector<Vec3d>& out) {
+  const double a = cell.a;
+  // Bounding radius of the target region, seen from its center.
+  const double cx = lx / 2, cy = (ylo + yhi) / 2;
+  const double rad =
+      std::sqrt(cx * cx + (yhi - cy) * (yhi - cy)) + 2.0 * a;
+  const int nxy = static_cast<int>(std::ceil(rad / a)) + 1;
+  const int nz = static_cast<int>(std::ceil(lz / a)) + 1;
+
+  for (int ix = -nxy; ix <= nxy; ++ix) {
+    for (int iy = -nxy; iy <= nxy; ++iy) {
+      for (int iz = 0; iz <= nz; ++iz) {
+        for (const Vec3d& b : cell.basis) {
+          // Lattice point in the grain frame, centered on the region center.
+          const Vec3d p{(ix + b.x) * a, (iy + b.y) * a, (iz + b.z) * a};
+          Vec3d q = rotate_z({p.x, p.y, 0.0}, angle_rad);
+          q.z = p.z;
+          q.x += cx;
+          q.y += cy;
+          // Half-open clip [lo, hi): a zero-tilt bicrystal then reproduces
+          // the plain replicated crystal exactly (no duplicated edge
+          // planes), and rotated grains lose only a boundary sliver.
+          const double eps = 1e-9;
+          if (q.x < -eps || q.x >= lx - eps) continue;
+          if (q.y < ylo - eps || q.y >= yhi - eps) continue;
+          if (q.z < -eps || q.z >= lz - eps) continue;
+          out.push_back(q);
+        }
+      }
+    }
+  }
+}
+
+struct CellKey {
+  long long x, y, z;
+  bool operator==(const CellKey&) const = default;
+};
+struct CellKeyHash {
+  std::size_t operator()(const CellKey& k) const {
+    std::size_t h = 1469598103934665603ull;
+    for (long long v : {k.x, k.y, k.z}) {
+      h ^= static_cast<std::size_t>(v) + 0x9E3779B97F4A7C15ull;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+GrainBoundaryStructure make_grain_boundary(const GrainBoundaryParams& params) {
+  const eam::ZhouParams ep = eam::zhou_parameters(params.element);
+  const UnitCell cell = UnitCell::of(ep.structure, ep.lattice_constant());
+  const double a = cell.a;
+
+  const double lx = params.cells_x * a;
+  const double ly = params.cells_y * a;
+  const double lz = params.cells_z * a;
+  const double boundary_y = ly / 2;
+  const double half_angle =
+      params.tilt_angle_deg * (std::acos(-1.0) / 180.0) / 2.0;
+
+  std::vector<Vec3d> grain_a, grain_b;
+  fill_rotated(cell, +half_angle, lx, 0.0, boundary_y, lz, grain_a);
+  fill_rotated(cell, -half_angle, lx, boundary_y, ly, lz, grain_b);
+
+  // Fuse seam atoms: remove grain-B atoms too close to any grain-A atom.
+  const double dmin = params.min_separation_frac * ep.re;
+  const double dmin2 = dmin * dmin;
+  std::unordered_map<CellKey, std::vector<std::size_t>, CellKeyHash> grid;
+  auto key_of = [dmin](const Vec3d& r) {
+    return CellKey{static_cast<long long>(std::floor(r.x / dmin)),
+                   static_cast<long long>(std::floor(r.y / dmin)),
+                   static_cast<long long>(std::floor(r.z / dmin))};
+  };
+  for (std::size_t i = 0; i < grain_a.size(); ++i) {
+    grid[key_of(grain_a[i])].push_back(i);
+  }
+
+  GrainBoundaryStructure gb;
+  gb.boundary_y = boundary_y;
+  gb.grain_a_atoms = grain_a.size();
+
+  Structure& s = gb.structure;
+  s.positions = grain_a;
+  for (const Vec3d& q : grain_b) {
+    bool fused = false;
+    const CellKey c = key_of(q);
+    for (long long dx = -1; dx <= 1 && !fused; ++dx) {
+      for (long long dy = -1; dy <= 1 && !fused; ++dy) {
+        for (long long dz = -1; dz <= 1 && !fused; ++dz) {
+          const auto it = grid.find(CellKey{c.x + dx, c.y + dy, c.z + dz});
+          if (it == grid.end()) continue;
+          for (std::size_t i : it->second) {
+            const Vec3d d = q - grain_a[i];
+            if (norm2(d) < dmin2) {
+              fused = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+    if (fused) {
+      ++gb.fused_atoms;
+    } else {
+      s.positions.push_back(q);
+    }
+  }
+  gb.grain_b_atoms = s.positions.size() - grain_a.size();
+
+  s.types.assign(s.positions.size(), 0);
+  const double pad = 10.0;
+  s.box = Box({-pad, -pad, -pad}, {lx + pad, ly + pad, lz + pad},
+              {false, false, false});
+  return gb;
+}
+
+GrainBoundaryStructure make_grain_boundary_with_atom_count(
+    GrainBoundaryParams params, std::size_t target_atoms) {
+  WSMD_REQUIRE(target_atoms >= 100, "target atom count too small");
+  const eam::ZhouParams ep = eam::zhou_parameters(params.element);
+  const UnitCell cell = UnitCell::of(ep.structure, ep.lattice_constant());
+  const double per_cell = static_cast<double>(cell.atoms_per_cell());
+
+  // Solve cells_x ~ cells_y for the target, keeping cells_z fixed.
+  const double cells_needed =
+      static_cast<double>(target_atoms) / (per_cell * params.cells_z);
+  const int side = static_cast<int>(std::lround(std::sqrt(cells_needed)));
+  params.cells_x = std::max(4, side);
+  params.cells_y = std::max(4, side);
+  return make_grain_boundary(params);
+}
+
+}  // namespace wsmd::lattice

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file lattice.hpp
+/// Crystal lattice generation: cubic unit cells, replicated blocks, and the
+/// paper's thin-slab benchmark geometries.
+///
+/// The paper's reference problems are uniform single-species crystals in
+/// thin-slab geometry (~60nm x 60nm x 2nm, open boundaries; Sec. IV-B):
+///   Cu  FCC  174 x 192 x 6 unit cells  = 801,792 atoms
+///   W   BCC  256 x 261 x 6 unit cells  = 801,792 atoms
+///   Ta  BCC  256 x 261 x 6 unit cells  = 801,792 atoms
+
+#include <string>
+#include <vector>
+
+#include "util/box.hpp"
+#include "util/vec3.hpp"
+
+namespace wsmd::lattice {
+
+/// Cubic Bravais lattice with a fractional-coordinate basis.
+struct UnitCell {
+  std::string name;          ///< "fcc", "bcc", "sc"
+  double a = 1.0;            ///< cubic lattice constant (A)
+  std::vector<Vec3d> basis;  ///< fractional coordinates in [0,1)^3
+
+  std::size_t atoms_per_cell() const { return basis.size(); }
+
+  static UnitCell fcc(double a);
+  static UnitCell bcc(double a);
+  static UnitCell sc(double a);
+
+  /// Unit cell for a named structure tag ("fcc"/"bcc"/"sc").
+  static UnitCell of(const std::string& structure, double a);
+};
+
+/// A generated atomic configuration: the interchange type between the
+/// lattice generators and the MD engines (velocities are added later by the
+/// thermostat; all atoms share `type` semantics with the potential).
+struct Structure {
+  Box box;
+  std::vector<Vec3d> positions;
+  std::vector<int> types;
+
+  std::size_t size() const { return positions.size(); }
+};
+
+/// Replicate `cell` nx x ny x nz times. Every atom gets type `type`.
+/// Periodic flags apply to the resulting box; for open axes the box is
+/// padded by `open_padding` on each side so surface atoms are interior to
+/// the domain (the paper's slabs let atoms migrate past the crystal edge).
+Structure replicate(const UnitCell& cell, int nx, int ny, int nz, int type = 0,
+                    std::array<bool, 3> periodic = {false, false, false},
+                    double open_padding = 10.0);
+
+/// Paper benchmark slab for a named element ("Cu" -> FCC 174x192x6, "W"/"Ta"
+/// -> BCC 256x261x6) with the Zhou lattice constant. `scale` shrinks the
+/// replication counts (ceil(n/scale)) so tests can run miniature versions of
+/// the same geometry; scale=1 is the full 801,792-atom problem.
+Structure paper_slab(const std::string& element, int scale = 1);
+
+/// Replication counts used by `paper_slab` (Table I "Replication" column).
+void paper_replication(const std::string& element, int& nx, int& ny, int& nz);
+
+/// Count atoms within distance `rcut` of atom `i` (brute force; test/debug
+/// helper for neighbor-count validation, e.g. paper Table I interactions).
+int neighbor_count_within(const Structure& s, std::size_t i, double rcut);
+
+/// Mean neighbor count over a sample of atoms (brute force over cells via
+/// spatial hashing; suitable up to ~1e6 atoms).
+double mean_neighbor_count(const Structure& s, double rcut,
+                           std::size_t sample = 2000);
+
+}  // namespace wsmd::lattice

@@ -1,0 +1,83 @@
+#include "md/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "md/neighbor.hpp"
+#include "util/error.hpp"
+
+namespace wsmd::md {
+
+StructureAnalysis analyze_structure(const Box& box,
+                                    const std::vector<Vec3d>& positions,
+                                    double rcut, int neighbor_count) {
+  WSMD_REQUIRE(!positions.empty(), "no atoms to analyze");
+  WSMD_REQUIRE(neighbor_count >= 2 && neighbor_count % 2 == 0,
+               "CSP needs an even neighbor count (12 FCC, 8 BCC)");
+
+  NeighborList nl(rcut, 0.0);
+  nl.build(box, positions);
+
+  StructureAnalysis out;
+  out.centrosymmetry.assign(positions.size(), 0.0);
+  out.coordination.assign(positions.size(), 0);
+
+  std::vector<Vec3d> bonds;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    bonds.clear();
+    for (std::size_t j : nl.neighbors(i)) {
+      const Vec3d d = box.minimum_image(positions[i], positions[j]);
+      if (norm2(d) < rcut * rcut) bonds.push_back(d);
+    }
+    out.coordination[i] = static_cast<int>(bonds.size());
+
+    // Keep the `neighbor_count` shortest bonds.
+    std::sort(bonds.begin(), bonds.end(), [](const Vec3d& a, const Vec3d& b) {
+      return norm2(a) < norm2(b);
+    });
+    const std::size_t n =
+        std::min(bonds.size(), static_cast<std::size_t>(neighbor_count));
+    if (n < 2) {
+      // Isolated atom: maximal asymmetry marker.
+      out.centrosymmetry[i] = rcut * rcut;
+      continue;
+    }
+    // Greedy opposite-bond pairing: repeatedly take the unused pair with
+    // the smallest |r_a + r_b|^2. Exact for perfect lattices; a standard
+    // approximation (LAMMPS compute centro/atom uses the same idea).
+    std::vector<bool> used(n, false);
+    double csp = 0.0;
+    for (std::size_t pair = 0; pair < n / 2; ++pair) {
+      double best = 1e300;
+      std::size_t ba = 0, bb = 0;
+      for (std::size_t a = 0; a < n; ++a) {
+        if (used[a]) continue;
+        for (std::size_t b = a + 1; b < n; ++b) {
+          if (used[b]) continue;
+          const double v = norm2(bonds[a] + bonds[b]);
+          if (v < best) {
+            best = v;
+            ba = a;
+            bb = b;
+          }
+        }
+      }
+      used[ba] = used[bb] = true;
+      csp += best;
+    }
+    out.centrosymmetry[i] = csp;
+  }
+  return out;
+}
+
+std::vector<bool> defective_atoms(const StructureAnalysis& analysis,
+                                  double threshold) {
+  WSMD_REQUIRE(threshold > 0.0, "threshold must be positive");
+  std::vector<bool> out(analysis.centrosymmetry.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = analysis.centrosymmetry[i] > threshold;
+  }
+  return out;
+}
+
+}  // namespace wsmd::md

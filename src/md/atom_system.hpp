@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file atom_system.hpp
+/// Structure-of-arrays atom storage for the reference MD engine.
+///
+/// Plays the role of LAMMPS's Atom class in the paper's baseline runs:
+/// positions/velocities/forces in FP64, per-type masses from the potential.
+/// The wafer-scale path (src/core) keeps per-core FP32 state instead; tests
+/// cross-validate the two.
+
+#include <vector>
+
+#include "eam/potential.hpp"
+#include "lattice/lattice.hpp"
+#include "util/box.hpp"
+#include "util/random.hpp"
+#include "util/vec3.hpp"
+
+namespace wsmd::md {
+
+class AtomSystem {
+ public:
+  /// Adopt a generated structure; masses come from the potential's types.
+  AtomSystem(const lattice::Structure& s, eam::EamPotentialPtr potential);
+
+  std::size_t size() const { return positions_.size(); }
+  const Box& box() const { return box_; }
+  Box& box() { return box_; }
+  const eam::EamPotential& potential() const { return *potential_; }
+  eam::EamPotentialPtr potential_ptr() const { return potential_; }
+
+  std::vector<Vec3d>& positions() { return positions_; }
+  const std::vector<Vec3d>& positions() const { return positions_; }
+  std::vector<Vec3d>& velocities() { return velocities_; }
+  const std::vector<Vec3d>& velocities() const { return velocities_; }
+  std::vector<Vec3d>& forces() { return forces_; }
+  const std::vector<Vec3d>& forces() const { return forces_; }
+  const std::vector<int>& types() const { return types_; }
+
+  /// Mass of atom i (amu).
+  double mass(std::size_t i) const {
+    return masses_by_type_[static_cast<std::size_t>(types_[i])];
+  }
+
+  /// Kinetic energy in eV (using current velocities).
+  double kinetic_energy() const;
+
+  /// Instantaneous temperature in K (3N degrees of freedom).
+  double temperature() const;
+
+  /// Net momentum (amu * A/ps).
+  Vec3d momentum() const;
+
+  /// Draw Maxwell-Boltzmann velocities at temperature T and remove the net
+  /// center-of-mass drift (the paper equilibrates at 290 K before
+  /// benchmarking, Sec. IV-B).
+  void thermalize(double temperature_K, Rng& rng);
+
+  /// Rescale velocities so the instantaneous temperature equals T exactly.
+  void scale_to_temperature(double temperature_K);
+
+  /// Subtract the center-of-mass velocity.
+  void zero_momentum();
+
+ private:
+  Box box_;
+  eam::EamPotentialPtr potential_;
+  std::vector<Vec3d> positions_;
+  std::vector<Vec3d> velocities_;
+  std::vector<Vec3d> forces_;
+  std::vector<int> types_;
+  std::vector<double> masses_by_type_;
+};
+
+}  // namespace wsmd::md

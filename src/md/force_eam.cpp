@@ -1,0 +1,73 @@
+#include "md/force_eam.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wsmd::md {
+
+double EamForceKernel::compute(AtomSystem& system,
+                               const NeighborList& neighbors) {
+  const auto& pot = system.potential();
+  const auto& pos = system.positions();
+  const auto& types = system.types();
+  const Box& box = system.box();
+  const std::size_t n = system.size();
+  WSMD_REQUIRE(neighbors.atom_count() == n,
+               "neighbor list built for a different atom count");
+
+  const double rc = pot.cutoff();
+  const double rc2 = rc * rc;
+  const bool pairwise_only = pot.is_pairwise_only();
+
+  auto& forces = system.forces();
+  forces.assign(n, Vec3d{0, 0, 0});
+
+  e_embed_ = 0.0;
+  e_pair_ = 0.0;
+
+  // Pass 1: densities and embedding derivatives.
+  rho_.assign(n, 0.0);
+  fprime_.assign(n, 0.0);
+  if (!pairwise_only) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double rho = 0.0;
+      for (std::size_t j : neighbors.neighbors(i)) {
+        const Vec3d d = box.minimum_image(pos[i], pos[j]);
+        const double r2 = norm2(d);
+        if (r2 >= rc2) continue;
+        rho += pot.density(types[j], std::sqrt(r2));
+      }
+      rho_[i] = rho;
+      e_embed_ += pot.embed(types[i], rho);
+      fprime_[i] = pot.embed_deriv(types[i], rho);
+    }
+  }
+
+  // Pass 2: pair + embedding forces.
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3d f{0, 0, 0};
+    double pair_acc = 0.0;
+    for (std::size_t j : neighbors.neighbors(i)) {
+      const Vec3d d = box.minimum_image(pos[i], pos[j]);  // rj - ri
+      const double r2 = norm2(d);
+      if (r2 >= rc2) continue;
+      const double r = std::sqrt(r2);
+      pair_acc += pot.pair(types[i], types[j], r);
+      double fmag = pot.pair_deriv(types[i], types[j], r);
+      if (!pairwise_only) {
+        fmag += fprime_[i] * pot.density_deriv(types[j], r) +
+                fprime_[j] * pot.density_deriv(types[i], r);
+      }
+      // Force on i: -dU/dr * unit(ri - rj) == +fmag * unit(rj - ri) ... with
+      // fmag = dU/dr. Writing it via d = rj - ri keeps the signs compact.
+      f += d * (fmag / r);
+    }
+    forces[i] = f;
+    e_pair_ += 0.5 * pair_acc;  // full list counts each pair twice
+  }
+
+  return e_pair_ + e_embed_;
+}
+
+}  // namespace wsmd::md

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file force_eam.hpp
+/// Two-pass EAM force evaluation (paper Eqs. 2-4).
+///
+/// Pass 1 accumulates the host electron density rho_i for every atom and
+/// evaluates the embedding term F_i(rho_i) and its derivative. Pass 2
+/// evaluates the radial force
+///   f_i = - sum_j [ F'_i rho'_j(r_ij) + F'_j rho'_i(r_ij) + phi'_ij(r_ij) ]
+///         * (r_i - r_j)/r_ij
+/// This is the same decomposition LAMMPS's pair_eam uses and the same terms
+/// the paper's per-core kernel computes (Table III).
+
+#include <vector>
+
+#include "md/atom_system.hpp"
+#include "md/neighbor.hpp"
+
+namespace wsmd::md {
+
+/// Scratch + result holder for force evaluations; reusable across steps.
+class EamForceKernel {
+ public:
+  /// Evaluate forces into `system.forces()`. Returns total potential energy
+  /// (pair + embedding) in eV. The neighbor list must be current and built
+  /// with the potential's cutoff (list entries beyond the cutoff are
+  /// filtered here — the list radius includes the skin).
+  double compute(AtomSystem& system, const NeighborList& neighbors);
+
+  /// Host densities from the most recent compute() (diagnostics/tests).
+  const std::vector<double>& densities() const { return rho_; }
+
+  /// Embedding energy share of the last compute() (eV).
+  double embedding_energy() const { return e_embed_; }
+  /// Pair energy share of the last compute() (eV).
+  double pair_energy() const { return e_pair_; }
+
+ private:
+  std::vector<double> rho_;
+  std::vector<double> fprime_;
+  double e_embed_ = 0.0;
+  double e_pair_ = 0.0;
+};
+
+}  // namespace wsmd::md

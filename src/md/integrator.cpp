@@ -1,0 +1,36 @@
+#include "md/integrator.hpp"
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace wsmd::md {
+
+LeapfrogIntegrator::LeapfrogIntegrator(double dt) : dt_(dt) {
+  WSMD_REQUIRE(dt_ > 0.0, "timestep must be positive");
+}
+
+void LeapfrogIntegrator::step(AtomSystem& system) const {
+  auto& pos = system.positions();
+  auto& vel = system.velocities();
+  const auto& frc = system.forces();
+  const Box& box = system.box();
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    const double inv_m = 1.0 / system.mass(i);
+    const Vec3d a = frc[i] * (inv_m * units::kForceToAccel);
+    vel[i] += a * dt_;
+    pos[i] += vel[i] * dt_;
+    pos[i] = box.wrap(pos[i]);
+  }
+}
+
+void LeapfrogIntegrator::half_kick(AtomSystem& system) const {
+  auto& vel = system.velocities();
+  const auto& frc = system.forces();
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    const double inv_m = 1.0 / system.mass(i);
+    const Vec3d a = frc[i] * (inv_m * units::kForceToAccel);
+    vel[i] += a * (0.5 * dt_);
+  }
+}
+
+}  // namespace wsmd::md

@@ -1,0 +1,73 @@
+#include "md/simulation.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace wsmd::md {
+
+Simulation::Simulation(AtomSystem system, SimulationConfig config)
+    : system_(std::move(system)),
+      config_(config),
+      neighbors_(system_.potential().cutoff(), config.skin) {
+  WSMD_REQUIRE(config_.dt > 0.0, "timestep must be positive");
+}
+
+double Simulation::compute_forces() {
+  neighbors_.ensure_current(system_.box(), system_.positions());
+  last_pe_ = kernel_.compute(system_, neighbors_);
+  forces_current_ = true;
+  return last_pe_;
+}
+
+ThermoState Simulation::run(
+    long n, const std::function<void(const ThermoState&)>& callback) {
+  WSMD_REQUIRE(n >= 0, "negative step count");
+  if (!forces_current_) compute_forces();
+  for (long k = 0; k < n; ++k) {
+    LeapfrogIntegrator(config_.dt).step(system_);
+    ++step_;
+    compute_forces();
+    if (config_.rescale_temperature_K &&
+        step_ % config_.rescale_interval == 0) {
+      system_.scale_to_temperature(*config_.rescale_temperature_K);
+    }
+    if (callback) callback(thermo());
+  }
+  return thermo();
+}
+
+void Simulation::equilibrate(double temperature_K, long steps, Rng& rng) {
+  system_.thermalize(temperature_K, rng);
+  const auto saved = config_.rescale_temperature_K;
+  config_.rescale_temperature_K = temperature_K;
+  run(steps);
+  config_.rescale_temperature_K = saved;
+}
+
+ThermoState Simulation::thermo() const {
+  ThermoState t;
+  t.step = step_;
+  t.potential_energy = last_pe_;
+
+  // Synchronize the half-step leapfrog velocities to the current positions
+  // with a half kick before measuring kinetic energy.
+  const auto& vel = system_.velocities();
+  const auto& frc = system_.forces();
+  double mv2 = 0.0;
+  for (std::size_t i = 0; i < system_.size(); ++i) {
+    const double m = system_.mass(i);
+    const Vec3d v_sync =
+        vel[i] + frc[i] * (units::kForceToAccel / m * 0.5 * config_.dt);
+    mv2 += m * norm2(v_sync);
+  }
+  t.kinetic_energy = 0.5 * mv2 * units::kMv2ToEnergy;
+  t.total_energy = t.potential_energy + t.kinetic_energy;
+  t.temperature = 2.0 * t.kinetic_energy /
+                  (3.0 * static_cast<double>(system_.size()) *
+                   units::kBoltzmann);
+  return t;
+}
+
+}  // namespace wsmd::md

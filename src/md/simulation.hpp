@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file simulation.hpp
+/// Reference MD driver: owns the system, neighbor list, force kernel, and
+/// integrator; runs timesteps and reports thermodynamic state.
+///
+/// This is the "LAMMPS role" in the reproduction: ground-truth FP64
+/// trajectories, equilibration, and the CPU-side baseline whose per-step
+/// cost the platform models (src/baseline) are calibrated against.
+
+#include <functional>
+#include <optional>
+
+#include "md/atom_system.hpp"
+#include "md/force_eam.hpp"
+#include "md/integrator.hpp"
+#include "md/neighbor.hpp"
+
+namespace wsmd::md {
+
+struct SimulationConfig {
+  double dt = 0.002;         ///< ps (paper: 2 fs)
+  double skin = 1.0;         ///< Verlet skin (A)
+  /// Berendsen-style velocity rescale toward this temperature when set
+  /// (equilibration); unset = NVE.
+  std::optional<double> rescale_temperature_K;
+  /// Rescale interval in steps (when rescale_temperature_K is set).
+  int rescale_interval = 10;
+};
+
+/// Thermodynamic snapshot after a step.
+struct ThermoState {
+  long step = 0;
+  double potential_energy = 0.0;  ///< eV
+  double kinetic_energy = 0.0;    ///< eV
+  double total_energy = 0.0;      ///< eV
+  double temperature = 0.0;       ///< K
+};
+
+class Simulation {
+ public:
+  Simulation(AtomSystem system, SimulationConfig config = {});
+
+  AtomSystem& system() { return system_; }
+  const AtomSystem& system() const { return system_; }
+  const SimulationConfig& config() const { return config_; }
+  long step_count() const { return step_; }
+
+  /// Compute forces for the current positions (builds the neighbor list on
+  /// demand). Called automatically by run(); exposed for tests.
+  double compute_forces();
+
+  /// Run n timesteps; returns the thermo state after the last one.
+  /// `callback`, when set, fires after every step.
+  ThermoState run(long n,
+                  const std::function<void(const ThermoState&)>& callback = {});
+
+  /// Equilibrate: thermalize at T then run with periodic velocity rescaling.
+  void equilibrate(double temperature_K, long steps, Rng& rng);
+
+  /// Thermo snapshot. Kinetic energy / temperature are *synchronized*: the
+  /// stored leapfrog velocities live at half steps, so they are advanced by
+  /// a half kick (v + a dt/2) before the KE sum. Without this the reported
+  /// total energy carries an O(dt) sawtooth that masks true drift.
+  ThermoState thermo() const;
+
+  const NeighborList& neighbor_list() const { return neighbors_; }
+
+ private:
+  AtomSystem system_;
+  SimulationConfig config_;
+  NeighborList neighbors_;
+  EamForceKernel kernel_;
+  long step_ = 0;
+  double last_pe_ = 0.0;
+  bool forces_current_ = false;
+};
+
+}  // namespace wsmd::md

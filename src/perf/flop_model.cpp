@@ -1,0 +1,83 @@
+#include "perf/flop_model.hpp"
+
+#include "util/error.hpp"
+
+namespace wsmd::perf {
+
+FlopModel::FlopModel() {
+  using B = FlopTerm::Basis;
+  rows_ = {
+      // --- per candidate (paper Table III top block; the dot product is
+      // counted FMA-style as 3 adds + 3 muls, matching the published
+      // subtotal of 6 adds / 3 muls) ---
+      {"r_ij <- r_j - r_i", 3, 0, 0, "Relative displacement", B::Candidate},
+      {"r2_ij <- r_ij . r_ij", 3, 3, 0, "Squared distance", B::Candidate},
+      {"r2_ij < r2_cut", 0, 0, 1, "Threshold check", B::Candidate},
+      // --- per interaction ---
+      {"r^-1 <- (r2)^-1/2", 3, 8, 1, "Newton-Raphson", B::Interaction},
+      {"r <- r2 * r^-1", 0, 1, 0, "Euclidean distance", B::Interaction},
+      {"k, dx <- segment(r)", 1, 1, 2, "Spline segment", B::Interaction},
+      {"sum_j rho[k](dx)", 3, 2, 0, "Density evaluation", B::Interaction},
+      {"rho'[k](dx), phi'[k](dx)", 2, 2, 0, "Linear splines", B::Interaction},
+      {"sum_j ((F'_i+F'_j) rho'+phi') r^-1 r_ij", 5, 5, 0, "Force evaluation",
+       B::Interaction},
+      // --- fixed ---
+      {"k, dx <- segment(rho_i)", 1, 1, 2, "Spline segment", B::Fixed},
+      {"F'_i[k](dx)", 1, 1, 0, "Embedding component", B::Fixed},
+      {"integrate v_i, r_i", 6, 0, 0, "Verlet integration", B::Fixed},
+  };
+}
+
+namespace {
+int subtotal(const std::vector<FlopTerm>& rows, FlopTerm::Basis basis) {
+  int total = 0;
+  for (const auto& r : rows) {
+    if (r.basis == basis) total += r.total();
+  }
+  return total;
+}
+}  // namespace
+
+int FlopModel::per_candidate_ops() const {
+  return subtotal(rows_, FlopTerm::Basis::Candidate);
+}
+
+int FlopModel::per_interaction_ops() const {
+  return subtotal(rows_, FlopTerm::Basis::Interaction);
+}
+
+int FlopModel::fixed_ops() const {
+  return subtotal(rows_, FlopTerm::Basis::Fixed);
+}
+
+double FlopModel::flops_per_atom_step(double ncandidates,
+                                      double ninteractions) const {
+  WSMD_REQUIRE(ncandidates >= 0.0 && ninteractions >= 0.0,
+               "counts must be non-negative");
+  return per_candidate_ops() * ncandidates +
+         per_interaction_ops() * ninteractions + fixed_ops();
+}
+
+double FlopModel::algorithm_flops(double atoms, double ncandidates,
+                                  double ninteractions,
+                                  double steps_per_second) const {
+  return flops_per_atom_step(ncandidates, ninteractions) * atoms *
+         steps_per_second;
+}
+
+double FlopModel::utilization(double atoms, double ncandidates,
+                              double ninteractions, double steps_per_second,
+                              double peak_pflops) const {
+  WSMD_REQUIRE(peak_pflops > 0.0, "peak must be positive");
+  return algorithm_flops(atoms, ncandidates, ninteractions, steps_per_second) /
+         (peak_pflops * 1e15);
+}
+
+double FlopModel::at_peak_ns(int ops, double clock_ghz) const {
+  WSMD_REQUIRE(clock_ghz > 0.0, "clock must be positive");
+  // Two 32-bit operations per cycle per core (paper Sec. IV-A).
+  const double cycles = static_cast<double>(ops) / 2.0;
+  return cycles / clock_ghz;
+}
+
+}  // namespace wsmd::perf

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file flop_model.hpp
+/// Instruction-level FLOP accounting of the EAM timestep (paper Table III).
+///
+/// The paper counts every add, multiply, and "other" (conversion, compare,
+/// segment lookup) in the three cost bases — per candidate, per
+/// interaction, and fixed — then converts the totals to at-peak run time to
+/// obtain per-component utilization (20% / 30% / 1%) and whole-platform
+/// utilization (Table IV).
+
+#include <string>
+#include <vector>
+
+namespace wsmd::perf {
+
+/// One row of Table III.
+struct FlopTerm {
+  std::string term;   ///< e.g. "r_ij <- r_j - r_i"
+  int adds = 0;
+  int muls = 0;
+  int others = 0;     ///< conversions, compares, segment arithmetic
+  std::string note;   ///< e.g. "Relative displacement"
+  enum class Basis { Candidate, Interaction, Fixed } basis;
+  int total() const { return adds + muls + others; }
+};
+
+class FlopModel {
+ public:
+  FlopModel();
+
+  const std::vector<FlopTerm>& rows() const { return rows_; }
+
+  /// Basis subtotals (ops, counting adds+muls+others like the paper).
+  int per_candidate_ops() const;
+  int per_interaction_ops() const;
+  int fixed_ops() const;
+
+  /// FLOPs executed by one worker in one timestep.
+  double flops_per_atom_step(double ncandidates, double ninteractions) const;
+
+  /// Whole-machine algorithmic FLOP rate (FLOP/s) for `atoms` workers
+  /// advancing at `steps_per_second`.
+  double algorithm_flops(double atoms, double ncandidates,
+                         double ninteractions, double steps_per_second) const;
+
+  /// Utilization = algorithmic FLOP rate / platform peak.
+  double utilization(double atoms, double ncandidates, double ninteractions,
+                     double steps_per_second, double peak_pflops) const;
+
+  /// At-peak time (ns) for a basis subtotal on a WSE core that retires two
+  /// 32-bit operations per cycle (paper Sec. IV-A) at `clock_ghz`. Used for
+  /// the per-component utilization column of Table III.
+  double at_peak_ns(int ops, double clock_ghz = 0.94) const;
+
+ private:
+  std::vector<FlopTerm> rows_;
+};
+
+}  // namespace wsmd::perf

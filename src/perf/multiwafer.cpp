@@ -1,0 +1,59 @@
+#include "perf/multiwafer.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wsmd::perf {
+
+MultiWaferResult multiwafer_performance_lambda(const MultiWaferParams& p,
+                                               int lambda) {
+  WSMD_REQUIRE(p.x_extent > 0 && p.z_extent > 0, "bad node extents");
+  WSMD_REQUIRE(lambda > 0 && 2 * lambda < p.x_extent,
+               "halo must leave a positive interior");
+  WSMD_REQUIRE(p.twall_us > 0.0 && p.omega_tbps > 0.0, "bad model inputs");
+
+  MultiWaferResult r;
+  r.lambda = lambda;
+  r.natom = static_cast<long>(p.x_extent) * p.x_extent * p.z_extent;
+  const long interior_edge = p.x_extent - 2 * lambda;
+  r.ninterior = interior_edge * interior_edge * p.z_extent;
+  r.interior_fraction =
+      static_cast<double>(r.ninterior) / static_cast<double>(r.natom);
+
+  // Steps per period: the outermost 2*rcut-wide strip of ghosts is
+  // invalidated per step, so k = lambda * r_lattice / (2 rcut) steps fit.
+  r.k = static_cast<int>(std::floor(
+      static_cast<double>(lambda) / (2.0 * p.rcut_over_rlattice)));
+  WSMD_REQUIRE(r.k >= 1, "halo too thin for even one timestep");
+
+  const long nghost = r.natom - r.ninterior;
+  // 192 bits of refreshed position+velocity per ghost (paper Sec. VI-C).
+  r.ghost_transfer_us =
+      192.0 * static_cast<double>(nghost) / (p.omega_tbps * 1e12) * 1e6;
+  const double compute_us = r.k * p.twall_us;
+  // Every published Table VI row reproduces exactly with the ghost
+  // transfer fully overlapped behind compute (pipelined across periods),
+  // leaving only the inter-node latency exposed; the transfer time is
+  // reported as a diagnostic. See EXPERIMENTS.md for the one configuration
+  // (Ta, high utilization) where the bandwidth term would exceed compute.
+  r.period_us = compute_us + p.tau_us;
+  r.steps_per_second = static_cast<double>(r.k) / (r.period_us * 1e-6);
+  r.single_wafer_steps_per_second = 1.0 / (p.twall_us * 1e-6);
+  r.performance_fraction =
+      r.steps_per_second / r.single_wafer_steps_per_second;
+  return r;
+}
+
+MultiWaferResult multiwafer_performance(const MultiWaferParams& p,
+                                        double interior_fraction_target) {
+  WSMD_REQUIRE(interior_fraction_target > 0.0 &&
+                   interior_fraction_target < 1.0,
+               "interior fraction must be in (0,1)");
+  // (X - 2 lambda)^2 / X^2 = f  =>  lambda = X (1 - sqrt(f)) / 2.
+  const int lambda = static_cast<int>(std::round(
+      p.x_extent * (1.0 - std::sqrt(interior_fraction_target)) / 2.0));
+  return multiwafer_performance_lambda(p, lambda);
+}
+
+}  // namespace wsmd::perf

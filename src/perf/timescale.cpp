@@ -1,0 +1,21 @@
+#include "perf/timescale.hpp"
+
+#include "util/error.hpp"
+
+namespace wsmd::perf {
+
+double reachable_timescale_seconds(double steps_per_second, double dt_fs,
+                                   double wall_days) {
+  WSMD_REQUIRE(steps_per_second > 0.0 && dt_fs > 0.0 && wall_days > 0.0,
+               "timescale inputs must be positive");
+  const double wall_seconds = wall_days * 86400.0;
+  return steps_per_second * wall_seconds * dt_fs * 1e-15;
+}
+
+double length_scale_meters(double atoms_per_edge, double spacing_angstrom) {
+  WSMD_REQUIRE(atoms_per_edge > 0.0 && spacing_angstrom > 0.0,
+               "length inputs must be positive");
+  return atoms_per_edge * spacing_angstrom * 1e-10;
+}
+
+}  // namespace wsmd::perf

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file timescale.hpp
+/// Reachable-simulated-timescale model (paper Fig. 1).
+///
+/// A platform advancing at R timesteps/s with a dt-femtosecond step covers
+/// R * dt * wall_seconds of simulated time. The paper's Fig. 1 stars place
+/// a 30-day Ta run at ~1.3 ms simulated on the WSE versus ~7 us on
+/// Frontier (the 179x ratio), against the backdrop of the QM / MD / CM
+/// regime boxes.
+
+namespace wsmd::perf {
+
+/// Simulated seconds covered by `wall_days` of wall-clock time at
+/// `steps_per_second` with a `dt_fs` femtosecond timestep.
+double reachable_timescale_seconds(double steps_per_second, double dt_fs,
+                                   double wall_days);
+
+/// Length scale (meters) of an N-atom slab with the given mean atomic
+/// spacing in Angstrom (the x-axis of Fig. 1).
+double length_scale_meters(double atoms_per_edge, double spacing_angstrom);
+
+}  // namespace wsmd::perf

@@ -1,0 +1,48 @@
+#include "perf/workload.hpp"
+
+#include "util/error.hpp"
+
+namespace wsmd::perf {
+
+namespace {
+
+const PaperWorkload kWorkloads[] = {
+    // element structure rx ry rz atoms inter cand b  predicted measured frontier quartz
+    {"Cu", "fcc", 174, 192, 6, 801792, 42, 224, 7, 104895.0, 106313.0, 973.0,
+     3120.0},
+    {"W", "bcc", 256, 261, 6, 801792, 59, 224, 7, 93048.0, 96140.0, 998.0,
+     3633.0},
+    {"Ta", "bcc", 256, 261, 6, 801792, 14, 80, 4, 270097.0, 274016.0, 1530.0,
+     4938.0},
+};
+
+}  // namespace
+
+PaperWorkload paper_workload(const std::string& element) {
+  for (const auto& w : kWorkloads) {
+    if (w.element == element) return w;
+  }
+  WSMD_REQUIRE(false, "no paper workload for element '" << element << "'");
+  return {};
+}
+
+std::vector<PaperWorkload> all_paper_workloads() {
+  return {kWorkloads[0], kWorkloads[1], kWorkloads[2]};
+}
+
+Platform platform_cs2() {
+  // WSE-2: 23 kW system power (paper Sec. IV-A); FP32 peak per Table IV.
+  return {"CS-2", "1 WSE", 1.45, 23000.0};
+}
+
+Platform platform_frontier_32gcd() {
+  // 4 Frontier nodes (32 GCDs); ~3.4 kW per node at load.
+  return {"Frontier", "32 GCD", 0.77, 4 * 3400.0};
+}
+
+Platform platform_quartz_800cpu() {
+  // 400 dual-socket Broadwell nodes; ~350 W per node at load.
+  return {"Quartz", "800 CPU", 0.50, 400 * 350.0};
+}
+
+}  // namespace wsmd::perf

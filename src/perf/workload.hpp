@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file workload.hpp
+/// The paper's benchmark workloads and published reference numbers.
+///
+/// One place holds every number the evaluation section reports (Table I,
+/// Table IV platforms, Fig. 7 anchors) so benches and EXPERIMENTS.md
+/// compare our measured/model values against the same source of truth.
+
+#include <string>
+#include <vector>
+
+namespace wsmd::perf {
+
+/// One row of paper Table I plus derived quantities.
+struct PaperWorkload {
+  std::string element;       ///< "Cu", "W", "Ta"
+  std::string structure;     ///< "fcc" / "bcc"
+  int repl_x, repl_y, repl_z;  ///< replication (Table I)
+  long atoms;                ///< 801,792 for all three
+  int interactions;          ///< per-atom bulk interactions (Table I)
+  int candidates;            ///< exchanged candidates (Table I)
+  int b;                     ///< neighborhood radius: (2b+1)^2-1 = candidates
+  double predicted_steps_per_s;  ///< paper's model prediction (Table I)
+  double measured_steps_per_s;   ///< paper's WSE measurement (Table I)
+  double frontier_steps_per_s;   ///< best LAMMPS/GPU rate (Table I)
+  double quartz_steps_per_s;     ///< best LAMMPS/CPU rate (Table I)
+};
+
+/// Workload for one of the paper's three elements; throws otherwise.
+PaperWorkload paper_workload(const std::string& element);
+
+/// All three, in paper order (Cu, W, Ta).
+std::vector<PaperWorkload> all_paper_workloads();
+
+/// Peak-FLOPS platform descriptors of paper Table IV.
+struct Platform {
+  std::string name;   ///< "CS-2", "Frontier", "Quartz"
+  std::string chips;  ///< "1 WSE", "32 GCD", "800 CPU"
+  double peak_pflops;
+  double power_watts;  ///< power at the Table IV configuration
+};
+
+Platform platform_cs2();
+Platform platform_frontier_32gcd();
+Platform platform_quartz_800cpu();
+
+}  // namespace wsmd::perf

@@ -1,0 +1,117 @@
+#include "tungsten/program.hpp"
+
+#include "util/error.hpp"
+
+namespace wsmd::tungsten {
+
+Thread& Thread::send_vector(int vc, std::vector<std::uint32_t> data) {
+  Op op;
+  op.kind = Op::Kind::SendVector;
+  op.vc = vc;
+  op.data = std::move(data);
+  ops.push_back(std::move(op));
+  return *this;
+}
+
+Thread& Thread::send_commands(int vc, std::vector<wse::RouterCmd> cmds) {
+  Op op;
+  op.kind = Op::Kind::SendCommandList;
+  op.vc = vc;
+  op.commands = std::move(cmds);
+  ops.push_back(std::move(op));
+  return *this;
+}
+
+Thread& Thread::receive_into(int vc, std::string buffer,
+                             std::size_t expected_words) {
+  Op op;
+  op.kind = Op::Kind::ReceiveInto;
+  op.vc = vc;
+  op.buffer = std::move(buffer);
+  op.expected_words = expected_words;
+  ops.push_back(std::move(op));
+  return *this;
+}
+
+Machine::Machine(int width, int height, int num_vcs)
+    : fabric_(width, height, num_vcs) {}
+
+void Machine::load(int x, int y, TileProgram program) {
+  tiles_[{x, y}] = LoadedTile{std::move(program), {}};
+}
+
+std::uint64_t Machine::run(std::uint64_t max_cycles) {
+  // Lower: each thread's Send ops on a VC collapse into one queued fabric
+  // send (data vector followed by its command wavelet), exactly how the
+  // hardware's send thread streams a memory vector then a control wavelet.
+  for (auto& [xy, tile] : tiles_) {
+    const auto [x, y] = xy;
+    std::map<int, std::pair<std::vector<std::uint32_t>,
+                            std::vector<wse::RouterCmd>>>
+        per_vc;
+    for (const Thread& th : tile.program.threads) {
+      for (const Op& op : th.ops) {
+        switch (op.kind) {
+          case Op::Kind::SendVector: {
+            auto& entry = per_vc[op.vc];
+            WSMD_REQUIRE(entry.first.empty(),
+                         "one send vector per VC per exchange");
+            entry.first = op.data;
+            break;
+          }
+          case Op::Kind::SendCommandList: {
+            auto& entry = per_vc[op.vc];
+            WSMD_REQUIRE(entry.second.empty(),
+                         "one command list per VC per exchange");
+            entry.second = op.commands;
+            break;
+          }
+          case Op::Kind::ReceiveInto:
+            break;  // resolved after the run
+        }
+      }
+    }
+    bool first_axis_send = true;
+    for (auto& [vc, payload] : per_vc) {
+      // Loopback on the first channel of each send pair so a tile's own
+      // payload is gathered exactly once (mirrors the exchange driver).
+      fabric_.queue_send(x, y, vc, std::move(payload.first),
+                         std::move(payload.second), first_axis_send);
+      first_axis_send = false;
+    }
+  }
+
+  const std::uint64_t cycles = fabric_.run_until_quiescent(max_cycles);
+
+  // Resolve receives.
+  for (auto& [xy, tile] : tiles_) {
+    const auto [x, y] = xy;
+    for (const Thread& th : tile.program.threads) {
+      for (const Op& op : th.ops) {
+        if (op.kind != Op::Kind::ReceiveInto) continue;
+        const auto& words = fabric_.received(x, y, op.vc);
+        if (op.expected_words != 0) {
+          WSMD_REQUIRE(words.size() == op.expected_words,
+                       "tile (" << x << "," << y << ") vc " << op.vc
+                                << " received " << words.size()
+                                << " words, expected " << op.expected_words);
+        }
+        auto& buf = tile.buffers[op.buffer];
+        buf.insert(buf.end(), words.begin(), words.end());
+      }
+    }
+  }
+  return cycles;
+}
+
+const std::vector<std::uint32_t>& Machine::buffer(
+    int x, int y, const std::string& name) const {
+  const auto it = tiles_.find({x, y});
+  WSMD_REQUIRE(it != tiles_.end(), "no program loaded at (" << x << "," << y << ")");
+  const auto bit = it->second.buffers.find(name);
+  WSMD_REQUIRE(bit != it->second.buffers.end(),
+               "no buffer '" << name << "' at (" << x << "," << y << ")");
+  return bit->second;
+}
+
+}  // namespace wsmd::tungsten

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file random.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// MD initial conditions (thermal velocities, jitter) must be reproducible
+/// across platforms, so WSMD uses its own xoshiro256++ implementation rather
+/// than std::mt19937 + distribution objects (whose outputs are not specified
+/// bit-for-bit by the standard).
+
+#include <cstdint>
+
+#include "util/vec3.hpp"
+
+namespace wsmd {
+
+/// xoshiro256++ PRNG (Blackman & Vigna), seeded via SplitMix64.
+/// Deterministic across compilers and platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal deviate (Marsaglia polar method; deterministic).
+  double gaussian();
+
+  /// Gaussian with given mean and standard deviation.
+  double gaussian(double mean, double sigma);
+
+  /// Isotropic Gaussian 3-vector with per-component standard deviation sigma.
+  Vec3d gaussian_vec3(double sigma);
+
+  /// Split off an independent stream (for per-worker determinism).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace wsmd

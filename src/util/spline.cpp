@@ -1,0 +1,126 @@
+#include "util/spline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wsmd {
+
+CubicSplineTable::CubicSplineTable(double x0, double dx, std::vector<double> y)
+    : x0_(x0), dx_(dx), y_(std::move(y)) {
+  WSMD_REQUIRE(y_.size() >= 3, "cubic spline needs at least 3 samples");
+  WSMD_REQUIRE(dx_ > 0.0, "cubic spline grid spacing must be positive");
+
+  // Natural spline: second derivatives vanish at both ends. Tridiagonal
+  // solve (Thomas algorithm) specialized for a uniform grid, where every
+  // sub/superdiagonal weight is dx/6 relative to the diagonal.
+  const std::size_t n = y_.size();
+  y2_.assign(n, 0.0);
+  std::vector<double> u(n, 0.0);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double sig = 0.5;
+    const double p = sig * y2_[i - 1] + 2.0;
+    y2_[i] = (sig - 1.0) / p;
+    const double d2 = (y_[i + 1] - y_[i]) / dx_ - (y_[i] - y_[i - 1]) / dx_;
+    u[i] = (6.0 * d2 / (2.0 * dx_) - sig * u[i - 1]) / p;
+  }
+  for (std::size_t i = n - 1; i-- > 0;) {
+    y2_[i] = y2_[i] * y2_[i + 1] + u[i];
+  }
+}
+
+CubicSplineTable CubicSplineTable::sample(
+    const std::function<double(double)>& f, double x0, double x1,
+    std::size_t n) {
+  WSMD_REQUIRE(n >= 3 && x1 > x0, "invalid spline sampling range");
+  const double dx = (x1 - x0) / static_cast<double>(n - 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = f(x0 + dx * static_cast<double>(i));
+  return CubicSplineTable(x0, dx, std::move(y));
+}
+
+void CubicSplineTable::segment(double x, std::size_t& k, double& t) const {
+  const double s = (x - x0_) / dx_;
+  const double max_idx = static_cast<double>(n() - 2);
+  double fk = std::floor(s);
+  if (fk < 0.0) fk = 0.0;
+  if (fk > max_idx) fk = max_idx;
+  k = static_cast<std::size_t>(fk);
+  t = s - fk;
+}
+
+double CubicSplineTable::value(double x) const {
+  std::size_t k;
+  double t;
+  segment(x, k, t);
+  const double a = 1.0 - t;
+  const double b = t;
+  const double h2 = dx_ * dx_ / 6.0;
+  return a * y_[k] + b * y_[k + 1] +
+         ((a * a * a - a) * y2_[k] + (b * b * b - b) * y2_[k + 1]) * h2;
+}
+
+double CubicSplineTable::derivative(double x) const {
+  std::size_t k;
+  double t;
+  segment(x, k, t);
+  const double a = 1.0 - t;
+  const double b = t;
+  return (y_[k + 1] - y_[k]) / dx_ +
+         ((3.0 * b * b - 1.0) * y2_[k + 1] - (3.0 * a * a - 1.0) * y2_[k]) *
+             dx_ / 6.0;
+}
+
+void CubicSplineTable::value_and_derivative(double x, double& v,
+                                            double& d) const {
+  std::size_t k;
+  double t;
+  segment(x, k, t);
+  const double a = 1.0 - t;
+  const double b = t;
+  const double h2 = dx_ * dx_ / 6.0;
+  v = a * y_[k] + b * y_[k + 1] +
+      ((a * a * a - a) * y2_[k] + (b * b * b - b) * y2_[k + 1]) * h2;
+  d = (y_[k + 1] - y_[k]) / dx_ +
+      ((3.0 * b * b - 1.0) * y2_[k + 1] - (3.0 * a * a - 1.0) * y2_[k]) * dx_ /
+          6.0;
+}
+
+LinearTable::LinearTable(double x0, double dx, std::vector<double> y)
+    : x0_(x0), dx_(dx), inv_dx_(1.0 / dx), y_(std::move(y)) {
+  WSMD_REQUIRE(y_.size() >= 2, "linear table needs at least 2 samples");
+  WSMD_REQUIRE(dx_ > 0.0, "linear table grid spacing must be positive");
+}
+
+LinearTable LinearTable::sample(const std::function<double(double)>& f,
+                                double x0, double x1, std::size_t n) {
+  WSMD_REQUIRE(n >= 2 && x1 > x0, "invalid table sampling range");
+  const double dx = (x1 - x0) / static_cast<double>(n - 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = f(x0 + dx * static_cast<double>(i));
+  return LinearTable(x0, dx, std::move(y));
+}
+
+double LinearTable::value(double x) const {
+  const double s = (x - x0_) * inv_dx_;
+  const double max_idx = static_cast<double>(y_.size() - 2);
+  double fk = std::floor(s);
+  if (fk < 0.0) fk = 0.0;
+  if (fk > max_idx) fk = max_idx;
+  const auto k = static_cast<std::size_t>(fk);
+  const double t = s - fk;
+  return y_[k] + t * (y_[k + 1] - y_[k]);
+}
+
+double LinearTable::derivative(double x) const {
+  const double s = (x - x0_) * inv_dx_;
+  const double max_idx = static_cast<double>(y_.size() - 2);
+  double fk = std::floor(s);
+  if (fk < 0.0) fk = 0.0;
+  if (fk > max_idx) fk = max_idx;
+  const auto k = static_cast<std::size_t>(fk);
+  return (y_[k + 1] - y_[k]) * inv_dx_;
+}
+
+}  // namespace wsmd

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file spline.hpp
+/// Interpolation tables for EAM potential functions.
+///
+/// The paper stores per-atom-type interpolation tables for rho, F, and phi on
+/// every core and evaluates them with a "spline segment" lookup followed by a
+/// low-order polynomial evaluation (Table III counts 1 add, 1 mul, 2 misc
+/// for the segment lookup and a linear evaluation for the derivative
+/// splines). WSMD provides two table kinds:
+///
+///  * CubicSplineTable — natural cubic spline on a uniform grid; used by the
+///    FP64 reference engine where interpolation error must be negligible.
+///  * LinearTable — piecewise-linear values (what the paper's inner loop
+///    costs assume for derivative evaluation); used by the wafer-path FP32
+///    kernels and by the FLOP accounting.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace wsmd {
+
+/// Natural cubic spline over a uniform grid on [x0, x0 + (n-1)*dx].
+/// Evaluation clamps to the table ends (EAM functions are constructed to
+/// vanish at the cutoff so clamping is physically benign).
+class CubicSplineTable {
+ public:
+  CubicSplineTable() = default;
+
+  /// Build from uniformly spaced samples y[i] = f(x0 + i*dx). Requires
+  /// n >= 3 and dx > 0.
+  CubicSplineTable(double x0, double dx, std::vector<double> y);
+
+  /// Sample an arbitrary callable on n uniform points across [x0, x1].
+  static CubicSplineTable sample(const std::function<double(double)>& f,
+                                 double x0, double x1, std::size_t n);
+
+  double x_min() const { return x0_; }
+  double x_max() const { return x0_ + dx_ * static_cast<double>(n() - 1); }
+  std::size_t n() const { return y_.size(); }
+  double dx() const { return dx_; }
+
+  /// Interpolated value f(x).
+  double value(double x) const;
+  /// Interpolated derivative f'(x).
+  double derivative(double x) const;
+  /// Value and derivative in one segment lookup (the hot path).
+  void value_and_derivative(double x, double& v, double& d) const;
+
+ private:
+  void segment(double x, std::size_t& k, double& t) const;
+
+  double x0_ = 0.0;
+  double dx_ = 1.0;
+  std::vector<double> y_;
+  std::vector<double> y2_;  // second derivatives from the tridiagonal solve
+};
+
+/// Piecewise-linear table over a uniform grid; mirrors the evaluation cost
+/// model of the paper's inner loop ("Linear splines" row of Table III).
+class LinearTable {
+ public:
+  LinearTable() = default;
+  LinearTable(double x0, double dx, std::vector<double> y);
+
+  static LinearTable sample(const std::function<double(double)>& f, double x0,
+                            double x1, std::size_t n);
+
+  double x_min() const { return x0_; }
+  double x_max() const { return x0_ + dx_ * static_cast<double>(y_.size() - 1); }
+  std::size_t n() const { return y_.size(); }
+
+  double value(double x) const;
+  /// Slope of the active segment (piecewise-constant derivative).
+  double derivative(double x) const;
+
+ private:
+  double x0_ = 0.0;
+  double dx_ = 1.0;
+  double inv_dx_ = 1.0;
+  std::vector<double> y_;
+};
+
+}  // namespace wsmd

@@ -1,0 +1,116 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wsmd {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+namespace {
+
+/// Solve the square system M*x = b in place by Gaussian elimination with
+/// partial pivoting. Sized for the handful of regressors used here.
+std::vector<double> solve_dense(std::vector<std::vector<double>> m,
+                                std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(m[r][col]) > std::fabs(m[pivot][col])) pivot = r;
+    }
+    WSMD_REQUIRE(std::fabs(m[pivot][col]) > 1e-300,
+                 "singular normal equations in least-squares fit");
+    std::swap(m[col], m[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = m[r][col] / m[col][col];
+      for (std::size_t c = col; c < n; ++c) m[r][c] -= f * m[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= m[ri][c] * x[c];
+    x[ri] = acc / m[ri][ri];
+  }
+  return x;
+}
+
+}  // namespace
+
+LinearFit fit_linear_model(const std::vector<std::vector<double>>& rows,
+                           const std::vector<double>& y) {
+  WSMD_REQUIRE(!rows.empty(), "least-squares fit needs samples");
+  WSMD_REQUIRE(rows.size() == y.size(), "regressor/response size mismatch");
+  const std::size_t n = rows.size();
+  const std::size_t k = rows.front().size();
+  WSMD_REQUIRE(k > 0 && n >= k, "need at least as many samples as regressors");
+  for (const auto& r : rows) {
+    WSMD_REQUIRE(r.size() == k, "ragged regressor matrix");
+  }
+
+  // Normal equations: (X^T X) beta = X^T y.
+  std::vector<std::vector<double>> xtx(k, std::vector<double>(k, 0.0));
+  std::vector<double> xty(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a = 0; a < k; ++a) {
+      xty[a] += rows[i][a] * y[i];
+      for (std::size_t b = a; b < k; ++b) xtx[a][b] += rows[i][a] * rows[i][b];
+    }
+  }
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = 0; b < a; ++b) xtx[a][b] = xtx[b][a];
+  }
+
+  LinearFit fit;
+  fit.coefficients = solve_dense(std::move(xtx), std::move(xty));
+
+  double y_mean = 0.0;
+  for (double v : y) y_mean += v;
+  y_mean /= static_cast<double>(n);
+
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double pred = 0.0;
+    for (std::size_t a = 0; a < k; ++a) pred += fit.coefficients[a] * rows[i][a];
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - y_mean) * (y[i] - y_mean);
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  fit.residual_rms = std::sqrt(ss_res / static_cast<double>(n));
+  return fit;
+}
+
+LinearFit fit_two_regressors_with_intercept(const std::vector<double>& x1,
+                                            const std::vector<double>& x2,
+                                            const std::vector<double>& y) {
+  WSMD_REQUIRE(x1.size() == x2.size() && x1.size() == y.size(),
+               "mismatched sweep vectors");
+  std::vector<std::vector<double>> rows;
+  rows.reserve(x1.size());
+  for (std::size_t i = 0; i < x1.size(); ++i) rows.push_back({x1[i], x2[i], 1.0});
+  return fit_linear_model(rows, y);
+}
+
+}  // namespace wsmd

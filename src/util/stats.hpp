@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file stats.hpp
+/// Statistics helpers: running moments and small least-squares fits.
+///
+/// The paper's performance analysis (Sec. V-B, Table II) fits the linear
+/// model  twall = A*ncandidate + B*ninteraction + C  to a controlled sweep
+/// and reports r^2 = 0.9998. `fit_linear_model` solves exactly that class of
+/// problem (ordinary least squares with a handful of regressors) via normal
+/// equations with Gaussian elimination, which is ample for <=4 regressors.
+
+#include <cstddef>
+#include <vector>
+
+namespace wsmd {
+
+/// Streaming mean / variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Result of an ordinary-least-squares fit  y ~ X*beta.
+struct LinearFit {
+  std::vector<double> coefficients;  ///< beta, one per regressor column
+  double r_squared = 0.0;            ///< coefficient of determination
+  double residual_rms = 0.0;         ///< RMS of residuals
+};
+
+/// Ordinary least squares. `rows[i]` holds the regressor values for sample i
+/// (including a constant-1 column if an intercept is wanted); `y[i]` is the
+/// observed response. Requires rows.size() == y.size() >= #regressors.
+LinearFit fit_linear_model(const std::vector<std::vector<double>>& rows,
+                           const std::vector<double>& y);
+
+/// Convenience: fit y = A*x1 + B*x2 + C (the paper's Table II model).
+/// Returned coefficients are ordered {A, B, C}.
+LinearFit fit_two_regressors_with_intercept(const std::vector<double>& x1,
+                                            const std::vector<double>& x2,
+                                            const std::vector<double>& y);
+
+}  // namespace wsmd

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file string_util.hpp
+/// Small string helpers shared by the IO and bench-reporting layers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsmd {
+
+/// Split on any run of whitespace; no empty tokens are produced.
+std::vector<std::string> split_whitespace(std::string_view s);
+
+/// Split on a single delimiter character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip leading/trailing whitespace.
+std::string trim(std::string_view s);
+
+/// True when `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Format a count with thousands separators ("801792" -> "801,792").
+std::string with_commas(long long value);
+
+}  // namespace wsmd

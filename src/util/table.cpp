@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace wsmd {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  WSMD_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  WSMD_REQUIRE(cells.size() == headers_.size(),
+               "row has " << cells.size() << " cells, expected "
+                          << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c];
+      for (std::size_t p = cells[c].size(); p < width[c]; ++p) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << ' ';
+    for (std::size_t p = 0; p < width[c]; ++p) os << '-';
+    os << " |";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void TablePrinter::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace wsmd

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table rendering for bench binaries.
+///
+/// Every bench target reproduces a table or figure of the paper and prints it
+/// in the paper's row/column layout; TablePrinter handles the column sizing
+/// so the bench code reads like the table it reproduces.
+
+#include <string>
+#include <vector>
+
+namespace wsmd {
+
+/// Collects rows of stringified cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// `headers` fixes the column count; subsequent rows must match it.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Add a data row. Throws if the cell count differs from the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Optional caption printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Render to a string (ASCII, pipe-separated, padded columns).
+  std::string str() const;
+
+  /// Render to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wsmd

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file units.hpp
+/// Physical constants and the "metal" unit system used throughout WSMD.
+///
+/// Unit system (identical to LAMMPS `units metal`, which the paper's
+/// reference runs used):
+///   length   : Angstrom (A)
+///   time     : picosecond (ps)
+///   energy   : electron-volt (eV)
+///   mass     : atomic mass unit (amu / g/mol)
+///   temperature : Kelvin
+///   force    : eV/A
+///
+/// With these units an acceleration computed as force/mass must be scaled by
+/// `kForceToAccel` to land in A/ps^2.
+
+namespace wsmd::units {
+
+/// Boltzmann constant in eV/K (CODATA 2018).
+inline constexpr double kBoltzmann = 8.617333262e-5;
+
+/// Conversion factor: (eV/A) / amu -> A/ps^2.
+/// = eV[J] / (amu[kg] * 1e-10[m/A]) expressed in A/ps^2.
+inline constexpr double kForceToAccel = 9648.5332212;
+
+/// Conversion factor for kinetic energy: amu*(A/ps)^2 -> eV.
+/// KE = 0.5 * m * v^2 * kMv2ToEnergy.
+inline constexpr double kMv2ToEnergy = 1.0 / kForceToAccel;
+
+/// One femtosecond in ps; MD timesteps in the paper are 2 fs.
+inline constexpr double kFemtosecond = 1.0e-3;
+
+/// Default timestep used by the paper's benchmark simulations (2 fs).
+inline constexpr double kPaperTimestepPs = 2.0 * kFemtosecond;
+
+}  // namespace wsmd::units

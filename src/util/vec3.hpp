@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file vec3.hpp
+/// Minimal 3-component vector used for positions, velocities, and forces.
+///
+/// Templated on the scalar so the reference MD engine can run in FP64 while
+/// the wafer-scale path runs in FP32, exactly mirroring the paper's precision
+/// split (LAMMPS FP64 vs WSE FP32, Sec. IV-B).
+
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace wsmd {
+
+template <typename T>
+struct Vec3 {
+  T x{0}, y{0}, z{0};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(T x_, T y_, T z_) : x(x_), y(y_), z(z_) {}
+
+  /// Conversion between precisions is explicit so a silent FP64->FP32
+  /// truncation cannot sneak into the reference engine.
+  template <typename U>
+  explicit constexpr Vec3(const Vec3<U>& o)
+      : x(static_cast<T>(o.x)), y(static_cast<T>(o.y)), z(static_cast<T>(o.z)) {}
+
+  constexpr T& operator[](std::size_t i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr const T& operator[](std::size_t i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(T s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(T s) {
+    x /= s; y /= s; z /= s;
+    return *this;
+  }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, T s) { return a *= s; }
+  friend constexpr Vec3 operator*(T s, Vec3 a) { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, T s) { return a /= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+
+  friend constexpr T dot(const Vec3& a, const Vec3& b) {
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+  }
+  friend constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+  }
+  friend constexpr T norm2(const Vec3& a) { return dot(a, a); }
+  friend T norm(const Vec3& a) { return std::sqrt(norm2(a)); }
+
+  /// Chebyshev (max) norm: the fabric-distance metric used by the
+  /// locality-preserving atom mapping (paper Sec. III-A assignment cost).
+  friend constexpr T max_norm(const Vec3& a) {
+    const T ax = a.x < 0 ? -a.x : a.x;
+    const T ay = a.y < 0 ? -a.y : a.y;
+    const T az = a.z < 0 ? -a.z : a.z;
+    return ax > ay ? (ax > az ? ax : az) : (ay > az ? ay : az);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Vec3& a) {
+    return os << '(' << a.x << ", " << a.y << ", " << a.z << ')';
+  }
+};
+
+using Vec3d = Vec3<double>;
+using Vec3f = Vec3<float>;
+
+}  // namespace wsmd

@@ -1,0 +1,101 @@
+#include "wse/cost_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wsmd::wse {
+
+CostModel CostModel::paper_baseline() {
+  // Components from paper Table V baseline; clock chosen so the Ta-class
+  // timestep (~3,702 ns from Table II) is ~3,477 cycles (Sec. V-B).
+  return CostModel(Components{6.0, 21.0, 92.0, 574.0}, 0.94);
+}
+
+double CostModel::A_ns() const {
+  // Every candidate pays multicast; rejected candidates pay the miss check.
+  // In the Table II basis the miss check is folded into A because rejects
+  // dominate (ncand >> ninter).
+  return c_.mcast_per_candidate * f_.mcast + c_.miss_per_reject * f_.miss;
+}
+
+double CostModel::B_ns() const {
+  // Interactions pay the interaction cost instead of the miss check.
+  return c_.per_interaction * f_.interaction - c_.miss_per_reject * f_.miss;
+}
+
+double CostModel::C_ns() const { return c_.fixed * f_.fixed; }
+
+double CostModel::timestep_seconds(double ncandidate,
+                                   double ninteraction) const {
+  WSMD_REQUIRE(ncandidate >= 0.0 && ninteraction >= 0.0,
+               "counts must be non-negative");
+  WSMD_REQUIRE(ninteraction <= ncandidate,
+               "interactions are a subset of candidates");
+  const double ns = c_.mcast_per_candidate * f_.mcast * ncandidate +
+                    c_.miss_per_reject * f_.miss * (ncandidate - ninteraction) +
+                    c_.per_interaction * f_.interaction * ninteraction +
+                    c_.fixed * f_.fixed;
+  return ns * 1e-9;
+}
+
+double CostModel::steps_per_second(double ncandidate,
+                                   double ninteraction) const {
+  return 1.0 / timestep_seconds(ncandidate, ninteraction);
+}
+
+double CostModel::timestep_cycles(double ncandidate,
+                                  double ninteraction) const {
+  return timestep_seconds(ncandidate, ninteraction) * clock_ghz_ * 1e9;
+}
+
+double CostModel::candidates_for_b(int b) {
+  WSMD_REQUIRE(b >= 0, "neighborhood radius must be non-negative");
+  const double side = 2.0 * b + 1.0;
+  return side * side - 1.0;
+}
+
+std::vector<OptimizationStage> optimization_history() {
+  // The first functioning EAM code was 5.6x slower than the performance
+  // model (Sec. V-G). Tungsten-level work brought it within 2x; manual
+  // assembly edits closed the rest. Cumulative component factors are
+  // authored explicitly (monotonically non-increasing per component) so
+  // the two landmarks hold exactly: stage 10 ends near 2x, stage 19 at 1x.
+  struct Row {
+    const char* name;
+    bool assembly;
+    double mcast, miss, interaction, fixed;
+  };
+  const Row rows[] = {
+      {"first working EAM code", false, 5.6, 5.6, 5.6, 5.6},
+      // --- Tungsten (high-level DSL) optimizations ---
+      {"vectorize candidate distance loop", false, 5.6, 4.4, 5.6, 5.6},
+      {"vectorize density/force spline loop", false, 5.6, 4.4, 4.2, 5.6},
+      {"remove unused multi-type features", false, 5.0, 4.0, 3.8, 5.0},
+      {"interleave position/velocity memory layout", false, 4.2, 3.6, 3.4, 4.4},
+      {"hoist cutoff constant, fuse compare", false, 4.2, 3.2, 3.4, 4.4},
+      {"minimize conditional logic in gather", false, 4.2, 2.9, 3.1, 3.9},
+      {"batch neighborhood receive buffers", false, 3.2, 2.7, 3.1, 3.4},
+      {"precompute spline segment scale", false, 3.2, 2.7, 2.6, 3.0},
+      {"single-pass embedding accumulate", false, 2.9, 2.5, 2.3, 2.6},
+      {"restructure exchange double-buffering", false, 2.3, 2.1, 2.0, 2.1},
+      // --- manual assembly optimizations ---
+      {"reorder FP pipeline to avoid stalls", true, 2.3, 1.9, 1.75, 2.1},
+      {"reuse stream descriptor registers", true, 1.9, 1.9, 1.75, 1.9},
+      {"shift array offsets to avoid bank conflicts", true, 1.9, 1.7, 1.55, 1.9},
+      {"dual-issue distance compare", true, 1.9, 1.5, 1.55, 1.9},
+      {"hardware offload: fabric stream lengths", true, 1.6, 1.5, 1.55, 1.7},
+      {"fuse Newton-Raphson rsqrt iterations", true, 1.6, 1.5, 1.35, 1.7},
+      {"software-pipeline force accumulate", true, 1.45, 1.4, 1.2, 1.55},
+      {"tighten Verlet integration microcode", true, 1.25, 1.2, 1.1, 1.25},
+      {"final instruction schedule tuning", true, 1.0, 1.0, 1.0, 1.0},
+  };
+  std::vector<OptimizationStage> stages;
+  for (const Row& r : rows) {
+    stages.push_back(
+        {r.name, r.assembly, {r.mcast, r.miss, r.interaction, r.fixed}});
+  }
+  return stages;
+}
+
+}  // namespace wsmd::wse

@@ -1,0 +1,132 @@
+#include "wse/multicast.hpp"
+
+#include "util/error.hpp"
+
+namespace wsmd::wse {
+
+namespace {
+
+/// Role of the tile at 1-D coordinate `u` for a channel whose data flows in
+/// the positive direction, phase-0 heads at u == 0 (mod b+1).
+McastRole positive_flow_role(int u, int b) {
+  const int m = u % (b + 1);
+  if (m == 0) return McastRole::Head;
+  if (m == b) return McastRole::Tail;
+  return McastRole::Body;
+}
+
+}  // namespace
+
+void configure_horizontal_roles(Fabric& fabric, int b) {
+  WSMD_REQUIRE(b >= 1, "marching multicast needs b >= 1");
+  // The negative-direction channel is the exact mirror image of the
+  // positive one (phase-0 heads anchored at the far edge), so its
+  // promotion chain also starts inside the grid and every column is
+  // visited.
+  for (int y = 0; y < fabric.height(); ++y) {
+    for (int x = 0; x < fabric.width(); ++x) {
+      fabric.set_role(x, y, kVcEast, positive_flow_role(x, b), Port::East);
+      fabric.set_role(x, y, kVcWest,
+                      positive_flow_role(fabric.width() - 1 - x, b),
+                      Port::West);
+    }
+  }
+}
+
+void configure_vertical_roles(Fabric& fabric, int b) {
+  WSMD_REQUIRE(b >= 1, "marching multicast needs b >= 1");
+  for (int y = 0; y < fabric.height(); ++y) {
+    for (int x = 0; x < fabric.width(); ++x) {
+      fabric.set_role(x, y, kVcSouth, positive_flow_role(y, b), Port::South);
+      fabric.set_role(x, y, kVcNorth,
+                      positive_flow_role(fabric.height() - 1 - y, b),
+                      Port::North);
+    }
+  }
+}
+
+ExchangeResult neighborhood_exchange(
+    int width, int height, int b,
+    const std::vector<std::vector<std::uint32_t>>& payloads) {
+  WSMD_REQUIRE(width > 0 && height > 0, "bad fabric dimensions");
+  WSMD_REQUIRE(b >= 0, "neighborhood radius must be non-negative");
+  WSMD_REQUIRE(payloads.size() ==
+                   static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+               "one payload per core required");
+
+  ExchangeResult result;
+  if (b == 0) {
+    result.gathered = payloads;
+    return result;
+  }
+
+  Fabric fabric(width, height, kNumExchangeVcs);
+  const std::vector<RouterCmd> march = {RouterCmd::Advance, RouterCmd::Reset};
+
+  // Horizontal stage: payloads travel +-b columns. Loopback on the East
+  // channel only, so each core's own payload appears exactly once.
+  configure_horizontal_roles(fabric, b);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const auto& p = payloads[static_cast<std::size_t>(y) * width + x];
+      fabric.queue_send(x, y, kVcEast, p, march, /*loopback=*/true);
+      fabric.queue_send(x, y, kVcWest, p, march, /*loopback=*/false);
+    }
+  }
+  result.horizontal_cycles = fabric.run_until_quiescent();
+
+  // Row gather: own + west atoms (East channel) then east atoms (West).
+  std::vector<std::vector<std::uint32_t>> row_gather(payloads.size());
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      auto& rg = row_gather[static_cast<std::size_t>(y) * width + x];
+      const auto& east = fabric.received(x, y, kVcEast);
+      const auto& west = fabric.received(x, y, kVcWest);
+      rg.reserve(east.size() + west.size());
+      rg.insert(rg.end(), east.begin(), east.end());
+      rg.insert(rg.end(), west.begin(), west.end());
+    }
+  }
+
+  // Vertical stage: accumulated row data travels +-b rows (paper: "the
+  // vertical stage differs only in its transfer size").
+  fabric.clear_traffic();
+  configure_vertical_roles(fabric, b);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const auto& rg = row_gather[static_cast<std::size_t>(y) * width + x];
+      fabric.queue_send(x, y, kVcSouth, rg, march, /*loopback=*/true);
+      fabric.queue_send(x, y, kVcNorth, rg, march, /*loopback=*/false);
+    }
+  }
+  result.vertical_cycles = fabric.run_until_quiescent();
+
+  result.gathered.resize(payloads.size());
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      auto& g = result.gathered[static_cast<std::size_t>(y) * width + x];
+      const auto& south = fabric.received(x, y, kVcSouth);
+      const auto& north = fabric.received(x, y, kVcNorth);
+      g.reserve(south.size() + north.size());
+      g.insert(g.end(), south.begin(), south.end());
+      g.insert(g.end(), north.begin(), north.end());
+    }
+  }
+  result.contention_events = fabric.contention_events();
+  return result;
+}
+
+std::uint64_t expected_stage_cycles(int b, std::size_t words_per_head) {
+  // Each of the b+1 phases spends L cycles streaming data, 1 cycle on the
+  // command wavelet, and 1 router-turnaround cycle promoting the next head
+  // (phase period L+2). The final phase's command takes b hops to reach
+  // its tail and one more cycle to be consumed:
+  //   total = b*(L+2) + L + b + 1 = (b+1)(L+1) + 2b.
+  // Matches the simulator exactly for uniform payloads (verified by the
+  // multicast tests).
+  const auto L = static_cast<std::uint64_t>(words_per_head);
+  const auto bb = static_cast<std::uint64_t>(b);
+  return (bb + 1) * (L + 1) + 2 * bb;
+}
+
+}  // namespace wsmd::wse

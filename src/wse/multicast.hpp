@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file multicast.hpp
+/// The systolic marching multicast (paper Sec. III-B, Figs. 3-4).
+///
+/// A neighborhood exchange makes every core receive the payloads of all
+/// cores within Chebyshev distance b — the candidate-exchange step of the
+/// wafer-scale MD timestep. It runs as two stages:
+///
+///   horizontal: every core's payload travels b hops left and right on two
+///   virtual channels (positive- and negative-x), orchestrated in b+1
+///   contention-free phases per the marching schedule;
+///
+///   vertical: the accumulated row data (2b+1 payloads per core) travels b
+///   hops up and down on two more channels.
+///
+/// After both stages each core holds the payloads of its full (2b+1)^2
+/// clipped square neighborhood (paper Fig. 3a).
+
+#include <cstdint>
+#include <vector>
+
+#include "wse/fabric.hpp"
+
+namespace wsmd::wse {
+
+/// Virtual channel assignment for the exchange (paper: "Two virtual
+/// channels are used in the horizontal stage; two others are used in the
+/// vertical stage").
+enum ExchangeVc : int {
+  kVcEast = 0,   ///< positive-x data
+  kVcWest = 1,   ///< negative-x data
+  kVcSouth = 2,  ///< positive-y data
+  kVcNorth = 3,  ///< negative-y data
+  kNumExchangeVcs = 4,
+};
+
+struct ExchangeResult {
+  /// gathered[y*width + x] = payload words of every core in the clipped
+  /// (2b+1)^2 neighborhood of (x, y), own payload included, in the
+  /// deterministic fabric arrival order.
+  std::vector<std::vector<std::uint32_t>> gathered;
+  std::uint64_t horizontal_cycles = 0;
+  std::uint64_t vertical_cycles = 0;
+  std::uint64_t contention_events = 0;
+  std::uint64_t total_cycles() const {
+    return horizontal_cycles + vertical_cycles;
+  }
+};
+
+/// Configure marching-multicast roles for one horizontal stage with
+/// neighborhood radius b (phase-0 heads at x == 0 mod b+1). Exposed for the
+/// router-state unit tests.
+void configure_horizontal_roles(Fabric& fabric, int b);
+
+/// Same for the vertical stage (phase-0 heads at y == 0 mod b+1).
+void configure_vertical_roles(Fabric& fabric, int b);
+
+/// Run a full neighborhood exchange of `payloads` (one word vector per
+/// core, row-major) with radius b on a width x height fabric. Cycle-steps
+/// the wavelet-level simulator; intended for validation-scale grids.
+ExchangeResult neighborhood_exchange(
+    int width, int height, int b,
+    const std::vector<std::vector<std::uint32_t>>& payloads);
+
+/// Closed-form cycle estimate for one marching-multicast stage: b+1 phases,
+/// each streaming `words_per_head` words plus a command wavelet through a
+/// pipeline of depth b. Tests compare the simulator against this.
+std::uint64_t expected_stage_cycles(int b, std::size_t words_per_head);
+
+}  // namespace wsmd::wse

@@ -1,0 +1,73 @@
+#include "wse/router.hpp"
+
+#include "util/error.hpp"
+
+namespace wsmd::wse {
+
+RouteDecision route_upstream_wavelet(VcRouterState& vc, const Wavelet& w) {
+  RouteDecision d;
+  switch (vc.role) {
+    case McastRole::Idle:
+      // Not part of this channel's multicast: drop silently. (Configured
+      // routes on hardware would never deliver here.)
+      return d;
+
+    case McastRole::Head:
+      // A head receives no upstream traffic in a correctly scheduled march;
+      // tolerate stray command remnants (clipped domains at grid edges).
+      return d;
+
+    case McastRole::Body: {
+      if (w.kind == Wavelet::Kind::Data) {
+        d.to_core = true;
+        d.forward = true;
+        d.downstream_wavelet = w;
+        ++vc.forwarded;
+        ++vc.delivered;
+        return d;
+      }
+      // Command wavelet: pop-and-react to a leading Advance (only the first
+      // body in the chain sees it — it pops the command before forwarding,
+      // exactly the paper's "body tiles are configured to pop advance
+      // commands"); pass Reset through untouched for the tail.
+      Wavelet fwd = w;
+      if (!fwd.commands.empty() && fwd.commands.front() == RouterCmd::Advance) {
+        fwd.commands.erase(fwd.commands.begin());
+        vc.role = McastRole::Head;
+      }
+      if (!fwd.commands.empty()) {
+        d.forward = true;
+        d.downstream_wavelet = std::move(fwd);
+        ++vc.forwarded;
+      }
+      return d;
+    }
+
+    case McastRole::Tail: {
+      if (w.kind == Wavelet::Kind::Data) {
+        d.to_core = true;
+        ++vc.delivered;
+        return d;
+      }
+      // Command wavelets end their journey at the tail (the multicast
+      // domain boundary). Normally the first body already popped the
+      // Advance and the tail sees a leading Reset, rejoining as Body. With
+      // b == 1 there is no body: the tail itself pops the Advance and
+      // becomes the next Head.
+      if (!w.commands.empty() && w.commands.front() == RouterCmd::Advance) {
+        vc.role = McastRole::Head;
+      } else {
+        for (const RouterCmd c : w.commands) {
+          if (c == RouterCmd::Reset) {
+            vc.role = McastRole::Body;
+            break;
+          }
+        }
+      }
+      return d;
+    }
+  }
+  return d;
+}
+
+}  // namespace wsmd::wse

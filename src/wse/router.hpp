@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file router.hpp
+/// Per-tile fabric router for the marching-multicast simulator.
+///
+/// Each virtual channel of a router participating in a marching multicast is
+/// in one of three logical roles (paper Fig. 4a):
+///   Head — accepts data from its local core and multicasts downstream;
+///   Body — forwards upstream data downstream AND delivers it to its core;
+///   Tail — delivers upstream data to its core only (end of the domain).
+///
+/// Role rotation is driven by command wavelets the head emits after its data
+/// vector: the head itself advances to Tail, the first body downstream pops
+/// an Advance and becomes Head, and the old tail absorbs a Reset and becomes
+/// Body (paper Sec. III-B; the hardware uses a 4-state machine because a
+/// router cannot swap input and output configuration in the same cycle —
+/// the simulator performs the swap atomically between cycles and documents
+/// the correspondence here).
+
+#include <cstdint>
+
+#include "wse/wavelet.hpp"
+
+namespace wsmd::wse {
+
+/// Logical multicast role of one virtual channel at one tile.
+enum class McastRole : std::uint8_t { Idle, Head, Body, Tail };
+
+/// Per-VC router configuration and state.
+struct VcRouterState {
+  McastRole role = McastRole::Idle;
+  /// Downstream direction of this channel's data flow (East for the
+  /// left-to-right channel, West for right-to-left, etc.).
+  Port downstream = Port::East;
+  /// Body tiles pop-and-react to a leading Advance; tails react to Reset.
+  /// (Fixed behavior in this implementation; kept here for readability.)
+
+  /// Statistics: wavelets forwarded downstream / delivered to core.
+  std::uint64_t forwarded = 0;
+  std::uint64_t delivered = 0;
+};
+
+/// Result of routing one wavelet at one tile.
+struct RouteDecision {
+  bool to_core = false;        ///< deliver payload to the local core
+  bool forward = false;        ///< forward downstream
+  Wavelet downstream_wavelet;  ///< what to forward (commands may be popped)
+};
+
+/// Apply the marching-multicast routing rules for a wavelet arriving from
+/// upstream on channel `vc`. Mutates the role on command wavelets.
+RouteDecision route_upstream_wavelet(VcRouterState& vc, const Wavelet& w);
+
+}  // namespace wsmd::wse

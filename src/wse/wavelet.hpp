@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file wavelet.hpp
+/// Fabric message units for the wafer-scale engine simulator.
+///
+/// The WSE fabric moves single 32-bit "wavelets" (or hardware-streamed
+/// vectors of them) between neighboring tiles, one per cycle per physical
+/// link direction (paper Sec. IV-A). Command wavelets carry lists of router
+/// commands that mutate router state in flight — the mechanism behind the
+/// marching multicast's role rotation (paper Fig. 4).
+
+#include <cstdint>
+#include <vector>
+
+namespace wsmd::wse {
+
+/// Router command carried by a command wavelet (paper Sec. III-B):
+/// ADV advances a tile's multicast role to its next state, RST resets the
+/// tail back to body.
+enum class RouterCmd : std::uint8_t { Advance, Reset };
+
+/// One 32-bit flit on a virtual channel: either a data word or a command
+/// list. (Hardware encodes command lists compactly inside control wavelets;
+/// the simulator keeps them as a vector for clarity — grids under test are
+/// small.)
+struct Wavelet {
+  enum class Kind : std::uint8_t { Data, Command } kind = Kind::Data;
+  /// Data payload (valid when kind == Data). The simulator transports
+  /// opaque 32-bit words; the MD layer packs FP32 coordinates into them.
+  std::uint32_t data = 0;
+  /// Remaining router-command list (valid when kind == Command). Routers
+  /// may react to and/or pop the first element as the wavelet propagates.
+  std::vector<RouterCmd> commands;
+
+  static Wavelet make_data(std::uint32_t word) {
+    Wavelet w;
+    w.kind = Kind::Data;
+    w.data = word;
+    return w;
+  }
+  static Wavelet make_command(std::vector<RouterCmd> cmds) {
+    Wavelet w;
+    w.kind = Kind::Command;
+    w.commands = std::move(cmds);
+    return w;
+  }
+};
+
+/// Mesh directions. Core is the local port between a tile's router and its
+/// compute core.
+enum class Port : std::uint8_t { North, South, East, West, Core };
+
+inline Port opposite(Port p) {
+  switch (p) {
+    case Port::North: return Port::South;
+    case Port::South: return Port::North;
+    case Port::East: return Port::West;
+    case Port::West: return Port::East;
+    case Port::Core: return Port::Core;
+  }
+  return Port::Core;
+}
+
+}  // namespace wsmd::wse

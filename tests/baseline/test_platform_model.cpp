@@ -1,0 +1,153 @@
+#include "baseline/platform_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perf/workload.hpp"
+#include "util/error.hpp"
+
+namespace wsmd::baseline {
+namespace {
+
+TEST(FrontierModel, BestRateMatchesTableI) {
+  for (const char* el : {"Cu", "W", "Ta"}) {
+    const FrontierModel m(el);
+    const double target = perf::paper_workload(el).frontier_steps_per_s;
+    EXPECT_NEAR(m.best_steps_per_second(), target, 0.02 * target) << el;
+  }
+}
+
+TEST(FrontierModel, SingleNodeAlreadyNearTheLimit) {
+  // Paper Sec. V-A: "For one Frontier node having eight GCDs, the
+  // performance limit has been achieved".
+  const FrontierModel m("Ta");
+  const double best = m.best_steps_per_second();
+  EXPECT_GT(m.steps_per_second(8.0), 0.90 * best);
+}
+
+TEST(FrontierModel, GentleDeclineBeyondSaturation) {
+  const FrontierModel m("Cu");
+  const double peak = m.best_steps_per_second();
+  const double far = m.steps_per_second(1024.0);
+  EXPECT_LT(far, peak);
+  EXPECT_GT(far, 0.5 * peak);  // decline, not collapse (Fig. 7a shape)
+}
+
+TEST(FrontierModel, LaunchOverheadFloorsSmallCounts) {
+  // One GCD is within ~2x of the saturated rate: kernel-launch overhead,
+  // not compute, dominates at this problem size.
+  const FrontierModel m("W");
+  EXPECT_GT(m.steps_per_second(1.0),
+            0.4 * m.best_steps_per_second());
+}
+
+TEST(QuartzModel, BestRateMatchesTableI) {
+  for (const char* el : {"Cu", "W", "Ta"}) {
+    const QuartzModel m(el);
+    const double target = perf::paper_workload(el).quartz_steps_per_s;
+    EXPECT_NEAR(m.best_steps_per_second(), target, 0.03 * target) << el;
+  }
+}
+
+TEST(QuartzModel, ScalingStallsAt400Nodes) {
+  // Paper Sec. V-A: "the scaling stalls at 400 dual-socket nodes".
+  const QuartzModel m("Ta");
+  const double at400 = m.steps_per_second(400.0);
+  EXPECT_GT(at400, 0.98 * m.best_steps_per_second());
+  EXPECT_LT(m.steps_per_second(1600.0), at400);
+}
+
+TEST(QuartzModel, NearLinearSpeedupBeforeTheWall) {
+  const QuartzModel m("Cu");
+  const double r1 = m.steps_per_second(1.0);
+  const double r64 = m.steps_per_second(64.0);
+  EXPECT_GT(r64, 40.0 * r1);  // >= ~60% parallel efficiency at 64 nodes
+}
+
+TEST(QuartzModel, CpusBeatGpusAtThisProblemSize) {
+  // Paper: "CPUs (Quartz) are more effective than GPUs (Frontier)".
+  for (const char* el : {"Cu", "W", "Ta"}) {
+    EXPECT_GT(QuartzModel(el).best_steps_per_second(),
+              FrontierModel(el).best_steps_per_second())
+        << el;
+  }
+}
+
+TEST(WsePoint, SpeedupsMatchTableI) {
+  // 179x vs Frontier and 55x vs Quartz for Ta; 109x/34x Cu; 96x/26x W.
+  struct Row { const char* el; double vs_gpu; double vs_cpu; };
+  for (const Row& r : {Row{"Ta", 179.0, 55.0}, Row{"Cu", 109.0, 34.0},
+                       Row{"W", 96.0, 26.0}}) {
+    const ScalingPoint wse = wse_point(r.el);
+    const double gpu = FrontierModel(r.el).best_steps_per_second();
+    const double cpu = QuartzModel(r.el).best_steps_per_second();
+    EXPECT_NEAR(wse.steps_per_second / gpu, r.vs_gpu, 0.05 * r.vs_gpu) << r.el;
+    EXPECT_NEAR(wse.steps_per_second / cpu, r.vs_cpu, 0.05 * r.vs_cpu) << r.el;
+  }
+}
+
+TEST(Energy, WseRoughly30xFrontierNodePerJoule) {
+  // Paper Sec. V-A: "the WSE achieves roughly 30-fold more timesteps per
+  // Joule" than a Frontier node with 8 GCDs.
+  const FrontierModel gpu("Ta");
+  const ScalingPoint node = gpu.at(8.0);
+  const ScalingPoint wse = wse_point("Ta");
+  const double ratio = wse.steps_per_joule / node.steps_per_joule;
+  EXPECT_NEAR(ratio, 30.0, 8.0);
+}
+
+TEST(Energy, BestGpuEfficiencyAtOneGcd) {
+  // Paper: "the data show the best GPU energy efficiency when using only
+  // one of the eight GCDs on a single Frontier node."
+  const FrontierModel gpu("Ta");
+  const double one = gpu.at(1.0).steps_per_joule;
+  for (double n : {2.0, 4.0, 8.0, 16.0, 64.0}) {
+    EXPECT_GT(one, gpu.at(n).steps_per_joule) << n << " GCDs";
+  }
+}
+
+TEST(Energy, WseParetoDominatesBothPlatforms) {
+  // Fig. 7c: WSE leads on both steps/s and steps/Joule for every node
+  // count of both platforms.
+  for (const char* el : {"Cu", "W", "Ta"}) {
+    const ScalingPoint wse = wse_point(el);
+    for (const auto& p : FrontierModel(el).sweep()) {
+      EXPECT_GT(wse.steps_per_second, p.steps_per_second);
+      EXPECT_GT(wse.steps_per_joule, p.steps_per_joule);
+    }
+    for (const auto& p : QuartzModel(el).sweep()) {
+      EXPECT_GT(wse.steps_per_second, p.steps_per_second);
+      EXPECT_GT(wse.steps_per_joule, p.steps_per_joule);
+    }
+  }
+}
+
+TEST(Energy, CpuEfficiencyFallsWithScale) {
+  // Paper: "As we add more nodes ... both timesteps per second and
+  // timesteps per Joule decrease" past saturation — and efficiency falls
+  // monotonically along the whole curve.
+  const QuartzModel cpu("W");
+  double prev = cpu.at(1.0).steps_per_joule;
+  for (double n : {4.0, 16.0, 64.0, 256.0, 1024.0}) {
+    const double e = cpu.at(n).steps_per_joule;
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(SmallSystem, LjReferencesPresent) {
+  const auto refs = lj_1k_references();
+  ASSERT_EQ(refs.size(), 3u);
+  EXPECT_LT(refs[0].steps_per_second, 25001.0);
+}
+
+TEST(Models, RejectUnknownElementOrBadCounts) {
+  EXPECT_THROW(FrontierModel("Xx"), Error);
+  EXPECT_THROW(QuartzModel("Xx"), Error);
+  const FrontierModel m("Ta");
+  EXPECT_THROW(m.steps_per_second(0.5), Error);
+}
+
+}  // namespace
+}  // namespace wsmd::baseline

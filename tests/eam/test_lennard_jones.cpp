@@ -1,0 +1,91 @@
+#include "eam/lennard_jones.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wsmd::eam {
+namespace {
+
+TEST(LennardJones, IsPairwiseOnly) {
+  const auto lj = LennardJones::copper_like();
+  EXPECT_TRUE(lj.is_pairwise_only());
+  EXPECT_DOUBLE_EQ(lj.density(0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(lj.embed(0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(lj.embed_deriv(0, 5.0), 0.0);
+}
+
+TEST(LennardJones, MinimumNearTwoToTheOneSixthSigma) {
+  const LennardJones lj({"X", 1.0, 1.0, 1.0}, 4.0);
+  const double r_min = std::pow(2.0, 1.0 / 6.0);
+  // Shift-force truncation moves the minimum slightly; locate it numerically.
+  double best_r = 0.0, best_e = 1e30;
+  for (double r = 0.9; r < 2.0; r += 1e-4) {
+    const double e = lj.pair(0, 0, r);
+    if (e < best_e) {
+      best_e = e;
+      best_r = r;
+    }
+  }
+  EXPECT_NEAR(best_r, r_min, 0.02);
+  EXPECT_NEAR(best_e, -1.0, 0.05);  // well depth ~ epsilon
+}
+
+TEST(LennardJones, VanishesAtCutoff) {
+  const auto lj = LennardJones::copper_like();
+  const double rc = lj.cutoff();
+  EXPECT_DOUBLE_EQ(lj.pair(0, 0, rc), 0.0);
+  EXPECT_DOUBLE_EQ(lj.pair(0, 0, rc + 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(lj.pair_deriv(0, 0, rc), 0.0);
+  EXPECT_NEAR(lj.pair(0, 0, rc - 1e-7), 0.0, 1e-10);
+}
+
+TEST(LennardJones, DefaultCutoffIs2p5Sigma) {
+  const LennardJones lj({"X", 1.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(lj.cutoff(), 5.0);
+}
+
+TEST(LennardJones, DerivativeMatchesFiniteDifference) {
+  const auto lj = LennardJones::copper_like();
+  const double h = 1e-7;
+  for (double r = 2.0; r < lj.cutoff() - 0.1; r += 0.17) {
+    const double fd = (lj.pair(0, 0, r + h) - lj.pair(0, 0, r - h)) / (2 * h);
+    EXPECT_NEAR(lj.pair_deriv(0, 0, r), fd, 1e-4 * (1.0 + std::fabs(fd)));
+  }
+}
+
+TEST(LennardJones, LorentzBerthelotMixing) {
+  const LennardJones lj({{"A", 1.0, 0.04, 2.0}, {"B", 2.0, 0.16, 4.0}}, 12.0);
+  // Mixed minimum at 2^(1/6) * sigma_ab with sigma_ab = 3.0.
+  double best_r = 0.0, best_e = 1e30;
+  for (double r = 2.5; r < 5.0; r += 1e-4) {
+    const double e = lj.pair(0, 1, r);
+    if (e < best_e) {
+      best_e = e;
+      best_r = r;
+    }
+  }
+  EXPECT_NEAR(best_r, std::pow(2.0, 1.0 / 6.0) * 3.0, 0.05);
+  // eps_ab = sqrt(0.04*0.16) = 0.08.
+  EXPECT_NEAR(best_e, -0.08, 0.01);
+  EXPECT_DOUBLE_EQ(lj.pair(0, 1, 3.5), lj.pair(1, 0, 3.5));
+}
+
+TEST(LennardJones, RejectsInvalidSpecies) {
+  EXPECT_THROW(LennardJones({"bad", -1.0, 1.0, 1.0}), Error);
+  EXPECT_THROW(LennardJones({"bad", 1.0, 0.0, 1.0}), Error);
+  EXPECT_THROW(LennardJones(std::vector<LennardJones::Species>{}, 1.0), Error);
+}
+
+TEST(LennardJones, TypeMetadata) {
+  const auto lj = LennardJones::copper_like();
+  EXPECT_EQ(lj.num_types(), 1);
+  EXPECT_EQ(lj.type_name(0), "Cu");
+  EXPECT_NEAR(lj.mass(0), 63.546, 1e-6);
+  EXPECT_THROW(lj.type_name(1), Error);
+}
+
+}  // namespace
+}  // namespace wsmd::eam

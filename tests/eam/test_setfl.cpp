@@ -1,0 +1,104 @@
+#include "eam/setfl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eam/lennard_jones.hpp"
+#include "eam/zhou.hpp"
+#include "util/error.hpp"
+
+namespace wsmd::eam {
+namespace {
+
+TEST(Setfl, RoundTripPreservesHeader) {
+  const ZhouEam w("W");
+  std::stringstream ss;
+  write_setfl(w, ss, 500, 500);
+  const TabulatedEam back = read_setfl(ss);
+  EXPECT_EQ(back.num_types(), 1);
+  EXPECT_EQ(back.type_name(0), "W");
+  EXPECT_NEAR(back.mass(0), w.mass(0), 1e-9);
+  EXPECT_NEAR(back.cutoff(), w.cutoff(), 1e-9);
+}
+
+TEST(Setfl, RoundTripPreservesPairFunction) {
+  const ZhouEam ta("Ta");
+  std::stringstream ss;
+  write_setfl(ta, ss, 2000, 2000);
+  const TabulatedEam back = read_setfl(ss);
+  for (double r = 2.0; r < ta.cutoff() - 0.05; r += 0.07) {
+    EXPECT_NEAR(back.pair(0, 0, r), ta.pair(0, 0, r), 1e-4) << "r = " << r;
+  }
+}
+
+TEST(Setfl, RoundTripPreservesDensityAndEmbedding) {
+  const ZhouEam cu("Cu");
+  std::stringstream ss;
+  write_setfl(cu, ss, 2000, 2000);
+  const TabulatedEam back = read_setfl(ss);
+  for (double r = 2.0; r < cu.cutoff() - 0.05; r += 0.07) {
+    EXPECT_NEAR(back.density(0, r), cu.density(0, r), 1e-4);
+  }
+  const double rhoe = zhou_parameters("Cu").rhoe;
+  for (double rho = 0.2 * rhoe; rho < 1.8 * rhoe; rho += 0.1 * rhoe) {
+    EXPECT_NEAR(back.embed(0, rho), cu.embed(0, rho), 5e-3);
+  }
+}
+
+TEST(Setfl, RoundTripAlloy) {
+  const ZhouEam alloy({zhou_parameters("Cu"), zhou_parameters("Ta")});
+  std::stringstream ss;
+  write_setfl(alloy, ss, 1000, 1000);
+  const TabulatedEam back = read_setfl(ss);
+  ASSERT_EQ(back.num_types(), 2);
+  EXPECT_EQ(back.type_name(0), "Cu");
+  EXPECT_EQ(back.type_name(1), "Ta");
+  for (double r = 2.2; r < alloy.cutoff() - 0.1; r += 0.13) {
+    EXPECT_NEAR(back.pair(0, 1, r), alloy.pair(0, 1, r), 5e-4) << "r=" << r;
+    EXPECT_NEAR(back.pair(1, 0, r), back.pair(0, 1, r), 1e-12);
+  }
+}
+
+TEST(Setfl, FileRoundTrip) {
+  const ZhouEam w("W");
+  const std::string path = ::testing::TempDir() + "/wsmd_test_W.eam.alloy";
+  write_setfl_file(w, path, 300, 300, 0.0, "unit test");
+  const TabulatedEam back = read_setfl_file(path);
+  EXPECT_EQ(back.type_name(0), "W");
+}
+
+TEST(Setfl, ReaderRejectsTruncatedFile) {
+  const ZhouEam w("W");
+  std::stringstream ss;
+  write_setfl(w, ss, 300, 300);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(read_setfl(truncated), Error);
+}
+
+TEST(Setfl, ReaderRejectsGarbage) {
+  std::stringstream ss("c1\nc2\nc3\nnot_a_number W\n");
+  EXPECT_THROW(read_setfl(ss), Error);
+}
+
+TEST(Setfl, ReaderRejectsMissingFile) {
+  EXPECT_THROW(read_setfl_file("/nonexistent/potential.eam.alloy"), Error);
+}
+
+TEST(Setfl, WriterHandlesPairwiseOnlyPotentials) {
+  // LJ exports with zero density/embedding blocks; reading it back gives a
+  // potential with the same pair function.
+  const auto lj = LennardJones::copper_like();
+  std::stringstream ss;
+  write_setfl(lj, ss, 300, 300, /*rho_max=*/1.0);
+  const TabulatedEam back = read_setfl(ss);
+  for (double r = 2.5; r < lj.cutoff() - 0.1; r += 0.11) {
+    EXPECT_NEAR(back.pair(0, 0, r), lj.pair(0, 0, r), 1e-3);
+  }
+  EXPECT_NEAR(back.embed(0, 0.5), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace wsmd::eam

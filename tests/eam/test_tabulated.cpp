@@ -1,0 +1,96 @@
+#include "eam/tabulated.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eam/zhou.hpp"
+#include "util/error.hpp"
+
+namespace wsmd::eam {
+namespace {
+
+class TabulatedZhouTest : public ::testing::Test {
+ protected:
+  TabulatedZhouTest()
+      : analytic_("Ta"),
+        tabulated_(TabulatedEam::from_potential(analytic_, 4000, 4000)) {}
+  ZhouEam analytic_;
+  TabulatedEam tabulated_;
+};
+
+TEST_F(TabulatedZhouTest, MetadataPreserved) {
+  EXPECT_EQ(tabulated_.num_types(), 1);
+  EXPECT_EQ(tabulated_.type_name(0), "Ta");
+  EXPECT_DOUBLE_EQ(tabulated_.mass(0), analytic_.mass(0));
+  EXPECT_DOUBLE_EQ(tabulated_.cutoff(), analytic_.cutoff());
+}
+
+TEST_F(TabulatedZhouTest, PairValuesTrackAnalytic) {
+  for (double r = 1.8; r < analytic_.cutoff(); r += 0.05) {
+    EXPECT_NEAR(tabulated_.pair(0, 0, r), analytic_.pair(0, 0, r), 2e-5)
+        << "r = " << r;
+  }
+}
+
+TEST_F(TabulatedZhouTest, DensityValuesTrackAnalytic) {
+  for (double r = 1.8; r < analytic_.cutoff(); r += 0.05) {
+    EXPECT_NEAR(tabulated_.density(0, r), analytic_.density(0, r), 2e-5);
+  }
+}
+
+TEST_F(TabulatedZhouTest, EmbeddingValuesTrackAnalytic) {
+  const double rhoe = zhou_parameters("Ta").rhoe;
+  for (double rho = 0.1 * rhoe; rho < 2.0 * rhoe; rho += 0.05 * rhoe) {
+    EXPECT_NEAR(tabulated_.embed(0, rho), analytic_.embed(0, rho), 5e-4)
+        << "rho = " << rho;
+  }
+}
+
+TEST_F(TabulatedZhouTest, DerivativesTrackAnalytic) {
+  for (double r = 2.0; r < analytic_.cutoff() - 0.05; r += 0.11) {
+    EXPECT_NEAR(tabulated_.pair_deriv(0, 0, r), analytic_.pair_deriv(0, 0, r),
+                5e-4);
+    EXPECT_NEAR(tabulated_.density_deriv(0, r), analytic_.density_deriv(0, r),
+                5e-4);
+  }
+}
+
+TEST_F(TabulatedZhouTest, BeyondCutoffIsZero) {
+  EXPECT_DOUBLE_EQ(tabulated_.pair(0, 0, tabulated_.cutoff() + 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(tabulated_.density(0, tabulated_.cutoff() + 0.1), 0.0);
+}
+
+TEST(TabulatedEam, TableBytesAccounting) {
+  const ZhouEam ta("Ta");
+  const auto tab = TabulatedEam::from_potential(ta, 500, 600);
+  // 1 density table (500) + 1 embed table (600) + 1 pair table (500), FP32.
+  EXPECT_EQ(tab.table_bytes_fp32(), (500 + 600 + 500) * sizeof(float));
+}
+
+TEST(TabulatedEam, PerCoreTablesFitIn48kSram) {
+  // Paper Sec. III-A: each worker stores interpolation tables for rho, F,
+  // and phi in its 48 kB tile SRAM alongside code and buffers. With the
+  // resolution the WSE build uses (1k points per table) a single-species
+  // table set must fit comfortably.
+  const ZhouEam ta("Ta");
+  const auto tab = TabulatedEam::from_potential(ta, 1000, 1000);
+  EXPECT_LT(tab.table_bytes_fp32(), 16u * 1024u);
+}
+
+TEST(TabulatedEam, AlloyPairTablesSymmetric) {
+  const ZhouEam alloy({zhou_parameters("Cu"), zhou_parameters("Ni")});
+  const auto tab = TabulatedEam::from_potential(alloy, 800, 800);
+  for (double r = 2.0; r < tab.cutoff(); r += 0.2) {
+    EXPECT_DOUBLE_EQ(tab.pair(0, 1, r), tab.pair(1, 0, r));
+  }
+  EXPECT_EQ(tab.num_types(), 2);
+}
+
+TEST(TabulatedEam, RejectsTinyTables) {
+  const ZhouEam ta("Ta");
+  EXPECT_THROW(TabulatedEam::from_potential(ta, 4, 4), Error);
+}
+
+}  // namespace
+}  // namespace wsmd::eam

@@ -1,0 +1,302 @@
+#include "eam/zhou.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/vec3.hpp"
+
+namespace wsmd::eam {
+namespace {
+
+/// Lattice sites of an infinite crystal within `rmax` of an atom at the
+/// origin, generated independently of src/lattice as a cross-check.
+std::vector<Vec3d> bulk_neighbors(const std::string& structure, double a,
+                                  double rmax) {
+  std::vector<Vec3d> basis;
+  if (structure == "fcc") {
+    basis = {{0, 0, 0}, {0.5, 0.5, 0}, {0.5, 0, 0.5}, {0, 0.5, 0.5}};
+  } else if (structure == "bcc") {
+    basis = {{0, 0, 0}, {0.5, 0.5, 0.5}};
+  } else {
+    throw Error("unknown structure");
+  }
+  const int span = static_cast<int>(std::ceil(rmax / a)) + 1;
+  std::vector<Vec3d> out;
+  for (int i = -span; i <= span; ++i) {
+    for (int j = -span; j <= span; ++j) {
+      for (int k = -span; k <= span; ++k) {
+        for (const auto& b : basis) {
+          const Vec3d r{(i + b.x) * a, (j + b.y) * a, (k + b.z) * a};
+          const double n = norm(r);
+          if (n > 1e-9 && n <= rmax) out.push_back(r);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Energy per atom of the perfect infinite crystal at lattice constant a.
+double bulk_energy_per_atom(const EamPotential& pot,
+                            const std::string& structure, double a) {
+  const auto nbrs = bulk_neighbors(structure, a, pot.cutoff());
+  double pair_sum = 0.0, rho = 0.0;
+  for (const auto& r : nbrs) {
+    const double d = norm(r);
+    pair_sum += pot.pair(0, 0, d);
+    rho += pot.density(0, d);
+  }
+  return 0.5 * pair_sum + pot.embed(0, rho);
+}
+
+/// Minimize bulk energy over the lattice constant by golden-section search.
+double optimal_lattice_constant(const EamPotential& pot,
+                                const std::string& structure, double a_guess) {
+  double lo = 0.90 * a_guess, hi = 1.10 * a_guess;
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double x1 = hi - phi * (hi - lo), x2 = lo + phi * (hi - lo);
+  double f1 = bulk_energy_per_atom(pot, structure, x1);
+  double f2 = bulk_energy_per_atom(pot, structure, x2);
+  for (int it = 0; it < 60; ++it) {
+    if (f1 < f2) {
+      hi = x2; x2 = x1; f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      f1 = bulk_energy_per_atom(pot, structure, x1);
+    } else {
+      lo = x1; x1 = x2; f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      f2 = bulk_energy_per_atom(pot, structure, x2);
+    }
+  }
+  return (lo + hi) / 2;
+}
+
+struct ElementCase {
+  const char* name;
+  const char* structure;
+  double a0;      // published lattice constant (A)
+  double ecoh;    // published cohesive energy (eV/atom)
+};
+
+class ZhouElementTest : public ::testing::TestWithParam<ElementCase> {};
+
+TEST_P(ZhouElementTest, LatticeConstantMatchesPublishedValue) {
+  const auto& c = GetParam();
+  const ZhouEam pot(c.name);
+  const double a_opt = optimal_lattice_constant(pot, c.structure, c.a0);
+  // Parameter transcription + shift-force truncation tolerance: 1.5%.
+  EXPECT_NEAR(a_opt, c.a0, 0.015 * c.a0)
+      << c.name << ": optimal a = " << a_opt;
+}
+
+TEST_P(ZhouElementTest, CohesiveEnergyIsInPhysicalRange) {
+  const auto& c = GetParam();
+  const ZhouEam pot(c.name);
+  const double a_opt = optimal_lattice_constant(pot, c.structure, c.a0);
+  const double e = bulk_energy_per_atom(pot, c.structure, a_opt);
+  // Cohesive energy = -e; the short default cutoffs shave a few percent
+  // off the published values, so allow 12%.
+  EXPECT_NEAR(-e, c.ecoh, 0.12 * c.ecoh) << c.name << ": E_coh = " << -e;
+}
+
+TEST_P(ZhouElementTest, CrystalIsStableAgainstUniformStrain) {
+  const auto& c = GetParam();
+  const ZhouEam pot(c.name);
+  const double a_opt = optimal_lattice_constant(pot, c.structure, c.a0);
+  const double e0 = bulk_energy_per_atom(pot, c.structure, a_opt);
+  EXPECT_LT(e0, bulk_energy_per_atom(pot, c.structure, 0.97 * a_opt));
+  EXPECT_LT(e0, bulk_energy_per_atom(pot, c.structure, 1.03 * a_opt));
+}
+
+TEST_P(ZhouElementTest, RadialFunctionsVanishAtCutoff) {
+  const auto& c = GetParam();
+  const ZhouEam pot(c.name);
+  const double rc = pot.cutoff();
+  EXPECT_DOUBLE_EQ(pot.pair(0, 0, rc), 0.0);
+  EXPECT_DOUBLE_EQ(pot.density(0, rc), 0.0);
+  EXPECT_DOUBLE_EQ(pot.pair_deriv(0, 0, rc), 0.0);
+  EXPECT_DOUBLE_EQ(pot.density_deriv(0, rc), 0.0);
+  // Shift-force truncation: approach to the cutoff is continuous.
+  EXPECT_NEAR(pot.pair(0, 0, rc - 1e-6), 0.0, 1e-8);
+  EXPECT_NEAR(pot.density(0, rc - 1e-6), 0.0, 1e-8);
+}
+
+TEST_P(ZhouElementTest, PairDerivativeMatchesFiniteDifference) {
+  const auto& c = GetParam();
+  const ZhouEam pot(c.name);
+  const double h = 1e-6;
+  for (double r = 0.6 * pot.cutoff(); r < pot.cutoff() - 0.1; r += 0.2) {
+    const double fd = (pot.pair(0, 0, r + h) - pot.pair(0, 0, r - h)) / (2 * h);
+    EXPECT_NEAR(pot.pair_deriv(0, 0, r), fd, 1e-5 * (1.0 + std::fabs(fd)));
+  }
+}
+
+TEST_P(ZhouElementTest, DensityDerivativeMatchesFiniteDifference) {
+  const auto& c = GetParam();
+  const ZhouEam pot(c.name);
+  const double h = 1e-6;
+  for (double r = 0.6 * pot.cutoff(); r < pot.cutoff() - 0.1; r += 0.2) {
+    const double fd =
+        (pot.density(0, r + h) - pot.density(0, r - h)) / (2 * h);
+    EXPECT_NEAR(pot.density_deriv(0, r), fd, 1e-5 * (1.0 + std::fabs(fd)));
+  }
+}
+
+TEST_P(ZhouElementTest, EmbeddingDerivativeMatchesFiniteDifference) {
+  const auto& c = GetParam();
+  const ZhouEam pot(c.name);
+  const double rhoe = zhou_parameters(c.name).rhoe;
+  const double h = 1e-6 * rhoe;
+  // Sample all three branches: below rho_n, between, above rho_0.
+  for (double rho : {0.3 * rhoe, 0.84 * rhoe, 1.0 * rhoe, 1.1 * rhoe,
+                     1.3 * rhoe, 2.0 * rhoe}) {
+    const double fd =
+        (pot.embed(0, rho + h) - pot.embed(0, rho - h)) / (2 * h);
+    EXPECT_NEAR(pot.embed_deriv(0, rho), fd, 1e-4 * (1.0 + std::fabs(fd)))
+        << "rho/rhoe = " << rho / rhoe;
+  }
+}
+
+TEST_P(ZhouElementTest, EmbeddingBranchesAreNearlyContinuous) {
+  const auto& c = GetParam();
+  const ZhouEam pot(c.name);
+  const double rhoe = zhou_parameters(c.name).rhoe;
+  for (double rho_join : {0.85 * rhoe, 1.15 * rhoe}) {
+    const double below = pot.embed(0, rho_join * (1 - 1e-9));
+    const double above = pot.embed(0, rho_join * (1 + 1e-9));
+    // Zhou's published coefficients make the branches meet to ~1e-2 eV.
+    EXPECT_NEAR(below, above, 2e-2) << "rho join at " << rho_join / rhoe;
+  }
+}
+
+TEST_P(ZhouElementTest, EmbeddingMinimumNearEquilibriumDensity) {
+  const auto& c = GetParam();
+  const ZhouEam pot(c.name);
+  const double rhoe = zhou_parameters(c.name).rhoe;
+  // F'(rhoe) = F1/rhoe = 0 by construction.
+  EXPECT_NEAR(pot.embed_deriv(0, rhoe), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Elements, ZhouElementTest,
+    ::testing::Values(ElementCase{"Cu", "fcc", 3.615, 3.54},
+                      ElementCase{"Ta", "bcc", 3.303, 8.10},
+                      ElementCase{"W", "bcc", 3.165, 8.90},
+                      ElementCase{"Mo", "bcc", 3.147, 6.82},
+                      ElementCase{"Ni", "fcc", 3.520, 4.45},
+                      ElementCase{"Ag", "fcc", 4.085, 2.85},
+                      ElementCase{"Au", "fcc", 4.078, 3.93},
+                      ElementCase{"Al", "fcc", 4.050, 3.36}),
+    [](const ::testing::TestParamInfo<ElementCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(ZhouEam, PaperInteractionCountsAtPaperCutoffs) {
+  // Paper Table I: interactions per atom in the bulk crystal, at the
+  // cutoffs of the potentials the paper benchmarked (Table VI ratios).
+  struct Row { const char* el; const char* st; double a0; int expected; int tol; };
+  for (const Row& row : {Row{"Cu", "fcc", 3.615, 42, 0},
+                         Row{"Ta", "bcc", 3.303, 14, 0},
+                         Row{"W", "bcc", 3.165, 59, 1}}) {
+    const double rc = zhou_parameters(row.el).paper_cutoff();
+    const ZhouEam pot(row.el, rc);
+    const auto nbrs = bulk_neighbors(row.st, row.a0, pot.cutoff());
+    EXPECT_NEAR(static_cast<double>(nbrs.size()), row.expected, row.tol)
+        << row.el << " with rcut=" << pot.cutoff();
+  }
+}
+
+TEST(ZhouEam, ShortTaWorkloadCutoffStillGivesStableCrystal) {
+  // The paper-workload Ta potential (rcut = 1.39 r_nn, mirroring Li-Ta's
+  // short range) binds less than the physics cutoff but must still hold a
+  // BCC crystal together for benchmarking.
+  const ZhouEam ta("Ta", zhou_parameters("Ta").paper_cutoff());
+  const double a_opt = optimal_lattice_constant(ta, "bcc", 3.303);
+  const double e0 = bulk_energy_per_atom(ta, "bcc", a_opt);
+  EXPECT_LT(e0, -3.0);  // bound
+  EXPECT_LT(e0, bulk_energy_per_atom(ta, "bcc", 0.97 * a_opt));
+  EXPECT_LT(e0, bulk_energy_per_atom(ta, "bcc", 1.03 * a_opt));
+}
+
+TEST(ZhouEam, UnknownElementThrows) {
+  EXPECT_THROW(ZhouEam("Unobtanium"), Error);
+  EXPECT_THROW(zhou_parameters("Xx"), Error);
+}
+
+TEST(ZhouEam, AvailableElementsListIsConsistent) {
+  const auto names = zhou_available_elements();
+  EXPECT_GE(names.size(), 9u);
+  for (const auto& n : names) {
+    const ZhouEam pot(n);
+    EXPECT_EQ(pot.type_name(0), n);
+    EXPECT_GT(pot.mass(0), 0.0);
+    EXPECT_GT(pot.cutoff(), 0.0);
+  }
+}
+
+TEST(ZhouEam, AlloyPairIsSymmetric) {
+  const ZhouEam pot({zhou_parameters("Cu"), zhou_parameters("Ni")});
+  for (double r = 2.0; r < pot.cutoff(); r += 0.3) {
+    EXPECT_DOUBLE_EQ(pot.pair(0, 1, r), pot.pair(1, 0, r));
+    EXPECT_DOUBLE_EQ(pot.pair_deriv(0, 1, r), pot.pair_deriv(1, 0, r));
+  }
+}
+
+TEST(ZhouEam, AlloyPairDerivativeMatchesFiniteDifference) {
+  const ZhouEam pot({zhou_parameters("Ta"), zhou_parameters("W")});
+  const double h = 1e-6;
+  for (double r = 2.2; r < pot.cutoff() - 0.2; r += 0.25) {
+    const double fd = (pot.pair(0, 1, r + h) - pot.pair(0, 1, r - h)) / (2 * h);
+    EXPECT_NEAR(pot.pair_deriv(0, 1, r), fd, 1e-5 * (1.0 + std::fabs(fd)));
+  }
+}
+
+TEST(ZhouEam, StructurePreferenceMatchesGroundState) {
+  // Cu prefers FCC; W and Ta prefer BCC. Compare the optimal-lattice bulk
+  // energies of both structures under each potential.
+  {
+    const ZhouEam cu("Cu");
+    const double e_fcc = bulk_energy_per_atom(
+        cu, "fcc", optimal_lattice_constant(cu, "fcc", 3.615));
+    const double e_bcc = bulk_energy_per_atom(
+        cu, "bcc", optimal_lattice_constant(cu, "bcc", 2.87));
+    EXPECT_LT(e_fcc, e_bcc);
+  }
+  {
+    const ZhouEam w("W");
+    const double e_bcc = bulk_energy_per_atom(
+        w, "bcc", optimal_lattice_constant(w, "bcc", 3.165));
+    const double e_fcc = bulk_energy_per_atom(
+        w, "fcc", optimal_lattice_constant(w, "fcc", 4.0));
+    EXPECT_LT(e_bcc, e_fcc);
+  }
+}
+
+TEST(ZhouParams, LatticeConstantFromRe) {
+  EXPECT_NEAR(zhou_parameters("Cu").lattice_constant(), 3.615, 0.01);
+  EXPECT_NEAR(zhou_parameters("Ta").lattice_constant(), 3.303, 0.01);
+  EXPECT_NEAR(zhou_parameters("W").lattice_constant(), 3.165, 0.01);
+}
+
+TEST(ZhouParams, PaperCutoffsMatchTableViRatios) {
+  // Paper Table VI: rcut / r_nn = 1.94 (Cu), 2.02 (W), 1.39 (Ta).
+  EXPECT_NEAR(zhou_parameters("Cu").paper_cutoff() /
+                  zhou_parameters("Cu").re, 1.94, 1e-9);
+  EXPECT_NEAR(zhou_parameters("W").paper_cutoff() /
+                  zhou_parameters("W").re, 2.02, 1e-9);
+  EXPECT_NEAR(zhou_parameters("Ta").paper_cutoff() /
+                  zhou_parameters("Ta").re, 1.39, 1e-9);
+}
+
+TEST(ZhouParams, PhysicsCutoffAtLeastPaperCutoff) {
+  for (const auto& el : {"Cu", "Ta", "W"}) {
+    const auto p = zhou_parameters(el);
+    EXPECT_GE(p.default_cutoff() + 1e-12, p.paper_cutoff()) << el;
+  }
+}
+
+}  // namespace
+}  // namespace wsmd::eam

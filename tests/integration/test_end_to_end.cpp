@@ -1,0 +1,182 @@
+/// \file test_end_to_end.cpp
+/// Cross-layer integration tests: lattice -> mapping -> wavelet-level
+/// fabric exchange -> physics, tying the substrates together the way the
+/// real system does.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "core/mapping.hpp"
+#include "core/wse_md.hpp"
+#include "eam/tabulated.hpp"
+#include "eam/zhou.hpp"
+#include "lattice/lattice.hpp"
+#include "md/simulation.hpp"
+#include "wse/multicast.hpp"
+
+namespace wsmd {
+namespace {
+
+/// The keystone property: running the *actual marching multicast* on the
+/// fabric simulator, with atoms placed by the *actual mapping*, delivers
+/// every interaction partner of every atom to its worker core.
+TEST(EndToEnd, FabricExchangeDeliversAllInteractionPartners) {
+  const auto p = eam::zhou_parameters("Ta");
+  const auto crystal = lattice::replicate(
+      lattice::UnitCell::of(p.structure, p.lattice_constant()), 6, 6, 4);
+  core::MappingConfig mcfg;
+  mcfg.cell_size = p.lattice_constant();
+  const auto mapping = core::AtomMapping::for_structure(crystal, mcfg);
+  const double rcut = p.paper_cutoff();
+  const int b = mapping.required_b(crystal.positions, rcut);
+
+  // One payload word per core: the atom id (sentinel for empty tiles).
+  const int W = mapping.grid_width(), H = mapping.grid_height();
+  const std::uint32_t kEmpty = 0xFFFFFFFFu;
+  std::vector<std::vector<std::uint32_t>> payloads(
+      static_cast<std::size_t>(W) * H);
+  for (int y = 0; y < H; ++y) {
+    for (int x = 0; x < W; ++x) {
+      const long a = mapping.atom_at(x, y);
+      payloads[static_cast<std::size_t>(y) * W + x] = {
+          a < 0 ? kEmpty : static_cast<std::uint32_t>(a)};
+    }
+  }
+  const auto ex = wse::neighborhood_exchange(W, H, b, payloads);
+  ASSERT_EQ(ex.contention_events, 0u);
+
+  const double rc2 = rcut * rcut;
+  for (std::size_t i = 0; i < crystal.size(); ++i) {
+    const auto c = mapping.core_of(i);
+    const auto& got = ex.gathered[static_cast<std::size_t>(c.y) * W + c.x];
+    const std::set<std::uint32_t> delivered(got.begin(), got.end());
+    for (std::size_t j = 0; j < crystal.size(); ++j) {
+      if (j == i) continue;
+      if (norm2(crystal.positions[j] - crystal.positions[i]) >= rc2) continue;
+      EXPECT_TRUE(delivered.count(static_cast<std::uint32_t>(j)))
+          << "fabric exchange missed interacting pair (" << i << "," << j
+          << ") at b=" << b;
+    }
+  }
+}
+
+/// Engine-equivalence sweep across all three paper elements.
+class ElementEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ElementEquivalence, WseTrajectoryTracksReference) {
+  const std::string el = GetParam();
+  const auto p = eam::zhou_parameters(el);
+  const auto crystal = lattice::replicate(
+      lattice::UnitCell::of(p.structure, p.lattice_constant()), 5, 5, 3);
+  auto analytic = std::make_shared<eam::ZhouEam>(el, p.paper_cutoff());
+
+  md::AtomSystem ref_sys(crystal, analytic);
+  Rng rng(99);
+  ref_sys.thermalize(290.0, rng);
+  const auto v0 = ref_sys.velocities();
+  md::Simulation ref(std::move(ref_sys));
+
+  core::WseMdConfig cfg;
+  cfg.mapping.cell_size = p.lattice_constant();
+  core::WseMd wse(crystal, analytic, cfg);
+  wse.set_velocities(v0);
+
+  ref.run(15);
+  wse.run(15);
+
+  const auto& rp = ref.system().positions();
+  const auto wp = wse.positions();
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < rp.size(); ++i) {
+    max_err = std::max(max_err, norm(rp[i] - wp[i]));
+  }
+  EXPECT_LT(max_err, 5e-3) << el;
+}
+
+TEST_P(ElementEquivalence, PotentialEnergyAgreesWithReference) {
+  const std::string el = GetParam();
+  const auto p = eam::zhou_parameters(el);
+  const auto crystal = lattice::replicate(
+      lattice::UnitCell::of(p.structure, p.lattice_constant()), 5, 5, 3);
+  auto analytic = std::make_shared<eam::ZhouEam>(el, p.paper_cutoff());
+
+  md::AtomSystem ref_sys(crystal, analytic);
+  md::Simulation ref(std::move(ref_sys));
+  const double e_ref = ref.compute_forces();
+
+  core::WseMdConfig cfg;
+  cfg.mapping.cell_size = p.lattice_constant();
+  core::WseMd wse(crystal, analytic, cfg);
+  wse.step();
+  EXPECT_NEAR(wse.potential_energy(), e_ref, 1e-4 * std::fabs(e_ref) + 1e-6)
+      << el;
+}
+
+TEST_P(ElementEquivalence, TabulatedPotentialMatchesAnalyticInEngine) {
+  // The wafer workers use tabulated potentials (48 kB SRAM); the energy
+  // they compute must match the analytic form through the whole engine.
+  const std::string el = GetParam();
+  const auto p = eam::zhou_parameters(el);
+  const auto crystal = lattice::replicate(
+      lattice::UnitCell::of(p.structure, p.lattice_constant()), 4, 4, 3);
+  auto analytic = std::make_shared<eam::ZhouEam>(el, p.paper_cutoff());
+  auto tabulated = std::make_shared<eam::TabulatedEam>(
+      eam::TabulatedEam::from_potential(*analytic, 4000, 4000));
+
+  core::WseMdConfig cfg;
+  cfg.mapping.cell_size = p.lattice_constant();
+  core::WseMd a(crystal, analytic, cfg);
+  core::WseMd t(crystal, tabulated, cfg);
+  a.step();
+  t.step();
+  EXPECT_NEAR(t.potential_energy(), a.potential_energy(),
+              1e-3 * std::fabs(a.potential_energy()))
+      << el;
+}
+
+INSTANTIATE_TEST_SUITE_P(Elements, ElementEquivalence,
+                         ::testing::Values("Cu", "W", "Ta"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           return std::string(i.param);
+                         });
+
+/// Temperature-sweep property: FP32 NVE stays bounded across conditions.
+class ThermalStability
+    : public ::testing::TestWithParam<std::tuple<const char*, double>> {};
+
+TEST_P(ThermalStability, EnergyStaysBoundedOverNve) {
+  const auto [el, temperature] = GetParam();
+  const auto p = eam::zhou_parameters(el);
+  const auto crystal = lattice::replicate(
+      lattice::UnitCell::of(p.structure, p.lattice_constant()), 5, 5, 4, 0,
+      {true, true, true});
+  auto pot = std::make_shared<eam::ZhouEam>(el, p.paper_cutoff());
+
+  core::WseMdConfig cfg;
+  cfg.mapping.cell_size = p.lattice_constant();
+  core::WseMd engine(crystal, pot, cfg);
+  Rng rng(31);
+  engine.thermalize(temperature, rng);
+  engine.step();
+  const double e0 = engine.potential_energy() + engine.kinetic_energy();
+  engine.run(60);
+  const double e1 = engine.potential_energy() + engine.kinetic_energy();
+  EXPECT_LT(std::fabs(e1 - e0),
+            0.01 * static_cast<double>(engine.atom_count()) + 0.05)
+      << el << " at " << temperature << " K";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ThermalStability,
+    ::testing::Combine(::testing::Values("Cu", "Ta"),
+                       ::testing::Values(50.0, 290.0, 600.0)),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, double>>& i) {
+      return std::string(std::get<0>(i.param)) + "_" +
+             std::to_string(static_cast<int>(std::get<1>(i.param))) + "K";
+    });
+
+}  // namespace
+}  // namespace wsmd

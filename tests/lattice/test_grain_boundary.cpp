@@ -1,0 +1,100 @@
+#include "lattice/grain_boundary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "eam/zhou.hpp"
+
+namespace wsmd::lattice {
+namespace {
+
+GrainBoundaryParams small_params() {
+  GrainBoundaryParams p;
+  p.element = "W";
+  p.tilt_angle_deg = 16.0;
+  p.cells_x = 12;
+  p.cells_y = 12;
+  p.cells_z = 3;
+  return p;
+}
+
+TEST(GrainBoundary, ProducesTwoGrains) {
+  const auto gb = make_grain_boundary(small_params());
+  EXPECT_GT(gb.grain_a_atoms, 100u);
+  EXPECT_GT(gb.grain_b_atoms, 100u);
+  EXPECT_EQ(gb.structure.size(), gb.grain_a_atoms + gb.grain_b_atoms);
+}
+
+TEST(GrainBoundary, GrainsSeparatedByBoundaryPlane) {
+  const auto gb = make_grain_boundary(small_params());
+  // All grain-A atoms below the plane (within a small tolerance), B above.
+  for (std::size_t i = 0; i < gb.grain_a_atoms; ++i) {
+    EXPECT_LE(gb.structure.positions[i].y, gb.boundary_y + 1e-6);
+  }
+  for (std::size_t i = gb.grain_a_atoms; i < gb.structure.size(); ++i) {
+    EXPECT_GE(gb.structure.positions[i].y, gb.boundary_y - 1e-6);
+  }
+}
+
+TEST(GrainBoundary, NoTooClosePairsAfterFusing) {
+  const auto params = small_params();
+  const auto gb = make_grain_boundary(params);
+  const auto& s = gb.structure;
+  const double re = eam::zhou_parameters("W").re;
+  const double dmin = params.min_separation_frac * re;
+  // Brute-force over the seam band only (|y - boundary| < 2*re).
+  std::vector<std::size_t> band;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (std::fabs(s.positions[i].y - gb.boundary_y) < 2.0 * re) {
+      band.push_back(i);
+    }
+  }
+  ASSERT_GT(band.size(), 10u);
+  for (std::size_t a = 0; a < band.size(); ++a) {
+    for (std::size_t b = a + 1; b < band.size(); ++b) {
+      const double d = norm(s.positions[band[a]] - s.positions[band[b]]);
+      EXPECT_GE(d, dmin - 1e-9)
+          << "atoms " << band[a] << "," << band[b] << " too close";
+    }
+  }
+}
+
+TEST(GrainBoundary, MisorientationIsPresent) {
+  // A bicrystal at nonzero tilt must fuse at least a few seam atoms, and a
+  // zero-tilt "bicrystal" must reproduce (nearly) the single crystal.
+  auto p = small_params();
+  const auto tilted = make_grain_boundary(p);
+  EXPECT_GT(tilted.fused_atoms, 0u);
+
+  p.tilt_angle_deg = 0.0;
+  const auto straight = make_grain_boundary(p);
+  // Zero tilt: the two half crystals join seamlessly (all seam sites fuse).
+  const auto single = replicate(
+      UnitCell::of("bcc", eam::zhou_parameters("W").lattice_constant()),
+      p.cells_x, p.cells_y, p.cells_z);
+  EXPECT_NEAR(static_cast<double>(straight.structure.size()),
+              static_cast<double>(single.size()),
+              0.05 * static_cast<double>(single.size()));
+}
+
+TEST(GrainBoundary, TargetAtomCountIsApproximatelyMet) {
+  auto p = small_params();
+  p.cells_z = 4;
+  const auto gb = make_grain_boundary_with_atom_count(p, 20000);
+  const double n = static_cast<double>(gb.structure.size());
+  EXPECT_NEAR(n, 20000.0, 0.1 * 20000.0);
+}
+
+TEST(GrainBoundary, Fig9ScaleProblemBuilds) {
+  // Paper Fig. 9: 61,600 W atoms (on 62,500 cores with 900 left empty).
+  auto p = small_params();
+  p.cells_z = 4;
+  const auto gb = make_grain_boundary_with_atom_count(p, 61600);
+  const double n = static_cast<double>(gb.structure.size());
+  EXPECT_NEAR(n, 61600.0, 0.08 * 61600.0);
+}
+
+}  // namespace
+}  // namespace wsmd::lattice

@@ -1,0 +1,219 @@
+#include "md/force_eam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "eam/lennard_jones.hpp"
+#include "eam/zhou.hpp"
+#include "lattice/lattice.hpp"
+#include "util/random.hpp"
+
+namespace wsmd::md {
+namespace {
+
+AtomSystem make_system(const lattice::Structure& s,
+                       std::shared_ptr<const eam::EamPotential> pot) {
+  return AtomSystem(s, std::move(pot));
+}
+
+/// Total potential energy at the system's current positions.
+double energy_of(AtomSystem& sys) {
+  NeighborList nl(sys.potential().cutoff(), 0.5);
+  nl.build(sys.box(), sys.positions());
+  EamForceKernel k;
+  return k.compute(sys, nl);
+}
+
+/// Verify analytic forces against the numerical gradient of U for a few
+/// atoms and directions.
+void check_forces_match_gradient(AtomSystem& sys, double h, double tol) {
+  NeighborList nl(sys.potential().cutoff(), 0.5);
+  nl.build(sys.box(), sys.positions());
+  EamForceKernel k;
+  k.compute(sys, nl);
+  const auto forces = sys.forces();
+
+  Rng rng(17);
+  const std::size_t n_checks = std::min<std::size_t>(8, sys.size());
+  for (std::size_t c = 0; c < n_checks; ++c) {
+    const auto i = static_cast<std::size_t>(rng.uniform_index(sys.size()));
+    for (std::size_t axis = 0; axis < 3; ++axis) {
+      const double orig = sys.positions()[i][axis];
+      sys.positions()[i][axis] = orig + h;
+      nl.build(sys.box(), sys.positions());
+      const double e_plus = k.compute(sys, nl);
+      sys.positions()[i][axis] = orig - h;
+      nl.build(sys.box(), sys.positions());
+      const double e_minus = k.compute(sys, nl);
+      sys.positions()[i][axis] = orig;
+      const double f_numeric = -(e_plus - e_minus) / (2.0 * h);
+      EXPECT_NEAR(forces[i][axis], f_numeric, tol)
+          << "atom " << i << " axis " << axis;
+    }
+  }
+  nl.build(sys.box(), sys.positions());
+  k.compute(sys, nl);  // restore forces for the caller
+}
+
+lattice::Structure jittered_crystal(const std::string& element, int reps,
+                                    double jitter, unsigned seed) {
+  const auto p = eam::zhou_parameters(element);
+  auto s = lattice::replicate(
+      lattice::UnitCell::of(p.structure, p.lattice_constant()), reps, reps,
+      reps, 0, {true, true, true});
+  Rng rng(seed);
+  for (auto& r : s.positions) r += rng.gaussian_vec3(jitter);
+  return s;
+}
+
+TEST(EamForces, DimerForceMatchesPairDerivative) {
+  // Two atoms: force magnitude must equal -(phi' + 2 F' rho') at distance r.
+  auto pot = std::make_shared<eam::ZhouEam>("Ta");
+  lattice::Structure s;
+  s.box = Box({-10, -10, -10}, {10, 10, 10});
+  const double r = 2.9;
+  s.positions = {{0, 0, 0}, {r, 0, 0}};
+  s.types = {0, 0};
+  auto sys = make_system(s, pot);
+
+  NeighborList nl(pot->cutoff(), 0.5);
+  nl.build(sys.box(), sys.positions());
+  EamForceKernel k;
+  k.compute(sys, nl);
+
+  const double rho = pot->density(0, r);
+  const double fp = pot->embed_deriv(0, rho);
+  const double expected =
+      -(pot->pair_deriv(0, 0, r) + 2.0 * fp * pot->density_deriv(0, r));
+  // Force on atom 0 points along -x when the pair is repulsive at r.
+  EXPECT_NEAR(sys.forces()[0].x, -expected, 1e-10);
+  EXPECT_NEAR(sys.forces()[1].x, expected, 1e-10);
+  EXPECT_NEAR(sys.forces()[0].y, 0.0, 1e-12);
+}
+
+TEST(EamForces, PerfectLatticeHasZeroForce) {
+  auto pot = std::make_shared<eam::ZhouEam>("W");
+  const auto p = eam::zhou_parameters("W");
+  const auto s = lattice::replicate(
+      lattice::UnitCell::of(p.structure, p.lattice_constant()), 4, 4, 4, 0,
+      {true, true, true});
+  auto sys = make_system(s, pot);
+  NeighborList nl(pot->cutoff(), 0.5);
+  nl.build(sys.box(), sys.positions());
+  EamForceKernel k;
+  k.compute(sys, nl);
+  for (const auto& f : sys.forces()) {
+    EXPECT_NEAR(norm(f), 0.0, 1e-8);
+  }
+}
+
+TEST(EamForces, NewtonsThirdLawNetForceZero) {
+  auto pot = std::make_shared<eam::ZhouEam>("Cu");
+  const auto s = jittered_crystal("Cu", 3, 0.1, 11);
+  auto sys = make_system(s, pot);
+  NeighborList nl(pot->cutoff(), 0.5);
+  nl.build(sys.box(), sys.positions());
+  EamForceKernel k;
+  k.compute(sys, nl);
+  Vec3d net{0, 0, 0};
+  for (const auto& f : sys.forces()) net += f;
+  EXPECT_NEAR(norm(net), 0.0, 1e-7 * static_cast<double>(sys.size()));
+}
+
+TEST(EamForces, MatchesNumericalGradientTa) {
+  auto pot = std::make_shared<eam::ZhouEam>("Ta");
+  auto s = jittered_crystal("Ta", 4, 0.08, 23);
+  auto sys = make_system(s, pot);
+  check_forces_match_gradient(sys, 1e-5, 2e-4);
+}
+
+TEST(EamForces, MatchesNumericalGradientCu) {
+  auto pot = std::make_shared<eam::ZhouEam>("Cu");
+  auto s = jittered_crystal("Cu", 3, 0.08, 29);
+  auto sys = make_system(s, pot);
+  check_forces_match_gradient(sys, 1e-5, 2e-4);
+}
+
+TEST(EamForces, MatchesNumericalGradientOpenBoundaries) {
+  // Surface atoms exercise the incomplete-shell code path.
+  auto pot = std::make_shared<eam::ZhouEam>("W");
+  const auto p = eam::zhou_parameters("W");
+  auto s = lattice::replicate(
+      lattice::UnitCell::of(p.structure, p.lattice_constant()), 3, 3, 3, 0,
+      {false, false, false});
+  Rng rng(31);
+  for (auto& r : s.positions) r += rng.gaussian_vec3(0.05);
+  auto sys = make_system(s, pot);
+  check_forces_match_gradient(sys, 1e-5, 2e-4);
+}
+
+TEST(EamForces, MatchesNumericalGradientLennardJones) {
+  auto pot = std::make_shared<eam::LennardJones>(eam::LennardJones::copper_like());
+  auto s = jittered_crystal("Cu", 4, 0.05, 37);
+  auto sys = make_system(s, pot);
+  check_forces_match_gradient(sys, 1e-5, 2e-4);
+}
+
+TEST(EamForces, EnergyDecomposesIntoPairAndEmbedding) {
+  auto pot = std::make_shared<eam::ZhouEam>("Ta");
+  auto s = jittered_crystal("Ta", 4, 0.05, 41);
+  auto sys = make_system(s, pot);
+  NeighborList nl(pot->cutoff(), 0.5);
+  nl.build(sys.box(), sys.positions());
+  EamForceKernel k;
+  const double total = k.compute(sys, nl);
+  EXPECT_DOUBLE_EQ(total, k.pair_energy() + k.embedding_energy());
+  EXPECT_LT(k.embedding_energy(), 0.0);  // embedding binds the metal
+}
+
+TEST(EamForces, DensitiesMatchDirectSum) {
+  auto pot = std::make_shared<eam::ZhouEam>("W");
+  auto s = jittered_crystal("W", 4, 0.05, 43);
+  auto sys = make_system(s, pot);
+  NeighborList nl(pot->cutoff(), 0.5);
+  nl.build(sys.box(), sys.positions());
+  EamForceKernel k;
+  k.compute(sys, nl);
+
+  // Recompute rho for a few atoms by brute force.
+  Rng rng(47);
+  for (int c = 0; c < 5; ++c) {
+    const auto i = static_cast<std::size_t>(rng.uniform_index(sys.size()));
+    double rho = 0.0;
+    for (std::size_t j = 0; j < sys.size(); ++j) {
+      if (j == i) continue;
+      const double r = norm(
+          sys.box().minimum_image(sys.positions()[i], sys.positions()[j]));
+      if (r < pot->cutoff()) rho += pot->density(0, r);
+    }
+    EXPECT_NEAR(k.densities()[i], rho, 1e-10);
+  }
+}
+
+TEST(EamForces, EnergyInvariantUnderRigidTranslation) {
+  auto pot = std::make_shared<eam::ZhouEam>("Cu");
+  auto s = jittered_crystal("Cu", 3, 0.05, 53);
+  auto sys = make_system(s, pot);
+  const double e0 = energy_of(sys);
+  for (auto& r : sys.positions()) r += Vec3d{1.7, -0.3, 0.9};
+  const double e1 = energy_of(sys);
+  EXPECT_NEAR(e0, e1, 1e-8 * std::fabs(e0));
+}
+
+TEST(EamForces, CohesiveEnergyPerAtomReasonable) {
+  // Bulk Ta at its equilibrium lattice: E/atom ~ -8 eV.
+  auto pot = std::make_shared<eam::ZhouEam>("Ta");
+  const auto p = eam::zhou_parameters("Ta");
+  const auto s = lattice::replicate(
+      lattice::UnitCell::of(p.structure, p.lattice_constant()), 4, 4, 4, 0,
+      {true, true, true});
+  auto sys = make_system(s, pot);
+  const double e_per_atom = energy_of(sys) / static_cast<double>(sys.size());
+  EXPECT_LT(e_per_atom, -6.5);
+  EXPECT_GT(e_per_atom, -9.5);
+}
+
+}  // namespace
+}  // namespace wsmd::md

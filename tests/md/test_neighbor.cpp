@@ -1,0 +1,166 @@
+#include "md/neighbor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "lattice/lattice.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace wsmd::md {
+namespace {
+
+/// Reference brute-force neighbor set.
+std::set<std::size_t> brute_force_neighbors(const Box& box,
+                                            const std::vector<Vec3d>& pos,
+                                            std::size_t i, double radius) {
+  std::set<std::size_t> out;
+  const double r2 = radius * radius;
+  for (std::size_t j = 0; j < pos.size(); ++j) {
+    if (j == i) continue;
+    if (norm2(box.minimum_image(pos[i], pos[j])) < r2) out.insert(j);
+  }
+  return out;
+}
+
+std::vector<Vec3d> random_gas(Rng& rng, const Box& box, std::size_t n) {
+  std::vector<Vec3d> pos(n);
+  for (auto& r : pos) {
+    r = {rng.uniform(box.lo.x, box.hi.x), rng.uniform(box.lo.y, box.hi.y),
+         rng.uniform(box.lo.z, box.hi.z)};
+  }
+  return pos;
+}
+
+TEST(NeighborList, MatchesBruteForceOpenBox) {
+  Rng rng(3);
+  const Box box({0, 0, 0}, {20, 20, 20});
+  const auto pos = random_gas(rng, box, 300);
+  NeighborList nl(3.0, 0.5);
+  nl.build(box, pos);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const auto expected = brute_force_neighbors(box, pos, i, nl.list_radius());
+    const auto r = nl.neighbors(i);
+    const std::set<std::size_t> actual(r.begin(), r.end());
+    EXPECT_EQ(actual, expected) << "atom " << i;
+  }
+}
+
+TEST(NeighborList, MatchesBruteForcePeriodicBox) {
+  Rng rng(4);
+  const Box box({0, 0, 0}, {15, 15, 15}, {true, true, true});
+  const auto pos = random_gas(rng, box, 250);
+  NeighborList nl(3.0, 0.4);
+  nl.build(box, pos);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const auto expected = brute_force_neighbors(box, pos, i, nl.list_radius());
+    const auto r = nl.neighbors(i);
+    const std::set<std::size_t> actual(r.begin(), r.end());
+    EXPECT_EQ(actual, expected) << "atom " << i;
+  }
+}
+
+TEST(NeighborList, MatchesBruteForceMixedBoundaries) {
+  Rng rng(5);
+  const Box box({0, 0, 0}, {12, 18, 9}, {true, false, true});
+  const auto pos = random_gas(rng, box, 200);
+  NeighborList nl(2.5, 0.6);
+  nl.build(box, pos);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const auto expected = brute_force_neighbors(box, pos, i, nl.list_radius());
+    const auto r = nl.neighbors(i);
+    const std::set<std::size_t> actual(r.begin(), r.end());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST(NeighborList, SmallPeriodicBoxWithFewCells) {
+  // Box barely larger than the list radius: periodic wrap puts multiple
+  // stencil cells onto the same cell; the list must still be exact.
+  Rng rng(6);
+  const Box box({0, 0, 0}, {5.5, 5.5, 5.5}, {true, true, true});
+  const auto pos = random_gas(rng, box, 60);
+  NeighborList nl(2.0, 0.3);
+  nl.build(box, pos);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const auto expected = brute_force_neighbors(box, pos, i, nl.list_radius());
+    const auto r = nl.neighbors(i);
+    const std::set<std::size_t> actual(r.begin(), r.end());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST(NeighborList, ListIsSymmetric) {
+  Rng rng(7);
+  const Box box({0, 0, 0}, {20, 20, 20}, {true, true, true});
+  const auto pos = random_gas(rng, box, 300);
+  NeighborList nl(3.5, 0.5);
+  nl.build(box, pos);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    for (std::size_t j : nl.neighbors(i)) {
+      const auto r = nl.neighbors(j);
+      EXPECT_TRUE(std::find(r.begin(), r.end(), i) != r.end())
+          << i << " lists " << j << " but not vice versa";
+    }
+  }
+}
+
+TEST(NeighborList, FccLatticeCoordination) {
+  // FCC with list radius between 1st and 2nd shell: every interior atom has
+  // exactly 12 neighbors.
+  const double a = 4.0;
+  const auto s = lattice::replicate(lattice::UnitCell::fcc(a), 5, 5, 5, 0,
+                                    {true, true, true});
+  NeighborList nl(a / std::sqrt(2.0) + 0.2, 0.0);
+  nl.build(s.box, s.positions);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(nl.neighbors(i).size(), 12u);
+  }
+}
+
+TEST(NeighborList, SkinDelaysRebuilds) {
+  Rng rng(8);
+  const Box box({0, 0, 0}, {20, 20, 20}, {true, true, true});
+  auto pos = random_gas(rng, box, 100);
+  NeighborList nl(3.0, 1.0);
+  nl.build(box, pos);
+  EXPECT_EQ(nl.rebuild_count(), 1u);
+
+  // Tiny motion: no rebuild.
+  for (auto& r : pos) r += Vec3d{0.01, 0.0, 0.0};
+  EXPECT_FALSE(nl.ensure_current(box, pos));
+  EXPECT_EQ(nl.rebuild_count(), 1u);
+
+  // Motion beyond skin/2: rebuild.
+  pos[0] += Vec3d{0.6, 0.0, 0.0};
+  EXPECT_TRUE(nl.ensure_current(box, pos));
+  EXPECT_EQ(nl.rebuild_count(), 2u);
+}
+
+TEST(NeighborList, RebuildOnAtomCountChange) {
+  Rng rng(9);
+  const Box box({0, 0, 0}, {10, 10, 10});
+  auto pos = random_gas(rng, box, 50);
+  NeighborList nl(2.0, 0.5);
+  nl.build(box, pos);
+  pos.push_back({5, 5, 5});
+  EXPECT_TRUE(nl.ensure_current(box, pos));
+  EXPECT_EQ(nl.atom_count(), 51u);
+}
+
+TEST(NeighborList, RejectsInvalidConstruction) {
+  EXPECT_THROW(NeighborList(0.0, 0.1), Error);
+  EXPECT_THROW(NeighborList(1.0, -0.1), Error);
+}
+
+TEST(NeighborList, SkinWithinListRadius) {
+  NeighborList nl(3.0, 0.7);
+  EXPECT_DOUBLE_EQ(nl.list_radius(), 3.7);
+  EXPECT_DOUBLE_EQ(nl.cutoff(), 3.0);
+  EXPECT_DOUBLE_EQ(nl.skin(), 0.7);
+}
+
+}  // namespace
+}  // namespace wsmd::md

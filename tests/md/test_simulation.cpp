@@ -1,0 +1,164 @@
+#include "md/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "eam/lennard_jones.hpp"
+#include "eam/zhou.hpp"
+#include "lattice/lattice.hpp"
+#include "util/error.hpp"
+
+namespace wsmd::md {
+namespace {
+
+/// Periodic Ta block; reps >= 4 keeps the box above twice the Ta physics
+/// cutoff so minimum-image is valid (the neighbor list enforces this).
+AtomSystem make_ta_block(int reps, std::array<bool, 3> pbc = {true, true, true}) {
+  const auto p = eam::zhou_parameters("Ta");
+  const auto s = lattice::replicate(
+      lattice::UnitCell::of(p.structure, p.lattice_constant()), reps, reps,
+      reps, 0, pbc);
+  return AtomSystem(s, std::make_shared<eam::ZhouEam>("Ta"));
+}
+
+/// Small open-boundary block for cheap mechanics-of-the-driver tests.
+AtomSystem make_small_open_block() {
+  return make_ta_block(3, {false, false, false});
+}
+
+TEST(Simulation, StepCounterAdvances) {
+  Simulation sim(make_small_open_block());
+  EXPECT_EQ(sim.step_count(), 0);
+  sim.run(5);
+  EXPECT_EQ(sim.step_count(), 5);
+  sim.run(3);
+  EXPECT_EQ(sim.step_count(), 8);
+}
+
+TEST(Simulation, CallbackFiresEveryStep) {
+  Simulation sim(make_small_open_block());
+  int calls = 0;
+  long last_step = -1;
+  sim.run(7, [&](const ThermoState& t) {
+    ++calls;
+    last_step = t.step;
+  });
+  EXPECT_EQ(calls, 7);
+  EXPECT_EQ(last_step, 7);
+}
+
+TEST(Simulation, ZeroTemperatureLatticeStaysPut) {
+  // A perfect crystal at T=0 has zero forces and zero velocities: nothing
+  // moves, potential energy is constant.
+  Simulation sim(make_ta_block(4));
+  sim.compute_forces();
+  const double e0 = sim.thermo().potential_energy;
+  const auto r0 = sim.system().positions();
+  sim.run(20);
+  EXPECT_NEAR(sim.thermo().potential_energy, e0, 1e-9 * std::fabs(e0));
+  for (std::size_t i = 0; i < r0.size(); ++i) {
+    EXPECT_NEAR(norm(sim.system().positions()[i] - r0[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Simulation, EquilibrateReachesTargetTemperature) {
+  Simulation sim(make_ta_block(4));
+  Rng rng(55);
+  sim.equilibrate(290.0, 100, rng);
+  // After equilibration about half the initial kinetic energy has moved
+  // into potential (equipartition with phonons), and rescaling keeps T at
+  // the target on rescale steps. Allow a generous band.
+  EXPECT_NEAR(sim.thermo().temperature, 290.0, 80.0);
+}
+
+TEST(Simulation, NveAfterEquilibrationConservesEnergy) {
+  Simulation sim(make_ta_block(4));
+  Rng rng(56);
+  sim.equilibrate(290.0, 80, rng);
+  const double e0 = sim.thermo().total_energy;
+  sim.run(200);
+  const double e1 = sim.thermo().total_energy;
+  EXPECT_NEAR(e1, e0, 5e-3 * std::fabs(sim.thermo().kinetic_energy) + 1e-6);
+}
+
+TEST(Simulation, RescaleThermostatHoldsTemperature) {
+  SimulationConfig cfg;
+  cfg.rescale_temperature_K = 500.0;
+  cfg.rescale_interval = 5;
+  Simulation sim(make_ta_block(4), cfg);
+  Rng rng(57);
+  sim.system().thermalize(100.0, rng);  // start cold
+  sim.run(200);
+  EXPECT_NEAR(sim.thermo().temperature, 500.0, 150.0);
+}
+
+TEST(Simulation, NeighborListRebuildsAreSparse) {
+  // At 290 K with a 1 A skin, rebuilds should be far rarer than steps —
+  // the mechanism LAMMPS exploits and paper Table V row "Neighbor list"
+  // models (re-examine every ~10th step).
+  Simulation sim(make_ta_block(4));
+  Rng rng(58);
+  sim.equilibrate(290.0, 50, rng);
+  const std::size_t before = sim.neighbor_list().rebuild_count();
+  sim.run(200);
+  const std::size_t rebuilds = sim.neighbor_list().rebuild_count() - before;
+  EXPECT_LT(rebuilds, 40u);  // < 1 per 5 steps
+}
+
+TEST(Simulation, OpenBoundarySlabDoesNotExplode) {
+  // Thin slab with open boundaries (the paper's geometry): surfaces relax
+  // but the crystal must hold together over a short run.
+  const auto s = lattice::paper_slab("Ta", 64);
+  AtomSystem sys(s, std::make_shared<eam::ZhouEam>("Ta"));
+  Rng rng(59);
+  sys.thermalize(290.0, rng);
+  Simulation sim(std::move(sys));
+  sim.run(50);
+  // No atom should have flown further than a few lattice constants.
+  const auto& pos = sim.system().positions();
+  const auto& s0 = s.positions;
+  double max_disp = 0.0;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    max_disp = std::max(max_disp, norm(pos[i] - s0[i]));
+  }
+  EXPECT_LT(max_disp, 3.0);
+}
+
+TEST(Simulation, LennardJonesGasRuns) {
+  lattice::Structure s;
+  s.box = Box({0, 0, 0}, {30, 30, 30}, {true, true, true});
+  Rng rng(60);
+  for (int i = 0; i < 200; ++i) {
+    s.positions.push_back({rng.uniform(0, 30), rng.uniform(0, 30),
+                           rng.uniform(0, 30)});
+    s.types.push_back(0);
+  }
+  AtomSystem sys(s, std::make_shared<eam::LennardJones>(
+                        eam::LennardJones::copper_like()));
+  sys.thermalize(2000.0, rng);
+  SimulationConfig cfg;
+  cfg.dt = 0.0005;  // gas with close random pairs: small dt
+  Simulation sim(std::move(sys), cfg);
+  const auto t = sim.run(50);
+  EXPECT_TRUE(std::isfinite(t.total_energy));
+  EXPECT_GT(t.temperature, 0.0);
+}
+
+TEST(Simulation, RejectsNegativeStepCount) {
+  Simulation sim(make_small_open_block());
+  EXPECT_THROW(sim.run(-1), Error);
+}
+
+TEST(Simulation, ThermoTotalIsSumOfParts) {
+  Simulation sim(make_small_open_block());
+  Rng rng(61);
+  sim.system().thermalize(290.0, rng);
+  sim.compute_forces();
+  const auto t = sim.thermo();
+  EXPECT_DOUBLE_EQ(t.total_energy, t.potential_energy + t.kinetic_energy);
+}
+
+}  // namespace
+}  // namespace wsmd::md

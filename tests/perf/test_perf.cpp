@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perf/flop_model.hpp"
+#include "perf/multiwafer.hpp"
+#include "perf/timescale.hpp"
+#include "perf/workload.hpp"
+#include "util/error.hpp"
+
+namespace wsmd::perf {
+namespace {
+
+TEST(Workload, TableIRows) {
+  const auto cu = paper_workload("Cu");
+  EXPECT_EQ(cu.repl_x * cu.repl_y * cu.repl_z * 4, 801792);
+  EXPECT_EQ(cu.interactions, 42);
+  EXPECT_EQ(cu.candidates, 224);
+  EXPECT_EQ((2 * cu.b + 1) * (2 * cu.b + 1) - 1, cu.candidates);
+
+  const auto ta = paper_workload("Ta");
+  EXPECT_EQ(ta.repl_x * ta.repl_y * ta.repl_z * 2, 801792);
+  EXPECT_EQ(ta.candidates, 80);
+  EXPECT_EQ((2 * ta.b + 1) * (2 * ta.b + 1) - 1, ta.candidates);
+  EXPECT_NEAR(ta.measured_steps_per_s, 274016.0, 1.0);
+
+  EXPECT_THROW(paper_workload("Xx"), Error);
+  EXPECT_EQ(all_paper_workloads().size(), 3u);
+}
+
+TEST(FlopModel, TableIIISubtotals) {
+  // Paper Table III: per candidate 6+3(+1) ops, per interaction 14+19+3,
+  // fixed 8+2+2.
+  const FlopModel m;
+  EXPECT_EQ(m.per_candidate_ops(), 10);
+  EXPECT_EQ(m.per_interaction_ops(), 36);
+  EXPECT_EQ(m.fixed_ops(), 12);
+  EXPECT_EQ(m.rows().size(), 12u);
+}
+
+TEST(FlopModel, PerComponentAtPeakTimes) {
+  // Paper: 5.3 ns / 26.6 ns = 20% (candidate), 21.2 ns / 71.4 ns = 30%
+  // (interaction), 7.1 ns / 574 ns = 1% (fixed).
+  const FlopModel m;
+  EXPECT_NEAR(m.at_peak_ns(m.per_candidate_ops()), 5.3, 0.5);
+  EXPECT_NEAR(m.at_peak_ns(m.per_interaction_ops()), 21.2, 2.5);
+  EXPECT_NEAR(m.at_peak_ns(m.fixed_ops()), 7.1, 1.0);
+}
+
+TEST(FlopModel, TableIVUtilizationCs2) {
+  // Paper Table IV: CS-2 utilization 22% (Cu), 23% (W), 20% (Ta). Our
+  // FLOP accounting lands within ~2.5 points of the published values.
+  const FlopModel m;
+  const Platform cs2 = platform_cs2();
+  struct Row { const char* el; double util; };
+  for (const Row& r : {Row{"Cu", 0.22}, Row{"W", 0.23}, Row{"Ta", 0.20}}) {
+    const auto w = paper_workload(r.el);
+    const double u =
+        m.utilization(static_cast<double>(w.atoms), w.candidates,
+                      w.interactions, w.measured_steps_per_s, cs2.peak_pflops);
+    EXPECT_NEAR(u, r.util, 0.025) << r.el;
+  }
+}
+
+TEST(FlopModel, TableIVUtilizationFrontierAndQuartz) {
+  // Paper Table IV: Frontier 0.4/0.4/0.2 %, Quartz 1.9/2.5/1.0 %.
+  const FlopModel m;
+  struct Row { const char* el; double frontier; double quartz; };
+  for (const Row& r : {Row{"Cu", 0.004, 0.019}, Row{"W", 0.004, 0.025},
+                       Row{"Ta", 0.002, 0.010}}) {
+    const auto w = paper_workload(r.el);
+    const double uf = m.utilization(
+        static_cast<double>(w.atoms), w.candidates, w.interactions,
+        w.frontier_steps_per_s, platform_frontier_32gcd().peak_pflops);
+    const double uq = m.utilization(
+        static_cast<double>(w.atoms), w.candidates, w.interactions,
+        w.quartz_steps_per_s, platform_quartz_800cpu().peak_pflops);
+    EXPECT_NEAR(uf, r.frontier, 0.0012) << r.el;
+    EXPECT_NEAR(uq, r.quartz, 0.004) << r.el;
+  }
+}
+
+TEST(MultiWafer, ReproducesTableVILowUtilization) {
+  // Paper Table VI "Low Utilization (20%)" block.
+  struct Row {
+    const char* el; int x, z; double ratio, twall;
+    int lambda, k; double steps; double fraction;
+  };
+  const Row rows[] = {
+      {"Cu", 283, 10, 1.94, 9.41, 78, 20, 105152.0, 0.99},
+      {"W", 317, 8, 2.02, 10.4, 88, 21, 95281.0, 0.99},
+      {"Ta", 317, 8, 1.39, 3.65, 88, 31, 269214.0, 0.98},
+  };
+  for (const Row& r : rows) {
+    MultiWaferParams p;
+    p.x_extent = r.x;
+    p.z_extent = r.z;
+    p.rcut_over_rlattice = r.ratio;
+    p.twall_us = r.twall;
+    const auto out = multiwafer_performance(p, 0.20);
+    EXPECT_NEAR(out.lambda, r.lambda, 1) << r.el;
+    EXPECT_NEAR(out.k, r.k, 1) << r.el;
+    EXPECT_NEAR(out.steps_per_second, r.steps, 0.02 * r.steps) << r.el;
+    EXPECT_NEAR(out.performance_fraction, r.fraction, 0.02) << r.el;
+  }
+}
+
+TEST(MultiWafer, ReproducesTableVIHighUtilization) {
+  // Paper Table VI "High Utilization (80%)" block.
+  struct Row {
+    const char* el; int x, z; double ratio, twall;
+    int lambda, k; double steps; double fraction;
+  };
+  const Row rows[] = {
+      {"Cu", 283, 10, 1.94, 9.41, 15, 3, 99239.0, 0.93},
+      {"W", 317, 8, 2.02, 10.4, 17, 4, 91743.0, 0.95},
+      {"Ta", 317, 8, 1.39, 3.65, 17, 6, 251046.0, 0.92},
+  };
+  for (const Row& r : rows) {
+    MultiWaferParams p;
+    p.x_extent = r.x;
+    p.z_extent = r.z;
+    p.rcut_over_rlattice = r.ratio;
+    p.twall_us = r.twall;
+    const auto out = multiwafer_performance(p, 0.80);
+    EXPECT_NEAR(out.lambda, r.lambda, 1) << r.el;
+    EXPECT_NEAR(out.k, r.k, 1) << r.el;
+    EXPECT_NEAR(out.steps_per_second, r.steps, 0.05 * r.steps) << r.el;
+    EXPECT_NEAR(out.performance_fraction, r.fraction, 0.04) << r.el;
+  }
+}
+
+TEST(MultiWafer, AtomCountsMatchTableVI) {
+  MultiWaferParams cu{283, 10, 1.94, 9.41};
+  EXPECT_EQ(multiwafer_performance(cu, 0.20).natom, 800890);
+  MultiWaferParams ta{317, 8, 1.39, 3.65};
+  EXPECT_EQ(multiwafer_performance(ta, 0.20).natom, 803912);
+}
+
+TEST(MultiWafer, ThickerHaloRaisesPerformanceLowersUtilization) {
+  MultiWaferParams p{317, 8, 1.39, 3.65};
+  const auto low = multiwafer_performance(p, 0.20);   // thick halo
+  const auto high = multiwafer_performance(p, 0.80);  // thin halo
+  EXPECT_GT(low.steps_per_second, high.steps_per_second);
+  EXPECT_LT(low.interior_fraction, high.interior_fraction);
+}
+
+TEST(MultiWafer, RejectsDegenerateInputs) {
+  MultiWaferParams p{317, 8, 1.39, 3.65};
+  EXPECT_THROW(multiwafer_performance(p, 0.0), Error);
+  EXPECT_THROW(multiwafer_performance(p, 1.0), Error);
+  EXPECT_THROW(multiwafer_performance_lambda(p, 0), Error);
+  EXPECT_THROW(multiwafer_performance_lambda(p, 200), Error);
+}
+
+TEST(Timescale, Fig1Anchors) {
+  // Paper Fig. 1: 800k Ta atoms for 30 days at 2 fs steps: WSE ~1.3 ms of
+  // simulated time; Frontier = WSE / 179 ~ 7 us.
+  const double wse =
+      reachable_timescale_seconds(274016.0, 2.0, 30.0);
+  EXPECT_NEAR(wse, 1.42e-3, 0.1e-3);
+  const double gpu = reachable_timescale_seconds(1530.0, 2.0, 30.0);
+  EXPECT_NEAR(wse / gpu, 179.0, 2.0);
+}
+
+TEST(Timescale, LengthScale) {
+  // ~250 atoms across at ~3 A spacing -> ~7.5e-8 m (Fig. 1 annotation).
+  EXPECT_NEAR(length_scale_meters(250.0, 3.0), 7.5e-8, 1e-9);
+  EXPECT_THROW(reachable_timescale_seconds(0.0, 2.0, 30.0), Error);
+}
+
+}  // namespace
+}  // namespace wsmd::perf

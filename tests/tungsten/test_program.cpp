@@ -1,0 +1,104 @@
+#include "tungsten/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+#include "wse/multicast.hpp"
+
+namespace wsmd::tungsten {
+namespace {
+
+using wse::RouterCmd;
+
+/// The paper's Fig. 4c neighborhood-exchange program for one tile: two
+/// serial send threads (one per direction channel) and the row receives.
+TileProgram fig4c_horizontal_program(std::uint32_t atom_word, int b,
+                                     int x, int width) {
+  TileProgram prog;
+  prog.thread()
+      .send_vector(wse::kVcEast, {atom_word})
+      .send_commands(wse::kVcEast, {RouterCmd::Advance, RouterCmd::Reset});
+  prog.thread()
+      .send_vector(wse::kVcWest, {atom_word})
+      .send_commands(wse::kVcWest, {RouterCmd::Advance, RouterCmd::Reset});
+  // row[0..b] <- lr[] ; row[b..2b] <- rl[] — clipped at the grid edge.
+  const int left = std::max(0, x - b);
+  const int right = std::min(width - 1, x + b);
+  prog.thread().receive_into(wse::kVcEast, "row",
+                             static_cast<std::size_t>(x - left + 1));
+  prog.thread().receive_into(wse::kVcWest, "row",
+                             static_cast<std::size_t>(right - x));
+  return prog;
+}
+
+TEST(Tungsten, Fig4cHorizontalStageGathersRow) {
+  const int width = 12, b = 2;
+  Machine machine(width, 1, wse::kNumExchangeVcs);
+  wse::configure_horizontal_roles(machine.fabric(), b);
+  for (int x = 0; x < width; ++x) {
+    machine.load(x, 0,
+                 fig4c_horizontal_program(static_cast<std::uint32_t>(100 + x),
+                                          b, x, width));
+  }
+  machine.run();
+
+  for (int x = 0; x < width; ++x) {
+    const auto& row = machine.buffer(x, 0, "row");
+    std::set<std::uint32_t> got(row.begin(), row.end());
+    std::set<std::uint32_t> expected;
+    for (int nx = std::max(0, x - b); nx <= std::min(width - 1, x + b); ++nx) {
+      expected.insert(static_cast<std::uint32_t>(100 + nx));
+    }
+    EXPECT_EQ(got, expected) << "tile " << x;
+  }
+  EXPECT_EQ(machine.fabric().contention_events(), 0u);
+}
+
+TEST(Tungsten, ThreadBuilderChainsOps) {
+  TileProgram prog;
+  prog.thread()
+      .send_vector(0, {1, 2, 3})
+      .send_commands(0, {RouterCmd::Advance})
+      .receive_into(1, "buf", 4);
+  ASSERT_EQ(prog.threads.size(), 1u);
+  ASSERT_EQ(prog.threads[0].ops.size(), 3u);
+  EXPECT_EQ(prog.threads[0].ops[0].kind, Op::Kind::SendVector);
+  EXPECT_EQ(prog.threads[0].ops[1].kind, Op::Kind::SendCommandList);
+  EXPECT_EQ(prog.threads[0].ops[2].kind, Op::Kind::ReceiveInto);
+}
+
+TEST(Tungsten, ReceiveCountMismatchThrows) {
+  Machine machine(4, 1, wse::kNumExchangeVcs);
+  wse::configure_horizontal_roles(machine.fabric(), 1);
+  for (int x = 0; x < 4; ++x) {
+    TileProgram prog;
+    prog.thread()
+        .send_vector(wse::kVcEast, {static_cast<std::uint32_t>(x)})
+        .send_commands(wse::kVcEast, {RouterCmd::Advance, RouterCmd::Reset});
+    prog.thread().receive_into(wse::kVcEast, "row", 99);  // wrong count
+    machine.load(x, 0, std::move(prog));
+  }
+  EXPECT_THROW(machine.run(), Error);
+}
+
+TEST(Tungsten, DoubleSendOnOneChannelThrows) {
+  Machine machine(2, 1, 4);
+  TileProgram prog;
+  prog.thread().send_vector(0, {1});
+  prog.thread().send_vector(0, {2});
+  machine.load(0, 0, std::move(prog));
+  EXPECT_THROW(machine.run(), Error);
+}
+
+TEST(Tungsten, UnknownBufferThrows) {
+  Machine machine(2, 1, 4);
+  machine.load(0, 0, TileProgram{});
+  machine.run();
+  EXPECT_THROW(machine.buffer(0, 0, "nope"), Error);
+  EXPECT_THROW(machine.buffer(1, 0, "row"), Error);  // no program loaded
+}
+
+}  // namespace
+}  // namespace wsmd::tungsten

@@ -1,0 +1,61 @@
+#include "util/box.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wsmd {
+namespace {
+
+TEST(Box, LengthsAndVolume) {
+  const Box b({0, 0, 0}, {2, 3, 4});
+  EXPECT_EQ(b.lengths(), (Vec3d{2, 3, 4}));
+  EXPECT_DOUBLE_EQ(b.volume(), 24.0);
+  EXPECT_DOUBLE_EQ(b.length(1), 3.0);
+}
+
+TEST(Box, RejectsInvertedBounds) {
+  EXPECT_THROW(Box({0, 0, 0}, {-1, 1, 1}), Error);
+}
+
+TEST(Box, WrapOnlyAffectsPeriodicAxes) {
+  const Box b({0, 0, 0}, {10, 10, 10}, {true, false, false});
+  const Vec3d w = b.wrap({12.0, 12.0, -3.0});
+  EXPECT_DOUBLE_EQ(w.x, 2.0);   // periodic: folded
+  EXPECT_DOUBLE_EQ(w.y, 12.0);  // open: untouched
+  EXPECT_DOUBLE_EQ(w.z, -3.0);
+}
+
+TEST(Box, WrapHandlesLargeExcursions) {
+  const Box b({0, 0, 0}, {5, 5, 5}, {true, true, true});
+  const Vec3d w = b.wrap({26.0, -26.0, 7.5});
+  EXPECT_DOUBLE_EQ(w.x, 1.0);
+  EXPECT_DOUBLE_EQ(w.y, 4.0);
+  EXPECT_DOUBLE_EQ(w.z, 2.5);
+}
+
+TEST(Box, MinimumImagePicksNearestReplica) {
+  const Box b({0, 0, 0}, {10, 10, 10}, {true, true, true});
+  const Vec3d d = b.minimum_image({1, 1, 1}, {9, 9, 9});
+  EXPECT_DOUBLE_EQ(d.x, -2.0);
+  EXPECT_DOUBLE_EQ(d.y, -2.0);
+  EXPECT_DOUBLE_EQ(d.z, -2.0);
+}
+
+TEST(Box, MinimumImageOpenAxesAreDirect) {
+  const Box b({0, 0, 0}, {10, 10, 10}, {false, false, false});
+  const Vec3d d = b.minimum_image({1, 1, 1}, {9, 9, 9});
+  EXPECT_DOUBLE_EQ(d.x, 8.0);
+  EXPECT_DOUBLE_EQ(d.y, 8.0);
+  EXPECT_DOUBLE_EQ(d.z, 8.0);
+}
+
+TEST(Box, ContainsChecksOpenAxesOnly) {
+  const Box b({0, 0, 0}, {10, 10, 10}, {true, false, false});
+  EXPECT_TRUE(b.contains({100.0, 5.0, 5.0}));   // x periodic: any value ok
+  EXPECT_FALSE(b.contains({5.0, 11.0, 5.0}));   // y open: outside
+  EXPECT_TRUE(b.contains({5.0, 10.0, 0.0}));    // boundary inclusive
+}
+
+}  // namespace
+}  // namespace wsmd

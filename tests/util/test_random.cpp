@@ -1,0 +1,107 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace wsmd {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(123);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(5);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++hits[static_cast<std::size_t>(rng.uniform_index(10))];
+  }
+  for (int h : hits) EXPECT_GT(h, 700);  // ~1000 expected per bin
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(Rng, GaussianMomentsMatchStandardNormal) {
+  Rng rng(99);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaleAndShift) {
+  Rng rng(99);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.gaussian(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, GaussianVec3ComponentsIndependent) {
+  Rng rng(4);
+  RunningStats sx, sy, sz, sxy;
+  for (int i = 0; i < 50000; ++i) {
+    const Vec3d v = rng.gaussian_vec3(2.0);
+    sx.add(v.x);
+    sy.add(v.y);
+    sz.add(v.z);
+    sxy.add(v.x * v.y);
+  }
+  EXPECT_NEAR(sx.stddev(), 2.0, 0.1);
+  EXPECT_NEAR(sy.stddev(), 2.0, 0.1);
+  EXPECT_NEAR(sz.stddev(), 2.0, 0.1);
+  EXPECT_NEAR(sxy.mean(), 0.0, 0.1);  // uncorrelated components
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(11);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace wsmd

@@ -1,0 +1,103 @@
+#include "util/spline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wsmd {
+namespace {
+
+TEST(CubicSpline, ReproducesLinearFunctionExactly) {
+  const auto sp = CubicSplineTable::sample(
+      [](double x) { return 3.0 * x - 2.0; }, 0.0, 10.0, 11);
+  for (double x = 0.0; x <= 10.0; x += 0.37) {
+    EXPECT_NEAR(sp.value(x), 3.0 * x - 2.0, 1e-10);
+    EXPECT_NEAR(sp.derivative(x), 3.0, 1e-10);
+  }
+}
+
+TEST(CubicSpline, InterpolatesSineAccurately) {
+  const auto sp = CubicSplineTable::sample(
+      [](double x) { return std::sin(x); }, 0.0, 6.283, 200);
+  for (double x = 0.3; x < 6.0; x += 0.173) {
+    EXPECT_NEAR(sp.value(x), std::sin(x), 1e-6);
+    EXPECT_NEAR(sp.derivative(x), std::cos(x), 1e-4);
+  }
+}
+
+TEST(CubicSpline, ExactAtKnots) {
+  std::vector<double> y = {1.0, 4.0, 9.0, 16.0, 25.0, 36.0};
+  const CubicSplineTable sp(1.0, 1.0, y);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(sp.value(1.0 + static_cast<double>(i)), y[i], 1e-12);
+  }
+}
+
+TEST(CubicSpline, ValueAndDerivativeAgreeWithSeparateCalls) {
+  const auto sp = CubicSplineTable::sample(
+      [](double x) { return std::exp(-x) * x; }, 0.0, 5.0, 100);
+  for (double x = 0.1; x < 5.0; x += 0.31) {
+    double v, d;
+    sp.value_and_derivative(x, v, d);
+    EXPECT_DOUBLE_EQ(v, sp.value(x));
+    EXPECT_DOUBLE_EQ(d, sp.derivative(x));
+  }
+}
+
+TEST(CubicSpline, DerivativeMatchesFiniteDifference) {
+  const auto sp = CubicSplineTable::sample(
+      [](double x) { return x * x * x - 2.0 * x; }, -2.0, 2.0, 300);
+  const double h = 1e-6;
+  for (double x = -1.8; x < 1.8; x += 0.29) {
+    const double fd = (sp.value(x + h) - sp.value(x - h)) / (2.0 * h);
+    EXPECT_NEAR(sp.derivative(x), fd, 1e-4);
+  }
+}
+
+TEST(CubicSpline, ClampsBeyondEnds) {
+  const auto sp = CubicSplineTable::sample([](double x) { return x; }, 0.0,
+                                           1.0, 11);
+  // Clamped evaluation extrapolates the end segments linearly; it must not
+  // crash or return garbage far outside.
+  EXPECT_NEAR(sp.value(-0.05), -0.05, 1e-9);
+  EXPECT_NEAR(sp.value(1.05), 1.05, 1e-9);
+}
+
+TEST(CubicSpline, RejectsBadConstruction) {
+  EXPECT_THROW(CubicSplineTable(0.0, 1.0, {1.0, 2.0}), Error);
+  EXPECT_THROW(CubicSplineTable(0.0, -1.0, {1.0, 2.0, 3.0}), Error);
+  EXPECT_THROW(CubicSplineTable::sample([](double) { return 0.0; }, 1.0, 0.0, 10),
+               Error);
+}
+
+TEST(LinearTable, ExactForLinearFunctions) {
+  const auto t =
+      LinearTable::sample([](double x) { return 2.0 * x + 1.0; }, 0.0, 4.0, 5);
+  for (double x = 0.0; x <= 4.0; x += 0.13) {
+    EXPECT_NEAR(t.value(x), 2.0 * x + 1.0, 1e-12);
+    EXPECT_NEAR(t.derivative(x), 2.0, 1e-12);
+  }
+}
+
+TEST(LinearTable, ConvergesQuadratically) {
+  auto f = [](double x) { return std::cos(x); };
+  const auto coarse = LinearTable::sample(f, 0.0, 3.0, 31);
+  const auto fine = LinearTable::sample(f, 0.0, 3.0, 301);
+  double err_coarse = 0.0, err_fine = 0.0;
+  for (double x = 0.05; x < 3.0; x += 0.07) {
+    err_coarse = std::max(err_coarse, std::fabs(coarse.value(x) - f(x)));
+    err_fine = std::max(err_fine, std::fabs(fine.value(x) - f(x)));
+  }
+  // 10x finer grid -> ~100x smaller max error for piecewise linear.
+  EXPECT_LT(err_fine, err_coarse / 50.0);
+}
+
+TEST(LinearTable, RejectsBadConstruction) {
+  EXPECT_THROW(LinearTable(0.0, 1.0, {1.0}), Error);
+  EXPECT_THROW(LinearTable(0.0, 0.0, {1.0, 2.0}), Error);
+}
+
+}  // namespace
+}  // namespace wsmd

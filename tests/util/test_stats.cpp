@@ -1,0 +1,99 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace wsmd {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(LinearFit, RecoversExactLinearModel) {
+  // y = 26.6*x1 + 71.4*x2 + 574 — the paper's Table II model, noise-free.
+  std::vector<double> x1, x2, y;
+  for (int c : {24, 48, 80, 120, 168, 224}) {
+    for (int k : {8, 14, 28, 42, 59}) {
+      x1.push_back(c);
+      x2.push_back(k);
+      y.push_back(26.6 * c + 71.4 * k + 574.0);
+    }
+  }
+  const LinearFit fit = fit_two_regressors_with_intercept(x1, x2, y);
+  ASSERT_EQ(fit.coefficients.size(), 3u);
+  EXPECT_NEAR(fit.coefficients[0], 26.6, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], 71.4, 1e-9);
+  EXPECT_NEAR(fit.coefficients[2], 574.0, 1e-6);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, RobustToModestNoise) {
+  Rng rng(31);
+  std::vector<double> x1, x2, y;
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.uniform(10, 250);
+    const double b = rng.uniform(5, 70);
+    x1.push_back(a);
+    x2.push_back(b);
+    y.push_back(26.6 * a + 71.4 * b + 574.0 + rng.gaussian(0.0, 5.0));
+  }
+  const LinearFit fit = fit_two_regressors_with_intercept(x1, x2, y);
+  EXPECT_NEAR(fit.coefficients[0], 26.6, 0.1);
+  EXPECT_NEAR(fit.coefficients[1], 71.4, 0.3);
+  EXPECT_NEAR(fit.coefficients[2], 574.0, 10.0);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(LinearFit, SingleRegressorThroughOrigin) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (double x = 1.0; x <= 10.0; x += 1.0) {
+    rows.push_back({x});
+    y.push_back(4.0 * x);
+  }
+  const LinearFit fit = fit_linear_model(rows, y);
+  ASSERT_EQ(fit.coefficients.size(), 1u);
+  EXPECT_NEAR(fit.coefficients[0], 4.0, 1e-12);
+}
+
+TEST(LinearFit, ThrowsOnDegenerateInput) {
+  EXPECT_THROW(fit_linear_model({}, {}), Error);
+  EXPECT_THROW(fit_linear_model({{1.0}}, {1.0, 2.0}), Error);
+  // Collinear columns -> singular normal equations.
+  std::vector<std::vector<double>> rows = {{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}};
+  EXPECT_THROW(fit_linear_model(rows, {1.0, 2.0, 3.0}), Error);
+}
+
+TEST(LinearFit, ResidualRmsReflectsNoise) {
+  Rng rng(77);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(0, 100);
+    rows.push_back({x, 1.0});
+    y.push_back(2.0 * x + 1.0 + rng.gaussian(0.0, 3.0));
+  }
+  const LinearFit fit = fit_linear_model(rows, y);
+  EXPECT_NEAR(fit.residual_rms, 3.0, 0.3);
+}
+
+}  // namespace
+}  // namespace wsmd

@@ -1,0 +1,83 @@
+#include "util/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wsmd {
+namespace {
+
+TEST(Vec3, DefaultIsZero) {
+  Vec3d v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+}
+
+TEST(Vec3, ArithmeticOperators) {
+  const Vec3d a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3d{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3d{3, 3, 3}));
+  EXPECT_EQ(a * 2.0, (Vec3d{2, 4, 6}));
+  EXPECT_EQ(2.0 * a, (Vec3d{2, 4, 6}));
+  EXPECT_EQ(b / 2.0, (Vec3d{2, 2.5, 3}));
+  EXPECT_EQ(-a, (Vec3d{-1, -2, -3}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3d v{1, 1, 1};
+  v += {1, 2, 3};
+  EXPECT_EQ(v, (Vec3d{2, 3, 4}));
+  v -= {1, 1, 1};
+  EXPECT_EQ(v, (Vec3d{1, 2, 3}));
+  v *= 3.0;
+  EXPECT_EQ(v, (Vec3d{3, 6, 9}));
+  v /= 3.0;
+  EXPECT_EQ(v, (Vec3d{1, 2, 3}));
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3d a{1, 0, 0}, b{0, 1, 0};
+  EXPECT_EQ(dot(a, b), 0.0);
+  EXPECT_EQ(cross(a, b), (Vec3d{0, 0, 1}));
+  EXPECT_EQ(dot(Vec3d{1, 2, 3}, Vec3d{4, 5, 6}), 32.0);
+}
+
+TEST(Vec3, Norms) {
+  const Vec3d v{3, 4, 0};
+  EXPECT_DOUBLE_EQ(norm2(v), 25.0);
+  EXPECT_DOUBLE_EQ(norm(v), 5.0);
+}
+
+TEST(Vec3, MaxNormIsChebyshev) {
+  EXPECT_DOUBLE_EQ(max_norm(Vec3d{1, -7, 3}), 7.0);
+  EXPECT_DOUBLE_EQ(max_norm(Vec3d{-2, 1, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(max_norm(Vec3d{0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(max_norm(Vec3d{0, 0, -9}), 9.0);
+}
+
+TEST(Vec3, IndexAccess) {
+  Vec3d v{10, 20, 30};
+  EXPECT_EQ(v[0], 10.0);
+  EXPECT_EQ(v[1], 20.0);
+  EXPECT_EQ(v[2], 30.0);
+  v[1] = 5.0;
+  EXPECT_EQ(v.y, 5.0);
+}
+
+TEST(Vec3, ExplicitPrecisionConversion) {
+  const Vec3d d{1.0000001, 2, 3};
+  const Vec3f f{d};
+  EXPECT_FLOAT_EQ(f.x, 1.0000001f);
+  const Vec3d back{f};
+  EXPECT_NEAR(back.x, d.x, 1e-6);
+}
+
+TEST(Vec3, StreamOutput) {
+  std::ostringstream os;
+  os << Vec3d{1, 2, 3};
+  EXPECT_EQ(os.str(), "(1, 2, 3)");
+}
+
+}  // namespace
+}  // namespace wsmd

@@ -1,0 +1,127 @@
+#include "wse/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wsmd::wse {
+namespace {
+
+TEST(CostModel, TableIICoefficients) {
+  // Paper Table II: A = 26.6 ns, B = 71.4 ns, C = 574.0 ns. The Table V
+  // basis rounds A to Mcast+Miss = 27 ns and B to 71 ns.
+  const CostModel m = CostModel::paper_baseline();
+  EXPECT_NEAR(m.A_ns(), 26.6, 0.5);
+  EXPECT_NEAR(m.B_ns(), 71.4, 0.5);
+  EXPECT_NEAR(m.C_ns(), 574.0, 1e-12);
+}
+
+TEST(CostModel, TableIPredictedRates) {
+  // Paper Table I "Predicted (WSE)" column from the same model.
+  const CostModel m = CostModel::paper_baseline();
+  struct Row { double cand, inter, predicted; };
+  for (const Row& r : {Row{224, 42, 104895.0},   // Cu
+                       Row{224, 59, 93048.0},    // W
+                       Row{80, 14, 270097.0}}) { // Ta
+    const double rate = m.steps_per_second(r.cand, r.inter);
+    EXPECT_NEAR(rate, r.predicted, 0.015 * r.predicted)
+        << "cand=" << r.cand << " inter=" << r.inter;
+  }
+}
+
+TEST(CostModel, TantalumTimestepCycleCount) {
+  // Paper Sec. V-B: ~3,477 cycles per timestep for the controlled
+  // Ta-class configuration at the modeled clock.
+  const CostModel m = CostModel::paper_baseline();
+  const double cycles = m.timestep_cycles(80, 14);
+  EXPECT_NEAR(cycles, 3477.0, 0.03 * 3477.0);
+}
+
+TEST(CostModel, CandidatesForB) {
+  EXPECT_DOUBLE_EQ(CostModel::candidates_for_b(4), 80.0);   // Ta
+  EXPECT_DOUBLE_EQ(CostModel::candidates_for_b(7), 224.0);  // Cu, W
+  EXPECT_DOUBLE_EQ(CostModel::candidates_for_b(0), 0.0);
+  EXPECT_THROW(CostModel::candidates_for_b(-1), Error);
+}
+
+TEST(CostModel, TableVProjectionLadderTa) {
+  // Paper Table V, Ta column: 270 -> 290 -> 460 -> 650 -> 1,100 (x1000
+  // steps/s) as the four optimizations stack.
+  CostModel m = CostModel::paper_baseline();
+  const double cand = 80, inter = 14;
+
+  EXPECT_NEAR(m.steps_per_second(cand, inter) / 1e3, 270.0, 8.0);
+
+  m.factors().fixed = 0.5;  // "Reduce fixed cost"
+  EXPECT_NEAR(m.steps_per_second(cand, inter) / 1e3, 290.0, 9.0);
+
+  m.factors().miss = 0.1;  // "Neighbor list" reused 10 steps
+  EXPECT_NEAR(m.steps_per_second(cand, inter) / 1e3, 460.0, 14.0);
+
+  m.factors().interaction = 0.5;  // "Force symmetry"
+  EXPECT_NEAR(m.steps_per_second(cand, inter) / 1e3, 650.0, 20.0);
+
+  m.factors().mcast = 0.5;  // "Multi-core workers"
+  m.factors().miss = 0.05;
+  m.factors().interaction = 0.25;
+  EXPECT_GT(m.steps_per_second(cand, inter), 1.0e6)
+      << "combined optimizations must exceed one million steps/s (paper)";
+}
+
+TEST(CostModel, InteractionsCostMoreThanRejects) {
+  const CostModel m = CostModel::paper_baseline();
+  const double base = m.timestep_seconds(100, 10);
+  EXPECT_GT(m.timestep_seconds(100, 20), base);   // more hits cost more
+  EXPECT_GT(m.timestep_seconds(120, 10), base);   // more candidates too
+}
+
+TEST(CostModel, RejectsInvalidCounts) {
+  const CostModel m = CostModel::paper_baseline();
+  EXPECT_THROW(m.timestep_seconds(-1, 0), Error);
+  EXPECT_THROW(m.timestep_seconds(10, 11), Error);  // inter > cand
+}
+
+TEST(OptimizationHistory, StartsAt5p6xAndEndsAtBaseline) {
+  const auto stages = optimization_history();
+  ASSERT_GE(stages.size(), 15u);  // paper Fig. 10 shows 19 data points
+  EXPECT_NEAR(stages.front().cumulative.fixed, 5.6, 1e-9);
+  EXPECT_NEAR(stages.back().cumulative.mcast, 1.0, 1e-9);
+  EXPECT_NEAR(stages.back().cumulative.miss, 1.0, 1e-9);
+  EXPECT_NEAR(stages.back().cumulative.interaction, 1.0, 1e-9);
+  EXPECT_NEAR(stages.back().cumulative.fixed, 1.0, 1e-9);
+}
+
+TEST(OptimizationHistory, PerformanceIsMonotonicallyNonDecreasing) {
+  const auto stages = optimization_history();
+  double prev = 0.0;
+  for (const auto& st : stages) {
+    CostModel m = CostModel::paper_baseline();
+    m.factors() = st.cumulative;
+    const double rate = m.steps_per_second(80, 14);
+    EXPECT_GE(rate, prev - 1e-9) << "regression at stage '" << st.name << "'";
+    prev = rate;
+  }
+}
+
+TEST(OptimizationHistory, TungstenLevelReachesWithin2xOfModel) {
+  // Paper Sec. V-G: high-level optimizations reached within 2x of the
+  // model; assembly closed the rest.
+  const auto stages = optimization_history();
+  const CostModel baseline = CostModel::paper_baseline();
+  const double target = baseline.steps_per_second(80, 14);
+
+  double last_tungsten = 0.0;
+  for (const auto& st : stages) {
+    if (st.assembly_level) break;
+    CostModel m = CostModel::paper_baseline();
+    m.factors() = st.cumulative;
+    last_tungsten = m.steps_per_second(80, 14);
+  }
+  EXPECT_GT(last_tungsten, target / 2.2);
+  EXPECT_LT(last_tungsten, target);
+}
+
+}  // namespace
+}  // namespace wsmd::wse

@@ -1,0 +1,187 @@
+#include "wse/multicast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace wsmd::wse {
+namespace {
+
+/// Expected gathered set at (x, y): payload ids of the clipped (2b+1)^2
+/// neighborhood, self included.
+std::set<std::uint32_t> expected_neighborhood(int width, int height, int x,
+                                              int y, int b) {
+  std::set<std::uint32_t> out;
+  for (int ny = std::max(0, y - b); ny <= std::min(height - 1, y + b); ++ny) {
+    for (int nx = std::max(0, x - b); nx <= std::min(width - 1, x + b); ++nx) {
+      out.insert(static_cast<std::uint32_t>(ny * width + nx));
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint32_t>> identity_payloads(int width,
+                                                          int height) {
+  std::vector<std::vector<std::uint32_t>> p(
+      static_cast<std::size_t>(width) * height);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] = {static_cast<std::uint32_t>(i)};
+  }
+  return p;
+}
+
+struct GridCase {
+  int width, height, b;
+};
+
+class ExchangeTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(ExchangeTest, DeliversExactClippedNeighborhoods) {
+  const auto [w, h, b] = GetParam();
+  const auto result = neighborhood_exchange(w, h, b, identity_payloads(w, h));
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const auto& g = result.gathered[static_cast<std::size_t>(y) * w + x];
+      const std::set<std::uint32_t> got(g.begin(), g.end());
+      EXPECT_EQ(got.size(), g.size()) << "duplicate delivery at " << x << "," << y;
+      EXPECT_EQ(got, expected_neighborhood(w, h, x, y, b))
+          << "wrong neighborhood at " << x << "," << y;
+    }
+  }
+}
+
+TEST_P(ExchangeTest, ZeroMeshLinkContention) {
+  const auto [w, h, b] = GetParam();
+  const auto result = neighborhood_exchange(w, h, b, identity_payloads(w, h));
+  EXPECT_EQ(result.contention_events, 0u)
+      << "marching multicast double-booked a mesh link";
+}
+
+TEST_P(ExchangeTest, ArrivalOrderIsDeterministic) {
+  const auto [w, h, b] = GetParam();
+  const auto r1 = neighborhood_exchange(w, h, b, identity_payloads(w, h));
+  const auto r2 = neighborhood_exchange(w, h, b, identity_payloads(w, h));
+  EXPECT_EQ(r1.gathered, r2.gathered);
+  EXPECT_EQ(r1.total_cycles(), r2.total_cycles());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, ExchangeTest,
+    ::testing::Values(GridCase{8, 1, 1}, GridCase{9, 1, 2}, GridCase{12, 1, 3},
+                      GridCase{6, 6, 1}, GridCase{9, 9, 2}, GridCase{12, 10, 3},
+                      GridCase{16, 16, 4}, GridCase{7, 5, 2},
+                      GridCase{25, 3, 2}),
+    [](const ::testing::TestParamInfo<GridCase>& info) {
+      return "w" + std::to_string(info.param.width) + "h" +
+             std::to_string(info.param.height) + "b" +
+             std::to_string(info.param.b);
+    });
+
+TEST(Exchange, BZeroIsIdentity) {
+  const auto p = identity_payloads(4, 4);
+  const auto result = neighborhood_exchange(4, 4, 0, p);
+  EXPECT_EQ(result.gathered, p);
+  EXPECT_EQ(result.total_cycles(), 0u);
+}
+
+TEST(Exchange, MultiWordPayloadsStayContiguous) {
+  // Payload of 3 words per core (the 12-byte position record of the paper)
+  // must arrive as contiguous word triples.
+  const int w = 10, h = 1, b = 2;
+  std::vector<std::vector<std::uint32_t>> p(w);
+  for (int i = 0; i < w; ++i) {
+    p[static_cast<std::size_t>(i)] = {static_cast<std::uint32_t>(3 * i),
+                                      static_cast<std::uint32_t>(3 * i + 1),
+                                      static_cast<std::uint32_t>(3 * i + 2)};
+  }
+  const auto result = neighborhood_exchange(w, h, b, p);
+  for (int x = 0; x < w; ++x) {
+    const auto& g = result.gathered[static_cast<std::size_t>(x)];
+    ASSERT_EQ(g.size() % 3, 0u);
+    for (std::size_t k = 0; k < g.size(); k += 3) {
+      EXPECT_EQ(g[k] % 3, 0u);
+      EXPECT_EQ(g[k + 1], g[k] + 1);
+      EXPECT_EQ(g[k + 2], g[k] + 2);
+    }
+  }
+}
+
+TEST(Exchange, HorizontalStageCyclesMatchClosedForm) {
+  // Uniform single-word payloads on one row: the simulator's cycle count
+  // must match the closed-form (b+1 phases of L+1 wavelets plus pipeline
+  // drain).
+  for (int b : {1, 2, 3}) {
+    for (std::size_t L : {1u, 3u, 6u}) {
+      const int w = 4 * (b + 1);
+      Fabric fabric(w, 1, kNumExchangeVcs);
+      configure_horizontal_roles(fabric, b);
+      for (int x = 0; x < w; ++x) {
+        std::vector<std::uint32_t> payload(L, static_cast<std::uint32_t>(x));
+        fabric.queue_send(x, 0, kVcEast, payload,
+                          {RouterCmd::Advance, RouterCmd::Reset}, true);
+        fabric.queue_send(x, 0, kVcWest, payload,
+                          {RouterCmd::Advance, RouterCmd::Reset}, false);
+      }
+      const std::uint64_t cycles = fabric.run_until_quiescent();
+      EXPECT_EQ(cycles, expected_stage_cycles(b, L))
+          << "b=" << b << " L=" << L;
+      EXPECT_EQ(fabric.contention_events(), 0u);
+    }
+  }
+}
+
+TEST(Exchange, EveryColumnBecomesHeadExactlyOnce) {
+  // After a full horizontal stage every core has sent: its payload must
+  // appear in the tail-most receiver of its domain.
+  const int w = 12, b = 2;
+  const auto result = neighborhood_exchange(w, 1, b, identity_payloads(w, 1));
+  for (int x = 0; x < w; ++x) {
+    const int right = std::min(w - 1, x + b);
+    const auto& g = result.gathered[static_cast<std::size_t>(right)];
+    EXPECT_TRUE(std::find(g.begin(), g.end(),
+                          static_cast<std::uint32_t>(x)) != g.end())
+        << "payload " << x << " never reached column " << right;
+  }
+}
+
+TEST(Exchange, VerticalStageCarriesAccumulatedRows) {
+  // Interior cores of a 2-D exchange receive exactly (2b+1)^2 payload
+  // words (1 word per source core).
+  const int w = 11, h = 11, b = 2;
+  const auto result = neighborhood_exchange(w, h, b, identity_payloads(w, h));
+  const auto& center = result.gathered[5 * 11 + 5];
+  EXPECT_EQ(center.size(), static_cast<std::size_t>((2 * b + 1) * (2 * b + 1)));
+  // Vertical stage moves (2b+1)x more words per head than horizontal.
+  EXPECT_GT(result.vertical_cycles, result.horizontal_cycles);
+}
+
+TEST(Exchange, RejectsMismatchedPayloadCount) {
+  EXPECT_THROW(neighborhood_exchange(4, 4, 1, identity_payloads(4, 3)),
+               Error);
+}
+
+TEST(Fabric, RejectsInvalidConfiguration) {
+  EXPECT_THROW(Fabric(0, 4, 4), Error);
+  EXPECT_THROW(Fabric(4, 4, 25), Error);  // > 24 VCs (paper Sec. IV-A)
+  Fabric f(4, 4, 4);
+  EXPECT_THROW(f.set_role(4, 0, 0, McastRole::Head, Port::East), Error);
+  EXPECT_THROW(f.queue_send(0, 0, 7, {1}, {}), Error);
+  f.queue_send(0, 0, 0, {1}, {});
+  EXPECT_THROW(f.queue_send(0, 0, 0, {2}, {}), Error);  // double queue
+}
+
+TEST(Fabric, QuiescentAfterDrain) {
+  Fabric f(6, 1, kNumExchangeVcs);
+  configure_horizontal_roles(f, 1);
+  EXPECT_TRUE(f.quiescent());
+  f.queue_send(0, 0, kVcEast, {1, 2, 3}, {RouterCmd::Advance, RouterCmd::Reset});
+  EXPECT_FALSE(f.quiescent());
+  f.run_until_quiescent();
+  EXPECT_TRUE(f.quiescent());
+}
+
+}  // namespace
+}  // namespace wsmd::wse

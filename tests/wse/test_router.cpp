@@ -1,0 +1,103 @@
+#include "wse/router.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wsmd::wse {
+namespace {
+
+Wavelet data(std::uint32_t v) { return Wavelet::make_data(v); }
+
+TEST(Router, BodyForwardsAndDeliversData) {
+  VcRouterState vc;
+  vc.role = McastRole::Body;
+  const RouteDecision d = route_upstream_wavelet(vc, data(42));
+  EXPECT_TRUE(d.to_core);
+  EXPECT_TRUE(d.forward);
+  EXPECT_EQ(d.downstream_wavelet.data, 42u);
+  EXPECT_EQ(vc.role, McastRole::Body);
+  EXPECT_EQ(vc.forwarded, 1u);
+  EXPECT_EQ(vc.delivered, 1u);
+}
+
+TEST(Router, TailDeliversWithoutForwarding) {
+  VcRouterState vc;
+  vc.role = McastRole::Tail;
+  const RouteDecision d = route_upstream_wavelet(vc, data(7));
+  EXPECT_TRUE(d.to_core);
+  EXPECT_FALSE(d.forward);
+  EXPECT_EQ(vc.role, McastRole::Tail);
+}
+
+TEST(Router, HeadIgnoresUpstreamData) {
+  VcRouterState vc;
+  vc.role = McastRole::Head;
+  const RouteDecision d = route_upstream_wavelet(vc, data(7));
+  EXPECT_FALSE(d.to_core);
+  EXPECT_FALSE(d.forward);
+}
+
+TEST(Router, IdleDropsEverything) {
+  VcRouterState vc;
+  vc.role = McastRole::Idle;
+  EXPECT_FALSE(route_upstream_wavelet(vc, data(1)).to_core);
+  EXPECT_FALSE(
+      route_upstream_wavelet(
+          vc, Wavelet::make_command({RouterCmd::Advance}))
+          .forward);
+  EXPECT_EQ(vc.role, McastRole::Idle);
+}
+
+TEST(Router, FirstBodyPopsAdvanceAndBecomesHead) {
+  // Paper Sec. III-B: "body tiles are configured to pop advance commands so
+  // that only the first body tile in the chain reacts".
+  VcRouterState vc;
+  vc.role = McastRole::Body;
+  const RouteDecision d = route_upstream_wavelet(
+      vc, Wavelet::make_command({RouterCmd::Advance, RouterCmd::Reset}));
+  EXPECT_EQ(vc.role, McastRole::Head);
+  ASSERT_TRUE(d.forward);
+  ASSERT_EQ(d.downstream_wavelet.commands.size(), 1u);
+  EXPECT_EQ(d.downstream_wavelet.commands[0], RouterCmd::Reset);
+}
+
+TEST(Router, MiddleBodyPassesResetUntouched) {
+  VcRouterState vc;
+  vc.role = McastRole::Body;
+  const RouteDecision d =
+      route_upstream_wavelet(vc, Wavelet::make_command({RouterCmd::Reset}));
+  EXPECT_EQ(vc.role, McastRole::Body);  // does not react
+  ASSERT_TRUE(d.forward);
+  ASSERT_EQ(d.downstream_wavelet.commands.size(), 1u);
+  EXPECT_EQ(d.downstream_wavelet.commands[0], RouterCmd::Reset);
+}
+
+TEST(Router, TailResetsToBody) {
+  VcRouterState vc;
+  vc.role = McastRole::Tail;
+  const RouteDecision d =
+      route_upstream_wavelet(vc, Wavelet::make_command({RouterCmd::Reset}));
+  EXPECT_EQ(vc.role, McastRole::Body);
+  EXPECT_FALSE(d.forward);  // command absorbed at the domain boundary
+}
+
+TEST(Router, TailWithLeadingAdvanceBecomesHead) {
+  // The b = 1 march has no body tile: the tail pops the Advance itself.
+  VcRouterState vc;
+  vc.role = McastRole::Tail;
+  const RouteDecision d = route_upstream_wavelet(
+      vc, Wavelet::make_command({RouterCmd::Advance, RouterCmd::Reset}));
+  EXPECT_EQ(vc.role, McastRole::Head);
+  EXPECT_FALSE(d.forward);
+}
+
+TEST(Router, EmptyCommandListIsNoOp) {
+  VcRouterState vc;
+  vc.role = McastRole::Body;
+  const RouteDecision d =
+      route_upstream_wavelet(vc, Wavelet::make_command({}));
+  EXPECT_EQ(vc.role, McastRole::Body);
+  EXPECT_FALSE(d.forward);
+}
+
+}  // namespace
+}  // namespace wsmd::wse
