@@ -30,8 +30,7 @@ int main() {
       "run; sub-optimal initial mapping).\n\n");
 
   const auto p = eam::zhou_parameters("W");
-  lattice::GrainBoundaryParams gb_params;
-  gb_params.element = "W";
+  lattice::GrainBoundaryParams gb_params;  // element defaults to "W"
   gb_params.tilt_angle_deg = 16.0;
   gb_params.cells_z = 3;
   const auto gb = lattice::make_grain_boundary_with_atom_count(gb_params, 1600);

@@ -96,42 +96,44 @@ void WseMd::gather_neighborhood(int cx, int cy,
 
 WseStepStats WseMd::step() { return do_timestep(); }
 
-WseStepStats WseMd::run(int n) {
+WseStepStats WseMd::run(int n, const StepCallback& callback) {
   WSMD_REQUIRE(n >= 0, "negative step count");
   WseStepStats last;
-  for (int k = 0; k < n; ++k) last = do_timestep();
+  for (int k = 0; k < n; ++k) {
+    last = do_timestep();
+    if (callback) callback(last);
+  }
   return last;
 }
 
-WseStepStats WseMd::do_timestep() {
-  const int w = mapping_.grid_width();
-  const int h = mapping_.grid_height();
+ShardRect WseMd::full_grid() const {
+  return ShardRect{0, 0, mapping_.grid_width(), mapping_.grid_height()};
+}
+
+void WseMd::begin_step(StepWorkspace& ws) const {
+  const std::size_t n = positions_.size();
+  ws.neighbors.resize(n);
+  ws.candidates.assign(n, 0);
+  ws.pe_embed.assign(n, 0.0);
+  ws.pair_half.assign(n, 0.0f);
+  ws.cycles.assign(n, 0.0);
+  ws.new_positions = positions_;
+  ws.new_velocities = velocities_;
+  ws.partner.resize(mapping_.core_count());
+}
+
+void WseMd::density_phase(const ShardRect& shard, StepWorkspace& ws) {
   const auto rc2 = static_cast<float>(rcut_ * rcut_);
-
-  WseStepStats stats;
-  RunningStats cycles;
-  double cand_total = 0.0, inter_total = 0.0;
-
-  // Phases 1-3a per worker: candidate exchange, neighbor list, density.
-  // Two sweeps are needed because forces use neighbors' F' values, which
-  // the real machine obtains with the second (embedding) exchange.
-  struct WorkerScratch {
-    std::vector<std::size_t> neighbors;  // accepted candidates (atom ids)
-    std::size_t candidates = 0;
-  };
-  std::vector<WorkerScratch> scratch(positions_.size());
-
-  double pe_pair = 0.0, pe_embed = 0.0;
   std::vector<std::size_t> gathered;
-  for (int cy = 0; cy < h; ++cy) {
-    for (int cx = 0; cx < w; ++cx) {
+  for (int cy = shard.y0; cy < shard.y1; ++cy) {
+    for (int cx = shard.x0; cx < shard.x1; ++cx) {
       const long ai = mapping_.atom_at(cx, cy);
       if (ai < 0) continue;
       const auto i = static_cast<std::size_t>(ai);
       gather_neighborhood(cx, cy, gathered);
-      auto& sc = scratch[i];
-      sc.candidates = gathered.size();
-      sc.neighbors.clear();
+      ws.candidates[i] = static_cast<std::uint32_t>(gathered.size());
+      auto& neighbors = ws.neighbors[i];
+      neighbors.clear();
       const Vec3f ri = positions_[i];
       float rho = 0.0f;
       for (std::size_t j : gathered) {
@@ -140,31 +142,29 @@ WseStepStats WseMd::do_timestep() {
         const Vec3f d(d64);
         const float r2 = dot(d, d);
         if (r2 >= rc2) continue;
-        sc.neighbors.push_back(j);
+        neighbors.push_back(j);
         rho += static_cast<float>(
             potential_->density(types_[j], std::sqrt(static_cast<double>(r2))));
       }
-      pe_embed += potential_->embed(types_[i], rho);
-      fprime_[i] =
-          static_cast<float>(potential_->embed_deriv(types_[i], rho));
+      ws.pe_embed[i] = potential_->embed(types_[i], rho);
+      fprime_[i] = static_cast<float>(potential_->embed_deriv(types_[i], rho));
     }
   }
+}
 
-  // Phase 4: force evaluation + leap-frog integration (F' of neighbors now
-  // available, as after the embedding exchange).
+void WseMd::force_phase(const ShardRect& shard, StepWorkspace& ws) const {
+  // F' of every neighborhood is available now, as after the embedding
+  // exchange on the real machine.
   const auto dt = static_cast<float>(config_.dt);
-  std::vector<Vec3f> new_positions = positions_;
-  std::vector<Vec3f> new_velocities = velocities_;
-  for (int cy = 0; cy < h; ++cy) {
-    for (int cx = 0; cx < w; ++cx) {
+  for (int cy = shard.y0; cy < shard.y1; ++cy) {
+    for (int cx = shard.x0; cx < shard.x1; ++cx) {
       const long ai = mapping_.atom_at(cx, cy);
       if (ai < 0) continue;
       const auto i = static_cast<std::size_t>(ai);
-      const auto& sc = scratch[i];
       const Vec3f ri = positions_[i];
       Vec3f force{0, 0, 0};
       float pair_acc = 0.0f;
-      for (std::size_t j : sc.neighbors) {
+      for (std::size_t j : ws.neighbors[i]) {
         const Vec3d d64 = box_.minimum_image(Vec3d(ri), Vec3d(positions_[j]));
         const Vec3f d(d64);
         const float r2 = dot(d, d);
@@ -180,57 +180,66 @@ WseStepStats WseMd::do_timestep() {
         const float fmag = fprime_[i] * drho_j + fprime_[j] * drho_i + dphi;
         force += d * (fmag / r);
       }
-      pe_pair += 0.5 * static_cast<double>(pair_acc);
+      ws.pair_half[i] = pair_acc;
 
       const auto inv_m = static_cast<float>(
           1.0 / potential_->mass(types_[i]) * units::kForceToAccel);
       const Vec3f a = force * inv_m;
-      new_velocities[i] = velocities_[i] + a * dt;
-      new_positions[i] = Vec3f(box_.wrap(Vec3d(ri + new_velocities[i] * dt)));
+      ws.new_velocities[i] = velocities_[i] + a * dt;
+      ws.new_positions[i] =
+          Vec3f(box_.wrap(Vec3d(ri + ws.new_velocities[i] * dt)));
 
       // Cycle accounting for this worker's timestep.
-      const double c = config_.cost_model.timestep_cycles(
-          static_cast<double>(sc.candidates),
-          static_cast<double>(sc.neighbors.size()));
-      cycles.add(c);
-      cand_total += static_cast<double>(sc.candidates);
-      inter_total += static_cast<double>(sc.neighbors.size());
+      ws.cycles[i] = config_.cost_model.timestep_cycles(
+          static_cast<double>(ws.candidates[i]),
+          static_cast<double>(ws.neighbors[i].size()));
     }
   }
-  positions_.swap(new_positions);
-  velocities_.swap(new_velocities);
+}
+
+bool WseMd::commit_step(StepWorkspace& ws) {
+  positions_.swap(ws.new_positions);
+  velocities_.swap(ws.new_velocities);
+
+  // Serial row-major reduction of the energy contributions: the summation
+  // order (and thus the FP64 result) is independent of how the phases were
+  // sharded.
+  const int w = mapping_.grid_width();
+  const int h = mapping_.grid_height();
+  double pe_pair = 0.0, pe_embed = 0.0;
+  for (int cy = 0; cy < h; ++cy) {
+    for (int cx = 0; cx < w; ++cx) {
+      const long ai = mapping_.atom_at(cx, cy);
+      if (ai < 0) continue;
+      pe_embed += ws.pe_embed[static_cast<std::size_t>(ai)];
+    }
+  }
+  for (int cy = 0; cy < h; ++cy) {
+    for (int cx = 0; cx < w; ++cx) {
+      const long ai = mapping_.atom_at(cx, cy);
+      if (ai < 0) continue;
+      pe_pair +=
+          0.5 * static_cast<double>(ws.pair_half[static_cast<std::size_t>(ai)]);
+    }
+  }
   pe_ = pe_pair + pe_embed;
   ++step_count_;
 
-  // Phase 5: occasional atom swap.
-  if (config_.swap_interval > 0 &&
-      step_count_ % config_.swap_interval == 0) {
-    stats.swaps_applied = do_atom_swap();
-    stats.swapped = true;
-  }
+  // Reduce the accounting now, before a phase-5 swap reorders the row-major
+  // sweep, so stats match the serial engine's historical reduction order.
+  ws.reduced = reduce_region(full_grid(), ws);
 
-  const auto n = static_cast<double>(positions_.size());
-  stats.mean_candidates = cand_total / n;
-  stats.mean_interactions = inter_total / n;
-  stats.max_cycles = cycles.max();
-  stats.mean_cycles = cycles.mean();
-  stats.stddev_cycles = cycles.stddev();
-  // Workers synchronize through the neighborhood exchanges, so the slowest
-  // worker sets the array step time (paper Sec. V-B).
-  stats.wall_seconds =
-      cycles.max() / (config_.cost_model.clock_ghz() * 1e9);
-  if (stats.swapped) {
-    // A swap costs roughly one timestep (paper Sec. V-E).
-    stats.wall_seconds *= 2.0;
-  }
-  elapsed_seconds_ += stats.wall_seconds;
-  return stats;
+  return config_.swap_interval > 0 && step_count_ % config_.swap_interval == 0;
 }
 
-std::size_t WseMd::do_atom_swap() {
-  // Paper Sec. III-D: two neighborhood exchanges. First, workers see
-  // neighbors' atom state and score the best swap; second, they exchange
-  // chosen partner ids; mutual choices commit. Empty tiles participate.
+void WseMd::swap_select(const ShardRect& shard,
+                        std::vector<int>& partner) const {
+  // Paper Sec. III-D, first exchange: workers see neighbors' atom state and
+  // score the best greedy swap. Empty tiles participate ("atoms at
+  // infinity"). Reads only committed positions and the mapping; writes only
+  // the region's partner slots, so disjoint shards are thread-safe.
+  WSMD_REQUIRE(partner.size() == mapping_.core_count(),
+               "partner array must cover every core");
   const int w = mapping_.grid_width();
   const int h = mapping_.grid_height();
   const int radius = 1;  // greedy swaps with immediate neighbors
@@ -243,10 +252,8 @@ std::size_t WseMd::do_atom_swap() {
     return std::max(std::fabs(lg.x - nom.x), std::fabs(lg.y - nom.y));
   };
 
-  // Pass 1: each core picks its best partner.
-  std::vector<int> partner(mapping_.core_count(), -1);
-  for (int cy = 0; cy < h; ++cy) {
-    for (int cx = 0; cx < w; ++cx) {
+  for (int cy = shard.y0; cy < shard.y1; ++cy) {
+    for (int cx = shard.x0; cx < shard.x1; ++cx) {
       const CoreCoord me{cx, cy};
       const long a = mapping_.atom_at(cx, cy);
       double best_gain = 1e-9;
@@ -271,8 +278,15 @@ std::size_t WseMd::do_atom_swap() {
       partner[static_cast<std::size_t>(cy) * w + cx] = best;
     }
   }
+}
 
-  // Pass 2: mutual agreement commits the swap.
+std::size_t WseMd::swap_commit(const std::vector<int>& partner) {
+  // Second exchange: chosen partner ids cross the fabric; mutual agreement
+  // commits the swap. Serial — it mutates the mapping.
+  WSMD_REQUIRE(partner.size() == mapping_.core_count(),
+               "partner array must cover every core");
+  const int w = mapping_.grid_width();
+  const int h = mapping_.grid_height();
   std::size_t applied = 0;
   for (int cy = 0; cy < h; ++cy) {
     for (int cx = 0; cx < w; ++cx) {
@@ -287,6 +301,66 @@ std::size_t WseMd::do_atom_swap() {
     }
   }
   return applied;
+}
+
+WseStepStats WseMd::reduce_region(const ShardRect& shard,
+                                  const StepWorkspace& ws) const {
+  WseStepStats stats;
+  RunningStats cycles;
+  double cand_total = 0.0, inter_total = 0.0;
+  std::size_t occupied = 0;
+  for (int cy = shard.y0; cy < shard.y1; ++cy) {
+    for (int cx = shard.x0; cx < shard.x1; ++cx) {
+      const long ai = mapping_.atom_at(cx, cy);
+      if (ai < 0) continue;
+      const auto i = static_cast<std::size_t>(ai);
+      cycles.add(ws.cycles[i]);
+      cand_total += static_cast<double>(ws.candidates[i]);
+      inter_total += static_cast<double>(ws.neighbors[i].size());
+      ++occupied;
+    }
+  }
+  if (occupied > 0) {
+    const auto n = static_cast<double>(occupied);
+    stats.mean_candidates = cand_total / n;
+    stats.mean_interactions = inter_total / n;
+  }
+  stats.max_cycles = cycles.max();
+  stats.mean_cycles = cycles.mean();
+  stats.stddev_cycles = cycles.stddev();
+  return stats;
+}
+
+WseStepStats WseMd::finish_step(const StepWorkspace& ws,
+                                std::size_t swaps_applied, bool swapped) {
+  WseStepStats stats = ws.reduced;
+  stats.step = step_count_;
+  stats.swaps_applied = swaps_applied;
+  stats.swapped = swapped;
+  // Workers synchronize through the neighborhood exchanges, so the slowest
+  // worker sets the array step time (paper Sec. V-B).
+  stats.wall_seconds =
+      stats.max_cycles / (config_.cost_model.clock_ghz() * 1e9);
+  if (stats.swapped) {
+    // A swap costs roughly one timestep (paper Sec. V-E).
+    stats.wall_seconds *= 2.0;
+  }
+  elapsed_seconds_ += stats.wall_seconds;
+  return stats;
+}
+
+WseStepStats WseMd::do_timestep() {
+  begin_step(ws_);
+  const ShardRect all = full_grid();
+  density_phase(all, ws_);
+  force_phase(all, ws_);
+  const bool swap_now = commit_step(ws_);
+  std::size_t applied = 0;
+  if (swap_now) {
+    swap_select(all, ws_.partner);
+    applied = swap_commit(ws_.partner);
+  }
+  return finish_step(ws_, applied, swap_now);
 }
 
 double WseMd::kinetic_energy() const {

@@ -25,6 +25,7 @@
 /// by the integration tests; performance comes from wse::CostModel.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -54,6 +55,7 @@ struct WseMdConfig {
 
 /// Per-step accounting, mirroring the counters the paper reports.
 struct WseStepStats {
+  long step = 0;                   ///< step index this snapshot belongs to
   double mean_candidates = 0.0;    ///< exchanged candidate atoms per worker
   double mean_interactions = 0.0;  ///< neighbor-list entries per worker
   double max_cycles = 0.0;         ///< slowest worker (sets the step time)
@@ -62,6 +64,40 @@ struct WseStepStats {
   double wall_seconds = 0.0;       ///< modeled step time (max worker)
   bool swapped = false;
   std::size_t swaps_applied = 0;
+};
+
+/// Rectangular core region, half-open: x in [x0, x1), y in [y0, y1).
+/// The phase kernels below operate on one region at a time; engine backends
+/// (src/engine) tile the grid into disjoint shards and run them on
+/// concurrent threads.
+struct ShardRect {
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = 0;
+  int y1 = 0;
+  bool empty() const { return x1 <= x0 || y1 <= y0; }
+};
+
+/// Reusable per-step buffers for the phase kernels. Every array is indexed
+/// by atom id except `partner` (indexed by core id, used by the atom-swap
+/// phase). Each atom is owned by exactly one core, so kernels running on
+/// disjoint shards never write the same slot — the workspace is safe to
+/// share across threads within one step.
+struct StepWorkspace {
+  // Phase 1-3 outputs.
+  std::vector<std::vector<std::size_t>> neighbors;  ///< accepted candidates
+  std::vector<std::uint32_t> candidates;            ///< gathered per worker
+  std::vector<double> pe_embed;                     ///< F(rho_i) per atom
+  // Phase 4 outputs.
+  std::vector<float> pair_half;   ///< sum_j phi_ij before the 1/2 factor
+  std::vector<double> cycles;     ///< cost-model cycles per worker
+  std::vector<Vec3f> new_positions;
+  std::vector<Vec3f> new_velocities;
+  // Phase 5 (atom swap) scratch: chosen partner core id or -1, per core.
+  std::vector<int> partner;
+  // Full-grid accounting reduced by commit_step (before any swap perturbs
+  // the row-major reduction order); finalized by finish_step.
+  WseStepStats reduced;
 };
 
 class WseMd {
@@ -87,8 +123,71 @@ class WseMd {
   /// Advance one timestep; returns the accounting.
   WseStepStats step();
 
-  /// Advance n steps; returns the last step's stats.
-  WseStepStats run(int n);
+  /// Advance n steps; returns the last step's stats. `callback`, when set,
+  /// fires after every step (mirrors md::Simulation::run so the two engines
+  /// can be driven identically).
+  using StepCallback = std::function<void(const WseStepStats&)>;
+  WseStepStats run(int n, const StepCallback& callback = {});
+
+  /// --- Phase-kernel interface -------------------------------------------
+  /// One timestep decomposes into the paper's five phases, exposed here so
+  /// engine backends (src/engine) can run them shard-parallel:
+  ///
+  ///   begin_step(ws);
+  ///   density_phase(shard, ws)   for disjoint shards covering the grid;
+  ///   --- barrier (F' of every neighborhood must be published) ---
+  ///   force_phase(shard, ws)     for disjoint shards covering the grid;
+  ///   --- barrier ---
+  ///   bool swap = commit_step(ws);
+  ///   if (swap) { swap_select(shard, ws.partner)  for disjoint shards;
+  ///               --- barrier ---
+  ///               applied = swap_commit(ws.partner); }
+  ///   stats = finish_step(ws, applied, swap);
+  ///
+  /// The kernels write only per-atom workspace slots (and fprime_) owned by
+  /// cores inside `shard`, so disjoint shards may run on concurrent
+  /// threads. Candidate arrival order per worker is a row-major sweep of
+  /// its neighborhood regardless of sharding, and all cross-worker
+  /// reductions happen serially in commit/finish in row-major core order —
+  /// results are bitwise independent of the shard decomposition.
+
+  /// The whole grid as one region (the serial decomposition).
+  ShardRect full_grid() const;
+
+  /// Size workspace buffers and seed new_positions/new_velocities.
+  void begin_step(StepWorkspace& ws) const;
+
+  /// Phases 1-3: candidate exchange, neighbor list, embedding density;
+  /// publishes fprime_ for the region's atoms.
+  void density_phase(const ShardRect& shard, StepWorkspace& ws);
+
+  /// Phase 4: force evaluation + leap-frog integration into the workspace
+  /// (requires fprime_ of all neighborhoods, i.e. a barrier after the
+  /// density phase).
+  void force_phase(const ShardRect& shard, StepWorkspace& ws) const;
+
+  /// Swap in the integrated state, accumulate the potential energy, and
+  /// advance the step counter. Returns true when this step is an atom-swap
+  /// step (phase 5 still pending).
+  bool commit_step(StepWorkspace& ws);
+
+  /// Phase 5a: each core in the region picks its best greedy swap partner
+  /// (reads committed positions; writes only the region's partner slots).
+  /// `partner` must be sized core_count().
+  void swap_select(const ShardRect& shard, std::vector<int>& partner) const;
+
+  /// Phase 5b: mutual choices commit (serial; mutates the mapping).
+  std::size_t swap_commit(const std::vector<int>& partner);
+
+  /// Reduce per-worker accounting over a core region in row-major order.
+  /// Fills the candidate/interaction/cycle fields only (no clock update).
+  WseStepStats reduce_region(const ShardRect& shard,
+                             const StepWorkspace& ws) const;
+
+  /// Final serial reduction: full-grid stats, modeled wall time (doubled on
+  /// swap steps, paper Sec. V-E), and the cumulative clock.
+  WseStepStats finish_step(const StepWorkspace& ws, std::size_t swaps_applied,
+                           bool swapped);
 
   /// Total potential energy of the last force evaluation (eV, FP32 sums).
   double potential_energy() const { return pe_; }
@@ -114,14 +213,9 @@ class WseMd {
   double elapsed_seconds() const { return elapsed_seconds_; }
 
  private:
-  struct Worker {
-    long atom = -1;  ///< atom index or -1 (empty tile: "atom at infinity")
-  };
-
   void gather_neighborhood(int cx, int cy,
                            std::vector<std::size_t>& out) const;
   WseStepStats do_timestep();
-  std::size_t do_atom_swap();
 
   WseMdConfig config_;
   eam::EamPotentialPtr potential_;
@@ -140,6 +234,10 @@ class WseMd {
   double pe_ = 0.0;
   long step_count_ = 0;
   double elapsed_seconds_ = 0.0;
+
+  /// Workspace reused by the serial step()/run() path (engine backends own
+  /// their own and drive the phase kernels directly).
+  StepWorkspace ws_;
 };
 
 }  // namespace wsmd::core

@@ -1,0 +1,42 @@
+#include "engine/engine.hpp"
+
+#include "engine/reference_engine.hpp"
+#include "engine/sharded_wafer.hpp"
+#include "engine/wafer_engine.hpp"
+#include "util/error.hpp"
+
+namespace wsmd::engine {
+
+Thermo Engine::run(long n, const StepCallback& callback) {
+  WSMD_REQUIRE(n >= 0, "negative step count");
+  Thermo t = thermo();
+  for (long k = 0; k < n; ++k) {
+    t = step();
+    if (callback) callback(t);
+  }
+  return t;
+}
+
+std::unique_ptr<Engine> make_engine(Backend backend,
+                                    const lattice::Structure& s,
+                                    eam::EamPotentialPtr potential,
+                                    const EngineConfig& config) {
+  switch (backend) {
+    case Backend::kReference:
+      return std::make_unique<ReferenceEngine>(s, std::move(potential),
+                                               config.reference);
+    case Backend::kWafer:
+      return std::make_unique<WaferEngine>(s, std::move(potential),
+                                           config.wafer);
+    case Backend::kShardedWafer: {
+      ShardedWaferConfig sw;
+      sw.wse = config.wafer;
+      sw.threads = config.threads;
+      return std::make_unique<ShardedWafer>(s, std::move(potential), sw);
+    }
+  }
+  WSMD_REQUIRE(false, "unknown engine backend");
+  return nullptr;  // unreachable
+}
+
+}  // namespace wsmd::engine

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file engine.hpp
+/// Unified MD engine interface (backends: reference FP64, serial wafer,
+/// sharded wafer).
+///
+/// The repo grows three ways of advancing the same physical system:
+///
+///   - md::Simulation   — FP64 reference ("LAMMPS role"), ground truth;
+///   - core::WseMd      — functional one-atom-per-core wafer engine, FP32,
+///                        with modeled cycle accounting;
+///   - ShardedWafer     — the wafer engine partitioned into per-thread
+///                        rectangular shards (see sharded_wafer.hpp).
+///
+/// `Engine` is the small common surface the benchmarks, examples, and
+/// cross-engine tests drive: thermalize, step/run with a per-step callback,
+/// and a thermodynamic snapshot. Adapters live next to this header; the
+/// `make_engine` factory builds any backend from a structure + potential.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/wse_md.hpp"
+#include "eam/potential.hpp"
+#include "lattice/lattice.hpp"
+#include "md/simulation.hpp"
+#include "util/random.hpp"
+#include "util/vec3.hpp"
+
+namespace wsmd::engine {
+
+/// Thermodynamic snapshot, common to every backend. For wafer backends the
+/// kinetic energy uses the stored half-step leap-frog velocities (the
+/// FP32 state the workers hold); the reference backend reports synchronized
+/// full-step values. Cross-engine comparisons should therefore allow the
+/// O(dt) sawtooth between the two conventions.
+struct Thermo {
+  long step = 0;
+  double potential_energy = 0.0;  ///< eV
+  double kinetic_energy = 0.0;    ///< eV
+  double total_energy = 0.0;      ///< eV
+  double temperature = 0.0;       ///< K
+};
+
+using StepCallback = std::function<void(const Thermo&)>;
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual const char* backend_name() const = 0;
+  virtual std::size_t atom_count() const = 0;
+  virtual long step_count() const = 0;
+
+  /// Atom state, widened to FP64 for inspection and cross-engine transfer.
+  virtual std::vector<Vec3d> positions() const = 0;
+  virtual std::vector<Vec3d> velocities() const = 0;
+  /// Overwrite velocities (e.g. copied from another engine so both
+  /// integrate the same trajectory).
+  virtual void set_velocities(const std::vector<Vec3d>& v) = 0;
+
+  /// Maxwell-Boltzmann initialization at T with zero net momentum.
+  virtual void thermalize(double temperature_K, Rng& rng) = 0;
+
+  /// Advance one timestep.
+  virtual Thermo step() = 0;
+
+  /// Advance n timesteps; `callback`, when set, fires after every step.
+  /// The default implementation loops step().
+  virtual Thermo run(long n, const StepCallback& callback = {});
+
+  /// Snapshot of the current state (valid from construction on).
+  virtual Thermo thermo() const = 0;
+};
+
+/// Backend selector for the factory.
+enum class Backend {
+  kReference,     ///< md::Simulation, FP64
+  kWafer,         ///< core::WseMd, serial sweep
+  kShardedWafer,  ///< core::WseMd phases over per-thread shards
+};
+
+struct EngineConfig {
+  md::SimulationConfig reference;  ///< used by kReference
+  core::WseMdConfig wafer;         ///< used by kWafer / kShardedWafer
+  int threads = 1;                 ///< kShardedWafer worker count (0 = auto)
+};
+
+std::unique_ptr<Engine> make_engine(Backend backend,
+                                    const lattice::Structure& s,
+                                    eam::EamPotentialPtr potential,
+                                    const EngineConfig& config = {});
+
+}  // namespace wsmd::engine

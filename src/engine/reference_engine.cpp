@@ -1,0 +1,59 @@
+#include "engine/reference_engine.hpp"
+
+#include "util/error.hpp"
+
+namespace wsmd::engine {
+
+namespace {
+
+Thermo to_thermo(const md::ThermoState& t) {
+  Thermo out;
+  out.step = t.step;
+  out.potential_energy = t.potential_energy;
+  out.kinetic_energy = t.kinetic_energy;
+  out.total_energy = t.total_energy;
+  out.temperature = t.temperature;
+  return out;
+}
+
+}  // namespace
+
+ReferenceEngine::ReferenceEngine(const lattice::Structure& s,
+                                 eam::EamPotentialPtr potential,
+                                 md::SimulationConfig config)
+    : sim_(md::AtomSystem(s, std::move(potential)), config) {
+  sim_.compute_forces();  // thermo() is meaningful from construction on
+}
+
+ReferenceEngine::ReferenceEngine(md::Simulation sim) : sim_(std::move(sim)) {
+  sim_.compute_forces();
+}
+
+std::vector<Vec3d> ReferenceEngine::positions() const {
+  return sim_.system().positions();
+}
+
+std::vector<Vec3d> ReferenceEngine::velocities() const {
+  return sim_.system().velocities();
+}
+
+void ReferenceEngine::set_velocities(const std::vector<Vec3d>& v) {
+  WSMD_REQUIRE(v.size() == sim_.system().size(), "velocity count mismatch");
+  sim_.system().velocities() = v;
+}
+
+void ReferenceEngine::thermalize(double temperature_K, Rng& rng) {
+  sim_.system().thermalize(temperature_K, rng);
+}
+
+Thermo ReferenceEngine::step() { return to_thermo(sim_.run(1)); }
+
+Thermo ReferenceEngine::run(long n, const StepCallback& callback) {
+  if (!callback) return to_thermo(sim_.run(n));
+  return to_thermo(sim_.run(
+      n, [&](const md::ThermoState& t) { callback(to_thermo(t)); }));
+}
+
+Thermo ReferenceEngine::thermo() const { return to_thermo(sim_.thermo()); }
+
+}  // namespace wsmd::engine

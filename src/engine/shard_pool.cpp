@@ -1,0 +1,74 @@
+#include "engine/shard_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace wsmd::engine {
+
+ShardPool::ShardPool(int workers) : workers_(workers) {
+  WSMD_REQUIRE(workers >= 1, "pool needs at least one worker");
+  errors_.assign(static_cast<std::size_t>(workers_), nullptr);
+  if (workers_ == 1) return;  // inline execution, no threads
+  threads_.reserve(static_cast<std::size_t>(workers_));
+  for (int t = 0; t < workers_; ++t) {
+    threads_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& th : threads_) th.join();
+}
+
+void ShardPool::run(const std::function<void(int)>& task) {
+  if (threads_.empty()) {
+    task(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &task;
+    remaining_ = workers_;
+    for (auto& e : errors_) e = nullptr;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    round_done_.wait(lock, [this] { return remaining_ == 0; });
+    task_ = nullptr;
+  }
+  for (const auto& e : errors_) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void ShardPool::worker_loop(int index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock,
+                       [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      task = task_;
+    }
+    try {
+      (*task)(index);
+    } catch (...) {
+      errors_[static_cast<std::size_t>(index)] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --remaining_;
+    }
+    round_done_.notify_one();
+  }
+}
+
+}  // namespace wsmd::engine

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file shard_pool.hpp
+/// Persistent worker-thread pool for the sharded wafer backend.
+///
+/// One pool outlives many timesteps; each `run(task)` call executes
+/// task(t) for every worker index t and returns when all are done, so two
+/// consecutive run() calls have an implicit barrier between them — exactly
+/// the synchronization the phase kernels need (density | barrier | force).
+/// A single-worker pool spawns no threads and runs tasks inline, keeping
+/// the 1-thread configuration bit-for-bit the plain serial path.
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wsmd::engine {
+
+class ShardPool {
+ public:
+  /// `workers` >= 1. One task index per worker; workers > 1 spawn that many
+  /// persistent threads.
+  explicit ShardPool(int workers);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  int size() const { return workers_; }
+
+  /// Execute task(t) for t in [0, size()) and wait for completion. The
+  /// first exception thrown by any worker is rethrown here (after all
+  /// workers finished the round).
+  void run(const std::function<void(int)>& task);
+
+ private:
+  void worker_loop(int index);
+
+  int workers_ = 1;
+  std::vector<std::thread> threads_;
+  std::vector<std::exception_ptr> errors_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable round_done_;
+  const std::function<void(int)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace wsmd::engine

@@ -1,0 +1,99 @@
+#include "engine/sharded_wafer.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace wsmd::engine {
+
+namespace {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// Split the grid into `count` horizontal strips of near-equal height.
+/// Strips may be empty when the grid has fewer rows than workers.
+std::vector<core::ShardRect> make_row_shards(int width, int height,
+                                             int count) {
+  std::vector<core::ShardRect> shards(static_cast<std::size_t>(count));
+  for (int t = 0; t < count; ++t) {
+    auto& s = shards[static_cast<std::size_t>(t)];
+    s.x0 = 0;
+    s.x1 = width;
+    s.y0 = height * t / count;
+    s.y1 = height * (t + 1) / count;
+  }
+  return shards;
+}
+
+}  // namespace
+
+ShardedWafer::ShardedWafer(const lattice::Structure& s,
+                           eam::EamPotentialPtr potential,
+                           ShardedWaferConfig config)
+    : WaferEngine(s, std::move(potential), config.wse),
+      pool_(resolve_threads(config.threads)) {
+  shards_ = make_row_shards(md_.mapping().grid_width(),
+                            md_.mapping().grid_height(), pool_.size());
+  shard_stats_.resize(shards_.size());
+}
+
+Thermo ShardedWafer::step() {
+  md_.begin_step(ws_);
+  pool_.run([&](int t) {
+    md_.density_phase(shards_[static_cast<std::size_t>(t)], ws_);
+  });
+  // Implicit barrier: every F' is published before any force kernel reads.
+  pool_.run([&](int t) {
+    const auto& shard = shards_[static_cast<std::size_t>(t)];
+    md_.force_phase(shard, ws_);
+    shard_stats_[static_cast<std::size_t>(t)] = md_.reduce_region(shard, ws_);
+  });
+  // Serial tail: commit integrated state and reduce in row-major order so
+  // results are bitwise independent of the decomposition.
+  const bool swap_now = md_.commit_step(ws_);
+  std::size_t applied = 0;
+  if (swap_now) {
+    pool_.run([&](int t) {
+      md_.swap_select(shards_[static_cast<std::size_t>(t)], ws_.partner);
+    });
+    applied = md_.swap_commit(ws_.partner);
+  }
+  last_ = md_.finish_step(ws_, applied, swap_now);
+  return thermo();
+}
+
+Thermo ShardedWafer::run(long n, const StepCallback& callback) {
+  // Bypass WaferEngine::run (which drives the serial md_.run path) in
+  // favor of the base step() loop, which dispatches to the sharded step.
+  return Engine::run(n, callback);
+}
+
+double ShardedWafer::halo_cycles_per_step() const {
+  const auto& model = md_.config().cost_model;
+  const int b = md_.b();
+  const int w = md_.mapping().grid_width();
+  const int h = md_.mapping().grid_height();
+  double cycles = 0.0;
+  for (const auto& s : shards_) {
+    if (s.empty()) continue;
+    // Ghost cores: the (2b+1)-halo of the shard clipped to the physical
+    // grid — only cores held by *other* shards cross a boundary. A single
+    // full-grid shard therefore has no halo at all.
+    const int gx0 = std::max(0, s.x0 - b), gx1 = std::min(w, s.x1 + b);
+    const int gy0 = std::max(0, s.y0 - b), gy1 = std::min(h, s.y1 + b);
+    const double ghost =
+        static_cast<double>(gx1 - gx0) * (gy1 - gy0) -
+        static_cast<double>(s.x1 - s.x0) * (s.y1 - s.y0);
+    // Two neighborhood exchanges per timestep cross the shard boundary:
+    // candidate positions and embedding derivatives (paper phases 1 and 3).
+    cycles += 2.0 * ghost * model.ghost_core_cycles();
+  }
+  return cycles;
+}
+
+}  // namespace wsmd::engine

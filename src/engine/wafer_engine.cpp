@@ -1,0 +1,41 @@
+#include "engine/wafer_engine.hpp"
+
+#include "util/units.hpp"
+
+namespace wsmd::engine {
+
+WaferEngine::WaferEngine(const lattice::Structure& s,
+                         eam::EamPotentialPtr potential,
+                         core::WseMdConfig config)
+    : md_(s, std::move(potential), config) {}
+
+Thermo WaferEngine::step() {
+  last_ = md_.step();
+  return thermo();
+}
+
+Thermo WaferEngine::run(long n, const StepCallback& callback) {
+  if (!callback) {
+    last_ = md_.run(static_cast<int>(n));
+  } else {
+    md_.run(static_cast<int>(n), [&](const core::WseStepStats& stats) {
+      last_ = stats;
+      callback(thermo());
+    });
+  }
+  return thermo();
+}
+
+Thermo WaferEngine::thermo() const {
+  Thermo t;
+  t.step = md_.step_count();
+  t.potential_energy = md_.potential_energy();
+  t.kinetic_energy = md_.kinetic_energy();
+  t.total_energy = t.potential_energy + t.kinetic_energy;
+  t.temperature = 2.0 * t.kinetic_energy /
+                  (3.0 * static_cast<double>(md_.atom_count()) *
+                   units::kBoltzmann);
+  return t;
+}
+
+}  // namespace wsmd::engine

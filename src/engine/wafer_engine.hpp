@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file wafer_engine.hpp
+/// Engine adapter for the serial wafer-scale engine (core::WseMd).
+///
+/// Exposes the one-atom-per-core FP32 engine behind the unified Engine
+/// interface and keeps the modeled wafer accounting (WseStepStats,
+/// elapsed modeled seconds) reachable for benches. ShardedWafer derives
+/// from this adapter and replaces the serial sweep with per-thread shards.
+
+#include "core/wse_md.hpp"
+#include "engine/engine.hpp"
+
+namespace wsmd::engine {
+
+class WaferEngine : public Engine {
+ public:
+  WaferEngine(const lattice::Structure& s, eam::EamPotentialPtr potential,
+              core::WseMdConfig config = {});
+
+  core::WseMd& wafer() { return md_; }
+  const core::WseMd& wafer() const { return md_; }
+
+  /// Accounting of the most recent step (zeroed before the first step).
+  const core::WseStepStats& last_step_stats() const { return last_; }
+
+  const char* backend_name() const override { return "wafer-serial"; }
+  std::size_t atom_count() const override { return md_.atom_count(); }
+  long step_count() const override { return md_.step_count(); }
+  std::vector<Vec3d> positions() const override { return md_.positions(); }
+  std::vector<Vec3d> velocities() const override { return md_.velocities(); }
+  void set_velocities(const std::vector<Vec3d>& v) override {
+    md_.set_velocities(v);
+  }
+  void thermalize(double temperature_K, Rng& rng) override {
+    md_.thermalize(temperature_K, rng);
+  }
+  Thermo step() override;
+  Thermo run(long n, const StepCallback& callback = {}) override;
+  Thermo thermo() const override;
+
+ protected:
+  core::WseMd md_;
+  core::WseStepStats last_;
+};
+
+}  // namespace wsmd::engine

@@ -1,0 +1,120 @@
+#include "util/bench_json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace wsmd {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+JsonObject& JsonObject::set(const std::string& key, double value) {
+  char buf[40];
+  if (!std::isfinite(value)) {
+    // JSON has no inf/nan; null keeps the document loadable.
+    fields_.emplace_back(key, "null");
+    return *this;
+  }
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  fields_.emplace_back(key, buf);
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, long long value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, escape(value));
+  return *this;
+}
+
+std::string JsonObject::encode() const {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t k = 0; k < fields_.size(); ++k) {
+    if (k > 0) os << ", ";
+    os << escape(fields_[k].first) << ": " << fields_[k].second;
+  }
+  os << '}';
+  return os.str();
+}
+
+std::string JsonObject::encode_members(const std::string& prefix) const {
+  std::ostringstream os;
+  for (std::size_t k = 0; k < fields_.size(); ++k) {
+    if (k > 0) os << ",\n";
+    os << prefix << escape(fields_[k].first) << ": " << fields_[k].second;
+  }
+  return os.str();
+}
+
+BenchJson::BenchJson(std::string bench_name) : name_(std::move(bench_name)) {
+  WSMD_REQUIRE(!name_.empty(), "bench name must be non-empty");
+}
+
+JsonObject& BenchJson::add_row() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+std::string BenchJson::encode() const {
+  std::ostringstream os;
+  os << "{\n  \"bench\": " << escape(name_);
+  if (!meta_.empty()) {
+    os << ",\n" << meta_.encode_members("  ");
+  }
+  os << ",\n  \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r == 0 ? "\n" : ",\n") << "    " << rows_[r].encode();
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+std::string BenchJson::write(const std::string& dir) const {
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  WSMD_REQUIRE(out.good(), "cannot open " << path << " for writing");
+  out << encode();
+  WSMD_REQUIRE(out.good(), "failed writing " << path);
+  return path;
+}
+
+}  // namespace wsmd

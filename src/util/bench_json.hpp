@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file bench_json.hpp
+/// Machine-readable benchmark output.
+///
+/// The paper-reproduction benches print human tables; to track the perf
+/// trajectory across PRs they additionally emit `BENCH_<name>.json` — a
+/// flat metadata object plus an array of uniform result rows, e.g.
+///
+///   {
+///     "bench": "fig7_strong_scaling",
+///     "atoms": 12672,
+///     "rows": [
+///       {"threads": 1, "steps_per_s": 3.1, "max_cycles": 3477.0},
+///       {"threads": 4, "steps_per_s": 11.9, "max_cycles": 3477.0}
+///     ]
+///   }
+///
+/// The encoder is deliberately tiny (ordered keys, scalars only): enough
+/// for trend tooling to `json.load` without pulling a JSON dependency into
+/// the repo.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wsmd {
+
+/// Ordered key -> scalar JSON object.
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, double value);
+  JsonObject& set(const std::string& key, long long value);
+  JsonObject& set(const std::string& key, int value) {
+    return set(key, static_cast<long long>(value));
+  }
+  JsonObject& set(const std::string& key, std::size_t value) {
+    return set(key, static_cast<long long>(value));
+  }
+  JsonObject& set(const std::string& key, bool value);
+  JsonObject& set(const std::string& key, const std::string& value);
+  JsonObject& set(const std::string& key, const char* value) {
+    return set(key, std::string(value));
+  }
+
+  bool empty() const { return fields_.empty(); }
+
+  /// Compact single-line encoding: {"k": v, ...}.
+  std::string encode() const;
+
+  /// Just the members, one per line prefixed with `prefix`, comma-joined,
+  /// no braces — for splicing into an enclosing object.
+  std::string encode_members(const std::string& prefix) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // key -> encoded
+};
+
+/// One benchmark's machine-readable output: metadata + result rows,
+/// serialized to `BENCH_<name>.json`.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name);
+
+  /// Top-level metadata (workload sizes, configuration).
+  JsonObject& meta() { return meta_; }
+
+  /// Append a result row.
+  JsonObject& add_row();
+
+  std::string encode() const;
+
+  /// Write `BENCH_<name>.json` into `dir`; returns the written path.
+  std::string write(const std::string& dir = ".") const;
+
+ private:
+  std::string name_;
+  JsonObject meta_;
+  std::vector<JsonObject> rows_;
+};
+
+}  // namespace wsmd

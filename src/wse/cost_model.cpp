@@ -49,6 +49,20 @@ double CostModel::timestep_cycles(double ncandidate,
   return timestep_seconds(ncandidate, ninteraction) * clock_ghz_ * 1e9;
 }
 
+double CostModel::ghost_core_cycles() const {
+  return c_.mcast_per_candidate * f_.mcast * clock_ghz_;
+}
+
+double CostModel::halo_exchange_cycles(int shard_w, int shard_h, int b) const {
+  WSMD_REQUIRE(shard_w > 0 && shard_h > 0, "shard must be non-empty");
+  WSMD_REQUIRE(b >= 0, "neighborhood radius must be non-negative");
+  const double inner = static_cast<double>(shard_w) * shard_h;
+  const double outer =
+      static_cast<double>(shard_w + 2 * b) * (shard_h + 2 * b);
+  const double ghost_cores = outer - inner;
+  return ghost_cores * ghost_core_cycles();
+}
+
 double CostModel::candidates_for_b(int b) {
   WSMD_REQUIRE(b >= 0, "neighborhood radius must be non-negative");
   const double side = 2.0 * b + 1.0;

@@ -75,6 +75,20 @@ class CostModel {
   /// cycle counters).
   double timestep_cycles(double ncandidate, double ninteraction) const;
 
+  /// Modeled cycles to deliver one ghost core's payload across a shard
+  /// boundary (the multicast per-hop cost under the current factors).
+  double ghost_core_cycles() const;
+
+  /// Modeled cycles for one refresh of the (2b+1)-deep ghost halo of a
+  /// free-standing rectangular W x H core shard: every ghost core's
+  /// payload crosses the shard boundary once, at ghost_core_cycles().
+  /// Callers with shards embedded in a finite grid should clip the halo to
+  /// the grid and charge ghost_core_cycles() per surviving ghost core
+  /// (engine::ShardedWafer does). This is what a region-decomposed
+  /// execution (or a multi-die tiling) pays on top of the per-tile
+  /// timestep cost.
+  double halo_exchange_cycles(int shard_w, int shard_h, int b) const;
+
   /// Candidate count for a square neighborhood of radius b: (2b+1)^2 - 1.
   static double candidates_for_b(int b);
 
