@@ -1,0 +1,199 @@
+/// \file wsmd.cpp
+/// `wsmd` — the scenario driver CLI.
+///
+/// One production binary over the engine library (the ACEMD pattern): a
+/// scenario is a declarative deck file and/or `key=value` overrides, and
+/// the driver runs it end-to-end on any backend, streaming trajectory and
+/// thermo output and finishing with a machine-readable summary.
+///
+///   $ wsmd scenarios/cu_slab.deck
+///   $ wsmd scenarios/cu_slab.deck backend=sharded:4 thermo=out.csv
+///   $ wsmd element=Ta geometry=slab scale=32 thermalize=300 run=50
+///   $ wsmd --print scenarios/ta_grain_boundary.deck
+///
+/// Exit status: 0 on success, 1 on any error (bad deck, unknown key,
+/// engine failure, I/O failure).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "eam/zhou.hpp"
+#include "scenario/deck.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace {
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "wsmd — wafer-scale MD scenario driver\n"
+               "\n"
+               "usage: wsmd [options] [deck ...] [key=value ...]\n"
+               "\n"
+               "Runs each deck (plus overrides) end-to-end on the selected\n"
+               "backend. With no deck, a scenario is built from key=value\n"
+               "tokens alone.\n"
+               "\n"
+               "options:\n"
+               "  --set key=value   scenario override (same as a bare\n"
+               "                    key=value argument)\n"
+               "  --backend=B       backend override for every run\n"
+               "                    (reference|wafer|sharded|sharded:N)\n"
+               "  --output-dir=DIR  prefix for relative output paths\n"
+               "  --print           parse and show the effective scenario,\n"
+               "                    do not run\n"
+               "  --quiet           suppress progress output\n"
+               "  --list-elements   show available Zhou parameter sets\n"
+               "  --help            this text\n"
+               "\n"
+               "deck keys: name element geometry scale replicate\n"
+               "  vacancy_fraction tilt_angle_deg gb_atoms backend dt\n"
+               "  swap_interval rescale_interval seed thermalize\n"
+               "  equilibrate ramp quench run xyz xyz_every thermo\n"
+               "  thermo_every thermo_format summary\n");
+}
+
+void print_scenario(const wsmd::scenario::Scenario& sc) {
+  using wsmd::format;
+  std::printf("scenario %s:\n", sc.name.c_str());
+  std::printf("  element   = %s\n", sc.element.c_str());
+  std::printf("  geometry  = %s\n", sc.geometry.c_str());
+  if (sc.replicate[0] > 0) {
+    std::printf("  replicate = %d %d %d\n", sc.replicate[0], sc.replicate[1],
+                sc.replicate[2]);
+  } else if (sc.geometry != "grain_boundary") {
+    std::printf("  scale     = %d (paper slab / scale)\n", sc.scale);
+  }
+  if (sc.geometry == "grain_boundary") {
+    std::printf("  tilt      = %.4g deg, ~%zu atoms\n", sc.tilt_angle_deg,
+                sc.gb_target_atoms);
+  }
+  if (sc.vacancy_fraction > 0.0) {
+    std::printf("  vacancies = %.4g\n", sc.vacancy_fraction);
+  }
+  std::printf("  backend   = %s\n", sc.backend.c_str());
+  std::printf("  dt        = %.4g ps, seed = %llu\n", sc.dt,
+              static_cast<unsigned long long>(sc.seed));
+  if (sc.swap_interval > 0) {
+    std::printf("  atom swap every %d steps (wafer backends)\n",
+                sc.swap_interval);
+  }
+  std::printf("  schedule  (%ld steps total):\n", sc.total_steps());
+  for (const auto& st : sc.schedule) {
+    using Kind = wsmd::scenario::Stage::Kind;
+    switch (st.kind) {
+      case Kind::kThermalize:
+        std::printf("    thermalize  %.5g K\n", st.t0);
+        break;
+      case Kind::kRamp:
+        std::printf("    ramp        %.5g -> %.5g K, %ld steps\n", st.t0,
+                    st.t1, st.steps);
+        break;
+      case Kind::kRun:
+        std::printf("    run         %ld steps (NVE)\n", st.steps);
+        break;
+      default:
+        std::printf("    %-11s %.5g K, %ld steps\n", st.name(), st.t0,
+                    st.steps);
+        break;
+    }
+  }
+  if (!sc.xyz_path.empty()) {
+    std::printf("  xyz       = %s (every %ld steps)\n", sc.xyz_path.c_str(),
+                sc.xyz_every);
+  }
+  if (!sc.thermo_path.empty()) {
+    std::printf("  thermo    = %s (%s, every %ld steps)\n",
+                sc.thermo_path.c_str(), sc.thermo_format.c_str(),
+                sc.thermo_every);
+  }
+  if (!sc.summary_path.empty()) {
+    std::printf("  summary   = %s\n", sc.summary_path.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wsmd;
+
+  std::vector<std::string> decks;
+  std::vector<scenario::DeckEntry> overrides;
+  scenario::RunOptions opt;
+  bool print_only = false;
+  bool quiet = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        print_usage(stdout);
+        return 0;
+      } else if (arg == "--list-elements") {
+        for (const auto& el : eam::zhou_available_elements()) {
+          const auto p = eam::zhou_parameters(el);
+          std::printf("%-3s %s  a = %.4f A\n", el.c_str(),
+                      p.structure.c_str(), p.lattice_constant());
+        }
+        return 0;
+      } else if (arg == "--print") {
+        print_only = true;
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else if (arg == "--set") {
+        WSMD_REQUIRE(i + 1 < argc, "--set needs a key=value argument");
+        overrides.push_back(scenario::parse_override(argv[++i]));
+      } else if (starts_with(arg, "--set=")) {
+        overrides.push_back(scenario::parse_override(arg.substr(6)));
+      } else if (starts_with(arg, "--backend=")) {
+        opt.backend_override = arg.substr(10);
+        scenario::parse_backend(opt.backend_override);  // validate now
+      } else if (starts_with(arg, "--output-dir=")) {
+        opt.output_dir = arg.substr(13);
+      } else if (starts_with(arg, "--")) {
+        WSMD_REQUIRE(false, "unknown option '" << arg << "'");
+      } else if (arg.find('=') != std::string::npos) {
+        overrides.push_back(scenario::parse_override(arg));
+      } else {
+        decks.push_back(arg);
+      }
+    }
+
+    if (decks.empty() && overrides.empty()) {
+      print_usage(stderr);
+      return 1;
+    }
+    if (!quiet) {
+      opt.log = [](const std::string& line) {
+        std::printf("%s\n", line.c_str());
+      };
+    }
+
+    // No deck file: the overrides alone are the deck.
+    if (decks.empty()) decks.push_back("");
+
+    for (const auto& path : decks) {
+      scenario::Deck deck =
+          path.empty() ? scenario::Deck{"<cli>", {}, }
+                       : scenario::parse_deck_file(path);
+      for (const auto& o : overrides) deck.set(o.key, o.value);
+      auto sc = scenario::scenario_from_deck(deck);
+      if (print_only) {
+        // Show the *effective* scenario: what a run with these exact
+        // flags would execute, --backend= override included.
+        if (!opt.backend_override.empty()) sc.backend = opt.backend_override;
+        print_scenario(sc);
+        continue;
+      }
+      scenario::run_scenario(sc, opt);
+    }
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "wsmd: error: %s\n", ex.what());
+    return 1;
+  }
+  return 0;
+}

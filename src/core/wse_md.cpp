@@ -39,6 +39,51 @@ WseMd::WseMd(const lattice::Structure& s, eam::EamPotentialPtr potential,
   WSMD_REQUIRE(b_ >= 1, "neighborhood radius must be at least 1");
 }
 
+double WseMd::potential_energy() const {
+  if (!pe_current_) {
+    // Evaluate the initial configuration's energy on demand so thermo
+    // snapshots are valid from construction on (the Engine contract)
+    // without charging every construction a full force sweep. Phases run
+    // on the current positions; nothing is committed, and the first real
+    // step resets the workspace anyway. The const_cast only enables
+    // calling the non-const density kernel — everything it mutates
+    // (ws_, fprime_, pe_, pe_current_) is declared mutable, so this is
+    // well-defined even on a const object. Like every WseMd method, not
+    // safe to race from multiple threads.
+    begin_step(ws_);
+    const_cast<WseMd*>(this)->density_phase(full_grid(), ws_);
+    force_phase(full_grid(), ws_);
+    pe_ = reduce_potential_energy(ws_);
+    pe_current_ = true;
+  }
+  return pe_;
+}
+
+double WseMd::reduce_potential_energy(const StepWorkspace& ws) const {
+  // Serial row-major reduction of the energy contributions: the summation
+  // order (and thus the FP64 result) is independent of how the phases were
+  // sharded.
+  const int w = mapping_.grid_width();
+  const int h = mapping_.grid_height();
+  double pe_pair = 0.0, pe_embed = 0.0;
+  for (int cy = 0; cy < h; ++cy) {
+    for (int cx = 0; cx < w; ++cx) {
+      const long ai = mapping_.atom_at(cx, cy);
+      if (ai < 0) continue;
+      pe_embed += ws.pe_embed[static_cast<std::size_t>(ai)];
+    }
+  }
+  for (int cy = 0; cy < h; ++cy) {
+    for (int cx = 0; cx < w; ++cx) {
+      const long ai = mapping_.atom_at(cx, cy);
+      if (ai < 0) continue;
+      pe_pair +=
+          0.5 * static_cast<double>(ws.pair_half[static_cast<std::size_t>(ai)]);
+    }
+  }
+  return pe_pair + pe_embed;
+}
+
 std::vector<Vec3d> WseMd::positions() const {
   std::vector<Vec3d> out(positions_.size());
   for (std::size_t i = 0; i < positions_.size(); ++i) {
@@ -201,28 +246,8 @@ bool WseMd::commit_step(StepWorkspace& ws) {
   positions_.swap(ws.new_positions);
   velocities_.swap(ws.new_velocities);
 
-  // Serial row-major reduction of the energy contributions: the summation
-  // order (and thus the FP64 result) is independent of how the phases were
-  // sharded.
-  const int w = mapping_.grid_width();
-  const int h = mapping_.grid_height();
-  double pe_pair = 0.0, pe_embed = 0.0;
-  for (int cy = 0; cy < h; ++cy) {
-    for (int cx = 0; cx < w; ++cx) {
-      const long ai = mapping_.atom_at(cx, cy);
-      if (ai < 0) continue;
-      pe_embed += ws.pe_embed[static_cast<std::size_t>(ai)];
-    }
-  }
-  for (int cy = 0; cy < h; ++cy) {
-    for (int cx = 0; cx < w; ++cx) {
-      const long ai = mapping_.atom_at(cx, cy);
-      if (ai < 0) continue;
-      pe_pair +=
-          0.5 * static_cast<double>(ws.pair_half[static_cast<std::size_t>(ai)]);
-    }
-  }
-  pe_ = pe_pair + pe_embed;
+  pe_ = reduce_potential_energy(ws);
+  pe_current_ = true;
   ++step_count_;
 
   // Reduce the accounting now, before a phase-5 swap reorders the row-major

@@ -189,8 +189,11 @@ class WseMd {
   WseStepStats finish_step(const StepWorkspace& ws, std::size_t swaps_applied,
                            bool swapped);
 
-  /// Total potential energy of the last force evaluation (eV, FP32 sums).
-  double potential_energy() const { return pe_; }
+  /// Total potential energy (eV, FP32 sums). Valid from construction on:
+  /// before the first step it is evaluated lazily from the current
+  /// positions (mirroring md::Simulation's on-demand forces); afterwards
+  /// it is the value reduced by the last commit.
+  double potential_energy() const;
 
   /// Kinetic energy of the current (half-step) velocities (eV).
   double kinetic_energy() const;
@@ -216,6 +219,9 @@ class WseMd {
   void gather_neighborhood(int cx, int cy,
                            std::vector<std::size_t>& out) const;
   WseStepStats do_timestep();
+  /// Row-major serial PE reduction over the phase outputs (shared by
+  /// commit_step and the construction-time energy evaluation).
+  double reduce_potential_energy(const StepWorkspace& ws) const;
 
   WseMdConfig config_;
   eam::EamPotentialPtr potential_;
@@ -228,16 +234,22 @@ class WseMd {
   std::vector<Vec3f> positions_;
   std::vector<Vec3f> velocities_;
   std::vector<int> types_;
-  std::vector<float> fprime_;  // embedding derivative, exchanged per step
+  // Embedding derivative, exchanged per step. Mutable: the lazy initial
+  // potential_energy() evaluation republishes it from a const context
+  // (it is derived state, recomputed every step from positions).
+  mutable std::vector<float> fprime_;
   std::vector<Vec3d> initial_positions_;
 
-  double pe_ = 0.0;
+  // Lazily evaluated before the first step (potential_energy() const).
+  mutable double pe_ = 0.0;
+  mutable bool pe_current_ = false;
   long step_count_ = 0;
   double elapsed_seconds_ = 0.0;
 
-  /// Workspace reused by the serial step()/run() path (engine backends own
-  /// their own and drive the phase kernels directly).
-  StepWorkspace ws_;
+  /// Workspace reused by the serial step()/run() path and the lazy initial
+  /// energy evaluation (engine backends own their own and drive the phase
+  /// kernels directly); begin_step fully resets it each use.
+  mutable StepWorkspace ws_;
 };
 
 }  // namespace wsmd::core

@@ -1,0 +1,31 @@
+#include "io/trajectory.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace wsmd::io {
+
+XyzTrajectoryWriter::XyzTrajectoryWriter(const std::string& path,
+                                         std::vector<std::string> names)
+    : path_(path),
+      names_(std::move(names)),
+      os_(std::make_unique<std::ofstream>(path)) {
+  WSMD_REQUIRE(os_->good(), "cannot open trajectory '" << path
+                                                       << "' for writing");
+  WSMD_REQUIRE(!names_.empty(), "trajectory needs at least one species name");
+}
+
+XyzTrajectoryWriter::~XyzTrajectoryWriter() = default;
+
+void XyzTrajectoryWriter::append(const Box& box,
+                                 const std::vector<Vec3d>& positions,
+                                 const std::vector<int>& types,
+                                 const std::string& comment) {
+  write_xyz_frame(*os_, box, positions, types, names_, comment);
+  WSMD_REQUIRE(os_->good(), "trajectory write to '" << path_ << "' failed");
+  os_->flush();
+  ++frames_;
+}
+
+}  // namespace wsmd::io

@@ -1,29 +1,53 @@
 #include "io/xyz.hpp"
 
+#include <cmath>
 #include <fstream>
-#include <iomanip>
 #include <ostream>
 
 #include "util/error.hpp"
+#include "util/string_util.hpp"
 
 namespace wsmd::io {
 
-void write_xyz_frame(std::ostream& os, const lattice::Structure& s,
+void write_xyz_frame(std::ostream& os, const Box& box,
+                     const std::vector<Vec3d>& positions,
+                     const std::vector<int>& types,
                      const std::vector<std::string>& names,
                      const std::string& comment) {
-  os << s.size() << '\n';
-  const Vec3d len = s.box.lengths();
+  WSMD_REQUIRE(positions.size() == types.size(),
+               "positions/types size mismatch: " << positions.size() << " vs "
+                                                 << types.size());
+  // Validate before emitting anything: throwing mid-frame would leave a
+  // truncated frame on disk that the reader (rightly) rejects wholesale.
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Vec3d& r = positions[i];
+    WSMD_REQUIRE(std::isfinite(r.x) && std::isfinite(r.y) &&
+                     std::isfinite(r.z),
+                 "non-finite position for atom " << i << " (" << r.x << ", "
+                                                 << r.y << ", " << r.z
+                                                 << ")");
+    WSMD_REQUIRE(static_cast<std::size_t>(types[i]) < names.size(),
+                 "atom type without a species name");
+  }
+  const auto saved_precision = os.precision(10);  // cell and positions alike
+  os << positions.size() << '\n';
+  const Vec3d len = box.lengths();
   os << "Lattice=\"" << len.x << " 0 0 0 " << len.y << " 0 0 0 " << len.z
      << "\" Properties=species:S:1:pos:R:3";
   if (!comment.empty()) os << ' ' << comment;
   os << '\n';
-  os << std::setprecision(10);
-  for (std::size_t i = 0; i < s.size(); ++i) {
-    const auto t = static_cast<std::size_t>(s.types[i]);
-    WSMD_REQUIRE(t < names.size(), "atom type without a species name");
-    os << names[t] << ' ' << s.positions[i].x << ' ' << s.positions[i].y << ' '
-       << s.positions[i].z << '\n';
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Vec3d& r = positions[i];
+    os << names[static_cast<std::size_t>(types[i])] << ' ' << r.x << ' '
+       << r.y << ' ' << r.z << '\n';
   }
+  os.precision(saved_precision);
+}
+
+void write_xyz_frame(std::ostream& os, const lattice::Structure& s,
+                     const std::vector<std::string>& names,
+                     const std::string& comment) {
+  write_xyz_frame(os, s.box, s.positions, s.types, names, comment);
 }
 
 void write_xyz_file(const std::string& path, const lattice::Structure& s,
@@ -37,6 +61,7 @@ void write_xyz_file(const std::string& path, const lattice::Structure& s,
 
 void write_lammps_dump_frame(std::ostream& os, const lattice::Structure& s,
                              long timestep) {
+  const auto saved_precision = os.precision(10);
   os << "ITEM: TIMESTEP\n" << timestep << '\n';
   os << "ITEM: NUMBER OF ATOMS\n" << s.size() << '\n';
   os << "ITEM: BOX BOUNDS";
@@ -48,11 +73,54 @@ void write_lammps_dump_frame(std::ostream& os, const lattice::Structure& s,
   os << s.box.lo.y << ' ' << s.box.hi.y << '\n';
   os << s.box.lo.z << ' ' << s.box.hi.z << '\n';
   os << "ITEM: ATOMS id type x y z\n";
-  os << std::setprecision(10);
   for (std::size_t i = 0; i < s.size(); ++i) {
     os << (i + 1) << ' ' << (s.types[i] + 1) << ' ' << s.positions[i].x << ' '
        << s.positions[i].y << ' ' << s.positions[i].z << '\n';
   }
+  os.precision(saved_precision);
+}
+
+std::vector<XyzFrame> read_xyz(std::istream& is) {
+  std::vector<XyzFrame> frames;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (trim(line).empty()) continue;  // tolerate trailing blank lines
+    long count = -1;
+    WSMD_REQUIRE(parse_long_strict(trim(line), count) && count >= 0,
+                 "expected atom count, got '" << line << "'");
+    const auto natoms = static_cast<std::size_t>(count);
+    XyzFrame frame;
+    WSMD_REQUIRE(static_cast<bool>(std::getline(is, frame.comment)),
+                 "truncated XYZ frame: missing comment line");
+    frame.species.reserve(natoms);
+    frame.positions.reserve(natoms);
+    for (std::size_t i = 0; i < natoms; ++i) {
+      WSMD_REQUIRE(static_cast<bool>(std::getline(is, line)),
+                   "truncated XYZ frame: " << i << " of " << natoms
+                                           << " atom rows");
+      const auto fields = split_whitespace(line);
+      WSMD_REQUIRE(fields.size() >= 4,
+                   "bad XYZ atom row '" << line << "'");
+      Vec3d r;
+      WSMD_REQUIRE(parse_double_strict(fields[1], r.x) &&
+                       parse_double_strict(fields[2], r.y) &&
+                       parse_double_strict(fields[3], r.z),
+                   "bad XYZ atom row '" << line << "'");
+      WSMD_REQUIRE(std::isfinite(r.x) && std::isfinite(r.y) &&
+                       std::isfinite(r.z),
+                   "non-finite position in XYZ row '" << line << "'");
+      frame.species.push_back(fields[0]);
+      frame.positions.push_back(r);
+    }
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+std::vector<XyzFrame> read_xyz_file(const std::string& path) {
+  std::ifstream is(path);
+  WSMD_REQUIRE(is.good(), "cannot open XYZ file '" << path << "'");
+  return read_xyz(is);
 }
 
 }  // namespace wsmd::io

@@ -89,6 +89,40 @@ Structure paper_slab(const std::string& element, int scale) {
                    /*periodic=*/{false, false, false});
 }
 
+std::size_t apply_vacancies(Structure& s, double fraction, Rng& rng) {
+  WSMD_REQUIRE(fraction >= 0.0 && fraction < 1.0,
+               "vacancy fraction must be in [0, 1), got " << fraction);
+  const std::size_t n = s.size();
+  const auto remove =
+      static_cast<std::size_t>(std::llround(fraction * static_cast<double>(n)));
+  if (remove == 0) return 0;
+  WSMD_REQUIRE(remove < n, "vacancies would remove every atom");
+
+  // Partial Fisher-Yates: draw `remove` distinct victims, then rebuild the
+  // arrays keeping survivor order (stable order keeps downstream mappings
+  // deterministic).
+  std::vector<std::size_t> index(n);
+  for (std::size_t i = 0; i < n; ++i) index[i] = i;
+  std::vector<bool> removed(n, false);
+  for (std::size_t k = 0; k < remove; ++k) {
+    const std::size_t pick = k + rng.uniform_index(n - k);
+    std::swap(index[k], index[pick]);
+    removed[index[k]] = true;
+  }
+  std::vector<Vec3d> positions;
+  std::vector<int> types;
+  positions.reserve(n - remove);
+  types.reserve(n - remove);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (removed[i]) continue;
+    positions.push_back(s.positions[i]);
+    types.push_back(s.types[i]);
+  }
+  s.positions = std::move(positions);
+  s.types = std::move(types);
+  return remove;
+}
+
 int neighbor_count_within(const Structure& s, std::size_t i, double rcut) {
   WSMD_REQUIRE(i < s.size(), "atom index out of range");
   const double rc2 = rcut * rcut;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "util/box.hpp"
+#include "util/random.hpp"
 #include "util/vec3.hpp"
 
 namespace wsmd::lattice {
@@ -61,6 +62,12 @@ Structure paper_slab(const std::string& element, int scale = 1);
 
 /// Replication counts used by `paper_slab` (Table I "Replication" column).
 void paper_replication(const std::string& element, int& nx, int& ny, int& nz);
+
+/// Remove a random `fraction` of the atoms (vacancy defects). The removal
+/// count is round(fraction * size); the survivors keep their relative
+/// order, so the result is deterministic for a given structure and RNG
+/// state. Returns the number of atoms removed.
+std::size_t apply_vacancies(Structure& s, double fraction, Rng& rng);
 
 /// Count atoms within distance `rcut` of atom `i` (brute force; test/debug
 /// helper for neighbor-count validation, e.g. paper Table I interactions).

@@ -1,0 +1,247 @@
+#include "scenario/runner.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <memory>
+#include <optional>
+
+#include "io/thermo_log.hpp"
+#include "io/trajectory.hpp"
+#include "util/bench_json.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace wsmd::scenario {
+
+namespace {
+
+std::string resolve_path(const std::string& path, const std::string& dir) {
+  std::string resolved = path;
+  if (!path.empty() && !dir.empty() && path.front() != '/') {
+    resolved = dir + "/" + path;
+  }
+  // Create the target directory up front: `wsmd --output-dir=out deck`
+  // must work without a manual mkdir.
+  if (!resolved.empty()) {
+    const auto parent = std::filesystem::path(resolved).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent);
+  }
+  return resolved;
+}
+
+/// Berendsen-style hard rescale toward `target_K` through the generic
+/// Engine surface.
+void rescale_to(engine::Engine& eng, double target_K) {
+  const double current = eng.thermo().temperature;
+  if (current <= 1e-12) return;  // no thermal motion to scale
+  const double f = std::sqrt(target_K / current);
+  auto v = eng.velocities();
+  for (auto& vi : v) vi = f * vi;
+  eng.set_velocities(v);
+}
+
+io::ThermoSample to_sample(const engine::Thermo& t) {
+  io::ThermoSample s;
+  s.step = t.step;
+  s.potential_energy = t.potential_energy;
+  s.kinetic_energy = t.kinetic_energy;
+  s.total_energy = t.total_energy;
+  s.temperature = t.temperature;
+  return s;
+}
+
+std::string stage_label(const Stage& st) {
+  switch (st.kind) {
+    case Stage::Kind::kThermalize:
+      return format("thermalize %.5g K", st.t0);
+    case Stage::Kind::kEquilibrate:
+      return format("equilibrate %.5g K / %ld steps", st.t0, st.steps);
+    case Stage::Kind::kRamp:
+      return format("ramp %.5g -> %.5g K / %ld steps", st.t0, st.t1,
+                    st.steps);
+    case Stage::Kind::kQuench:
+      return format("quench %.5g K / %ld steps", st.t0, st.steps);
+    case Stage::Kind::kRun:
+      return format("run %ld steps (NVE)", st.steps);
+  }
+  return "?";
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt) {
+  const auto say = [&opt](const std::string& line) {
+    if (opt.log) opt.log(line);
+  };
+
+  ScenarioResult result;
+  result.scenario = sc.name;
+
+  const auto structure = build_structure(sc, &result.structure);
+  auto eng = build_engine(sc, structure, opt.backend_override);
+  result.backend_name = eng->backend_name();
+  say(format("%s: %zu atoms (%s %s), backend %s", sc.name.c_str(),
+             result.structure.atoms, sc.element.c_str(), sc.geometry.c_str(),
+             result.backend_name.c_str()));
+  if (result.structure.vacancies_removed > 0) {
+    say(format("  %zu vacancies introduced", result.structure.vacancies_removed));
+  }
+  if (result.structure.gb_fused_atoms > 0) {
+    say(format("  %zu seam atoms fused at the grain boundary",
+               result.structure.gb_fused_atoms));
+  }
+
+  // Outputs.
+  result.xyz_path = resolve_path(sc.xyz_path, opt.output_dir);
+  result.thermo_path = resolve_path(sc.thermo_path, opt.output_dir);
+  result.summary_path = resolve_path(sc.summary_path, opt.output_dir);
+  std::unique_ptr<io::XyzTrajectoryWriter> trajectory;
+  if (!result.xyz_path.empty()) {
+    trajectory = std::make_unique<io::XyzTrajectoryWriter>(
+        result.xyz_path, std::vector<std::string>{sc.element});
+  }
+  std::optional<io::ThermoLogger> thermo_log;
+  if (!result.thermo_path.empty()) {
+    thermo_log.emplace(result.thermo_path,
+                       io::thermo_format_from_name(sc.thermo_format));
+  }
+
+  long last_frame_step = -1;
+  long last_sample_step = -1;
+  const auto emit_frame = [&](const engine::Thermo& t) {
+    if (!trajectory) return;
+    trajectory->append(structure.box, eng->positions(), structure.types,
+                       format("step=%ld E=%.8g T=%.6g", t.step,
+                              t.total_energy, t.temperature));
+    last_frame_step = t.step;
+  };
+  const auto emit_sample = [&](const engine::Thermo& t) {
+    if (!thermo_log) return;
+    thermo_log->write(to_sample(t));
+    last_sample_step = t.step;
+  };
+
+  // Initial state: frame + sample before any stage runs.
+  emit_frame(eng->thermo());
+  emit_sample(eng->thermo());
+
+  Rng rng(sc.seed);
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (const auto& st : sc.schedule) {
+    StageResult sr;
+    sr.label = stage_label(st);
+    sr.kind = st.name();
+    sr.steps = st.steps;
+    say("  stage: " + sr.label);
+
+    if (st.kind == Stage::Kind::kThermalize) {
+      eng->thermalize(st.t0, rng);
+      sr.end = eng->thermo();
+      emit_sample(sr.end);
+      result.stages.push_back(std::move(sr));
+      continue;
+    }
+
+    for (long k = 0; k < st.steps; ++k) {
+      engine::Thermo t = eng->step();
+      bool rescaled = false;
+      switch (st.kind) {
+        case Stage::Kind::kEquilibrate:
+          // Final-step rescale guarantees the stage thermostats at least
+          // once even when steps < rescale_interval.
+          if ((k + 1) % sc.rescale_interval == 0 || k + 1 == st.steps) {
+            rescale_to(*eng, st.t0);
+            rescaled = true;
+          }
+          break;
+        case Stage::Kind::kRamp:
+          // Also fire on the stage's last step so the ramp ends at t1 even
+          // when steps is not a multiple of the rescale interval.
+          if ((k + 1) % sc.rescale_interval == 0 || k + 1 == st.steps) {
+            const double target =
+                st.t0 + (st.t1 - st.t0) * static_cast<double>(k + 1) /
+                            static_cast<double>(st.steps);
+            rescale_to(*eng, target);
+            rescaled = true;
+          }
+          break;
+        case Stage::Kind::kQuench:
+          rescale_to(*eng, st.t0);
+          rescaled = true;
+          break;
+        default:
+          break;
+      }
+      // Outputs record the state after the step's full processing —
+      // thermostat action included — so the log's last row, the final
+      // trajectory frame, and the summary all describe the same state.
+      if (rescaled) t = eng->thermo();
+      if (t.step % sc.thermo_every == 0) emit_sample(t);
+      if (t.step % sc.xyz_every == 0) emit_frame(t);
+    }
+    sr.end = eng->thermo();
+    result.stages.push_back(std::move(sr));
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+  result.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  result.total_steps = sc.total_steps();
+  result.final_thermo = eng->thermo();
+
+  // Close every output at the final step, unless that exact step was
+  // already written (the step loop on a multiple of the interval, a
+  // trailing thermalize's emission, or the pre-run emission when nothing
+  // stepped) — the trajectory, thermo log, and summary must agree on
+  // where the run ended.
+  if (trajectory && result.final_thermo.step != last_frame_step) {
+    emit_frame(result.final_thermo);
+  }
+  if (thermo_log && result.final_thermo.step != last_sample_step) {
+    emit_sample(result.final_thermo);
+  }
+  result.xyz_frames = trajectory ? trajectory->frames_written() : 0;
+  result.thermo_samples = thermo_log ? thermo_log->samples_written() : 0;
+
+  if (!result.summary_path.empty()) {
+    BenchJson summary("scenario_" + sc.name);
+    summary.meta()
+        .set("scenario", sc.name)
+        .set("element", sc.element)
+        .set("geometry", sc.geometry)
+        .set("backend", result.backend_name)
+        .set("atoms", result.structure.atoms)
+        .set("vacancies_removed", result.structure.vacancies_removed)
+        .set("gb_fused_atoms", result.structure.gb_fused_atoms)
+        .set("dt_ps", sc.dt)
+        .set("seed", static_cast<long long>(sc.seed))
+        .set("total_steps", static_cast<long long>(result.total_steps))
+        .set("wall_seconds", result.wall_seconds)
+        .set("steps_per_s", result.wall_seconds > 0.0
+                                ? static_cast<double>(result.total_steps) /
+                                      result.wall_seconds
+                                : 0.0)
+        .set("final_total_eV", result.final_thermo.total_energy)
+        .set("final_temperature_K", result.final_thermo.temperature)
+        .set("xyz_frames", result.xyz_frames)
+        .set("thermo_samples", result.thermo_samples);
+    for (const auto& sr : result.stages) {
+      summary.add_row()
+          .set("stage", sr.kind)
+          .set("label", sr.label)
+          .set("steps", static_cast<long long>(sr.steps))
+          .set("end_step", static_cast<long long>(sr.end.step))
+          .set("end_total_eV", sr.end.total_energy)
+          .set("end_temperature_K", sr.end.temperature);
+    }
+    summary.write_to(result.summary_path);
+    say("  summary -> " + result.summary_path);
+  }
+  say(format("  done: %ld steps on %s, final E = %.6g eV, T = %.4g K",
+             result.total_steps, result.backend_name.c_str(),
+             result.final_thermo.total_energy,
+             result.final_thermo.temperature));
+  return result;
+}
+
+}  // namespace wsmd::scenario

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file runner.hpp
+/// Executes a Scenario end-to-end on any Engine backend.
+///
+/// The runner is backend-agnostic: thermostat stages are implemented purely
+/// through the Engine surface (thermo + velocities + set_velocities), so
+/// equilibrate/ramp/quench behave identically on the FP64 reference and the
+/// FP32 wafer backends — which is what makes golden-run replay across
+/// backends meaningful. While running it streams XYZ trajectory frames and
+/// a thermo log (src/io), and finishes by writing a machine-readable
+/// summary in the BENCH_*.json envelope (util/bench_json).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "scenario/scenario.hpp"
+
+namespace wsmd::scenario {
+
+struct RunOptions {
+  /// Non-empty: run on this backend instead of the deck's
+  /// (reference|wafer|sharded|sharded:N).
+  std::string backend_override;
+  /// Directory prefixed to relative output paths ("" = current directory).
+  std::string output_dir;
+  /// Progress sink (one human-readable line per event); empty = silent.
+  std::function<void(const std::string&)> log;
+};
+
+struct StageResult {
+  std::string label;      ///< e.g. "equilibrate 290 K / 20 steps"
+  const char* kind = "";  ///< stage keyword
+  long steps = 0;
+  engine::Thermo end;     ///< thermo after the stage's last step
+};
+
+struct ScenarioResult {
+  std::string scenario;
+  std::string backend_name;   ///< as reported by the engine
+  StructureInfo structure;
+  long total_steps = 0;
+  double wall_seconds = 0.0;  ///< host wall time of the stepping loop
+  engine::Thermo final_thermo;
+  std::vector<StageResult> stages;
+  std::size_t xyz_frames = 0;
+  std::size_t thermo_samples = 0;
+  // Resolved output paths ("" = output disabled).
+  std::string xyz_path;
+  std::string thermo_path;
+  std::string summary_path;
+};
+
+/// Run the scenario: build structure + engine, execute the schedule, stream
+/// outputs. Throws wsmd::Error on invalid configuration or I/O failure.
+ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt = {});
+
+}  // namespace wsmd::scenario

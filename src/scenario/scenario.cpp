@@ -1,0 +1,344 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "eam/zhou.hpp"
+#include "lattice/grain_boundary.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace wsmd::scenario {
+
+namespace {
+
+[[noreturn]] void bad_entry(const Deck& deck, const DeckEntry& e,
+                            const std::string& why) {
+  // line == 0 marks an appended CLI override — pointing at the deck file
+  // would send the user grepping for a key that is not in it.
+  const std::string where =
+      e.line > 0 ? deck.source + ":" + std::to_string(e.line)
+                 : "<cli override>";
+  WSMD_REQUIRE(false, where << ": key '" << e.key << "' = '" << e.value
+                            << "': " << why);
+  std::abort();  // unreachable
+}
+
+double parse_double_token(const Deck& deck, const DeckEntry& e,
+                          const std::string& token) {
+  double v = 0.0;
+  if (!parse_double_strict(token, v)) bad_entry(deck, e, "not a number");
+  return v;
+}
+
+long parse_long_token(const Deck& deck, const DeckEntry& e,
+                      const std::string& token) {
+  long v = 0;
+  if (!parse_long_strict(token, v)) bad_entry(deck, e, "not an integer");
+  return v;
+}
+
+/// Split the value and require exactly `n` whitespace-separated tokens.
+std::vector<std::string> tokens_n(const Deck& deck, const DeckEntry& e,
+                                  std::size_t n) {
+  auto t = split_whitespace(e.value);
+  if (t.size() != n) {
+    bad_entry(deck, e,
+              "expected " + std::to_string(n) + " value(s), got " +
+                  std::to_string(t.size()));
+  }
+  return t;
+}
+
+double one_double(const Deck& deck, const DeckEntry& e) {
+  return parse_double_token(deck, e, tokens_n(deck, e, 1)[0]);
+}
+
+long one_long(const Deck& deck, const DeckEntry& e) {
+  return parse_long_token(deck, e, tokens_n(deck, e, 1)[0]);
+}
+
+long nonneg_steps(const Deck& deck, const DeckEntry& e, long v) {
+  if (v < 0) bad_entry(deck, e, "step count must be >= 0");
+  return v;
+}
+
+double nonneg_temp(const Deck& deck, const DeckEntry& e, double t) {
+  if (t < 0.0) bad_entry(deck, e, "temperature must be >= 0 K");
+  return t;
+}
+
+}  // namespace
+
+const char* Stage::name() const {
+  switch (kind) {
+    case Kind::kThermalize: return "thermalize";
+    case Kind::kEquilibrate: return "equilibrate";
+    case Kind::kRamp: return "ramp";
+    case Kind::kQuench: return "quench";
+    case Kind::kRun: return "run";
+  }
+  return "?";
+}
+
+BackendSpec parse_backend(const std::string& spec) {
+  BackendSpec bs;
+  if (spec == "reference") {
+    bs.backend = engine::Backend::kReference;
+    return bs;
+  }
+  if (spec == "wafer") {
+    bs.backend = engine::Backend::kWafer;
+    return bs;
+  }
+  if (spec == "sharded" || starts_with(spec, "sharded:")) {
+    bs.backend = engine::Backend::kShardedWafer;
+    bs.threads = 0;  // auto
+    if (starts_with(spec, "sharded:")) {
+      const std::string n = spec.substr(8);
+      char* end = nullptr;
+      const long threads = std::strtol(n.c_str(), &end, 10);
+      WSMD_REQUIRE(end && *end == '\0' && threads > 0,
+                   "bad sharded thread count '" << n << "'");
+      bs.threads = static_cast<int>(threads);
+    }
+    return bs;
+  }
+  WSMD_REQUIRE(false, "unknown backend '"
+                          << spec
+                          << "' (want reference|wafer|sharded|sharded:N)");
+  return bs;  // unreachable
+}
+
+long Scenario::total_steps() const {
+  long total = 0;
+  for (const auto& st : schedule) total += st.steps;
+  return total;
+}
+
+bool is_schedule_key(const std::string& key) {
+  return key == "thermalize" || key == "equilibrate" || key == "ramp" ||
+         key == "quench" || key == "run" || key == "nve";
+}
+
+Scenario scenario_from_deck(const Deck& deck) {
+  Scenario sc;
+  // Schedule keys accumulate stages in deck order, so plain last-wins
+  // cannot apply to them. Instead, whole-schedule replacement: if any
+  // schedule key arrives as an override (line == 0, appended by the CLI),
+  // the overrides define the entire schedule and the file's stages are
+  // dropped — `wsmd deck run=50` means "run 50 NVE steps", not "append
+  // another 50 to whatever the deck did".
+  const bool overrides_define_schedule = [&deck] {
+    for (const auto& e : deck.entries) {
+      if (e.line == 0 && is_schedule_key(e.key)) return true;
+    }
+    return false;
+  }();
+  for (const auto& e : deck.entries) {
+    if (overrides_define_schedule && e.line > 0 && is_schedule_key(e.key)) {
+      continue;
+    }
+    if (e.key == "name") {
+      sc.name = e.value;
+    } else if (e.key == "element") {
+      sc.element = e.value;
+    } else if (e.key == "geometry") {
+      if (e.value != "slab" && e.value != "bulk" &&
+          e.value != "grain_boundary") {
+        bad_entry(deck, e, "want slab|bulk|grain_boundary");
+      }
+      sc.geometry = e.value;
+    } else if (e.key == "scale") {
+      const long v = one_long(deck, e);
+      if (v < 1) bad_entry(deck, e, "scale must be >= 1");
+      sc.scale = static_cast<int>(v);
+    } else if (e.key == "replicate") {
+      const auto t = tokens_n(deck, e, 3);
+      for (std::size_t a = 0; a < 3; ++a) {
+        const long v = parse_long_token(deck, e, t[a]);
+        if (v < 1) bad_entry(deck, e, "replication counts must be >= 1");
+        sc.replicate[a] = static_cast<int>(v);
+      }
+    } else if (e.key == "vacancy_fraction") {
+      const double v = one_double(deck, e);
+      if (v < 0.0 || v >= 1.0) bad_entry(deck, e, "want [0, 1)");
+      sc.vacancy_fraction = v;
+    } else if (e.key == "tilt_angle_deg") {
+      sc.tilt_angle_deg = one_double(deck, e);
+    } else if (e.key == "gb_atoms") {
+      const long v = one_long(deck, e);
+      if (v < 16) bad_entry(deck, e, "gb_atoms must be >= 16");
+      sc.gb_target_atoms = static_cast<std::size_t>(v);
+    } else if (e.key == "backend") {
+      parse_backend(e.value);  // validate eagerly
+      sc.backend = e.value;
+    } else if (e.key == "dt") {
+      const double v = one_double(deck, e);
+      if (v <= 0.0) bad_entry(deck, e, "dt must be > 0");
+      sc.dt = v;
+    } else if (e.key == "swap_interval") {
+      const long v = one_long(deck, e);
+      if (v < 0) bad_entry(deck, e, "swap_interval must be >= 0");
+      sc.swap_interval = static_cast<int>(v);
+    } else if (e.key == "rescale_interval") {
+      const long v = one_long(deck, e);
+      if (v < 1) bad_entry(deck, e, "rescale_interval must be >= 1");
+      sc.rescale_interval = static_cast<int>(v);
+    } else if (e.key == "seed") {
+      const long v = one_long(deck, e);
+      if (v < 0) bad_entry(deck, e, "seed must be >= 0");
+      sc.seed = static_cast<std::uint64_t>(v);
+    } else if (e.key == "thermalize") {
+      Stage st;
+      st.kind = Stage::Kind::kThermalize;
+      st.t0 = nonneg_temp(deck, e, one_double(deck, e));
+      sc.schedule.push_back(st);
+    } else if (e.key == "equilibrate" || e.key == "quench") {
+      const auto t = tokens_n(deck, e, 2);
+      Stage st;
+      st.kind = e.key == "equilibrate" ? Stage::Kind::kEquilibrate
+                                       : Stage::Kind::kQuench;
+      st.t0 = st.t1 = nonneg_temp(deck, e, parse_double_token(deck, e, t[0]));
+      st.steps = nonneg_steps(deck, e, parse_long_token(deck, e, t[1]));
+      sc.schedule.push_back(st);
+    } else if (e.key == "ramp") {
+      const auto t = tokens_n(deck, e, 3);
+      Stage st;
+      st.kind = Stage::Kind::kRamp;
+      st.t0 = nonneg_temp(deck, e, parse_double_token(deck, e, t[0]));
+      st.t1 = nonneg_temp(deck, e, parse_double_token(deck, e, t[1]));
+      st.steps = nonneg_steps(deck, e, parse_long_token(deck, e, t[2]));
+      sc.schedule.push_back(st);
+    } else if (e.key == "run" || e.key == "nve") {
+      Stage st;
+      st.kind = Stage::Kind::kRun;
+      st.steps = nonneg_steps(deck, e, one_long(deck, e));
+      sc.schedule.push_back(st);
+    } else if (e.key == "xyz") {
+      sc.xyz_path = e.value;
+    } else if (e.key == "xyz_every") {
+      const long v = one_long(deck, e);
+      if (v < 1) bad_entry(deck, e, "xyz_every must be >= 1");
+      sc.xyz_every = v;
+    } else if (e.key == "thermo") {
+      sc.thermo_path = e.value;
+    } else if (e.key == "thermo_every") {
+      const long v = one_long(deck, e);
+      if (v < 1) bad_entry(deck, e, "thermo_every must be >= 1");
+      sc.thermo_every = v;
+    } else if (e.key == "thermo_format") {
+      if (e.value != "csv" && e.value != "jsonl") {
+        bad_entry(deck, e, "want csv|jsonl");
+      }
+      sc.thermo_format = e.value;
+    } else if (e.key == "summary") {
+      sc.summary_path = e.value;
+    } else {
+      bad_entry(deck, e, "unknown key");
+    }
+  }
+  // Fail on an unknown element now, not steps into a run.
+  eam::zhou_parameters(sc.element);
+
+  // Geometry/key cross-validation: a key the chosen geometry ignores must
+  // reject, not silently simulate something else. Vacancies on a fused
+  // bicrystal would corrupt the seam; replicate/scale do not apply to the
+  // bicrystal solver, and the bicrystal controls do not apply elsewhere.
+  if (sc.geometry == "grain_boundary") {
+    WSMD_REQUIRE(sc.vacancy_fraction == 0.0,
+                 deck.source << ": vacancy_fraction is not supported with "
+                                "geometry=grain_boundary");
+    WSMD_REQUIRE(!deck.has("replicate") && !deck.has("scale"),
+                 deck.source << ": replicate/scale do not apply to "
+                                "geometry=grain_boundary (size it with "
+                                "gb_atoms)");
+  } else {
+    WSMD_REQUIRE(!deck.has("tilt_angle_deg") && !deck.has("gb_atoms"),
+                 deck.source << ": tilt_angle_deg/gb_atoms require "
+                                "geometry=grain_boundary");
+  }
+
+  // Velocity rescaling cannot heat a motionless system (scaling zero stays
+  // zero), so a thermostat stage before any source of kinetic energy would
+  // silently run at 0 K. Thermalize provides KE directly; any stepped
+  // stage may convert potential energy (e.g. an unrelaxed grain boundary)
+  // and is given the benefit of the doubt.
+  bool may_have_ke = false;
+  for (const auto& st : sc.schedule) {
+    const bool thermostats = st.kind == Stage::Kind::kEquilibrate ||
+                             st.kind == Stage::Kind::kRamp ||
+                             st.kind == Stage::Kind::kQuench;
+    WSMD_REQUIRE(!(thermostats && std::max(st.t0, st.t1) > 0.0 &&
+                   !may_have_ke),
+                 deck.source << ": stage '" << st.name()
+                             << "' thermostats a 0 K system — add a "
+                                "'thermalize' stage before it");
+    if ((st.kind == Stage::Kind::kThermalize && st.t0 > 0.0) ||
+        st.steps > 0) {
+      may_have_ke = true;
+    }
+  }
+  return sc;
+}
+
+lattice::Structure build_structure(const Scenario& sc, StructureInfo* info) {
+  const auto params = eam::zhou_parameters(sc.element);
+  StructureInfo local;
+  lattice::Structure s;
+  if (sc.geometry == "grain_boundary") {
+    lattice::GrainBoundaryParams gb;
+    gb.element = sc.element;
+    gb.tilt_angle_deg = sc.tilt_angle_deg;
+    auto built = lattice::make_grain_boundary_with_atom_count(
+        gb, sc.gb_target_atoms);
+    local.gb_fused_atoms = built.fused_atoms;
+    s = std::move(built.structure);
+  } else {
+    const bool bulk = sc.geometry == "bulk";
+    const std::array<bool, 3> periodic = bulk
+                                             ? std::array<bool, 3>{true, true, true}
+                                             : std::array<bool, 3>{false, false, false};
+    if (sc.replicate[0] > 0) {
+      const auto cell =
+          lattice::UnitCell::of(params.structure, params.lattice_constant());
+      s = lattice::replicate(cell, sc.replicate[0], sc.replicate[1],
+                             sc.replicate[2], /*type=*/0, periodic);
+    } else {
+      WSMD_REQUIRE(!bulk,
+                   "geometry=bulk needs an explicit 'replicate' (the paper "
+                   "slabs are open-boundary)");
+      s = lattice::paper_slab(sc.element, sc.scale);
+    }
+  }
+  if (sc.vacancy_fraction > 0.0) {
+    // Defect stream is derived from — but independent of — the thermal
+    // seed, so changing vacancy_fraction never perturbs the velocities.
+    Rng vac_rng(sc.seed ^ 0xD1CEB00CULL);
+    local.vacancies_removed =
+        lattice::apply_vacancies(s, sc.vacancy_fraction, vac_rng);
+  }
+  local.atoms = s.size();
+  if (info) *info = local;
+  return s;
+}
+
+std::unique_ptr<engine::Engine> build_engine(
+    const Scenario& sc, const lattice::Structure& s,
+    const std::string& backend_override) {
+  const BackendSpec bs = parse_backend(
+      backend_override.empty() ? sc.backend : backend_override);
+  const auto params = eam::zhou_parameters(sc.element);
+  auto potential =
+      std::make_shared<eam::ZhouEam>(sc.element, params.paper_cutoff());
+
+  engine::EngineConfig config;
+  config.reference.dt = sc.dt;
+  config.wafer.dt = sc.dt;
+  config.wafer.swap_interval = sc.swap_interval;
+  config.wafer.mapping.cell_size = params.lattice_constant();
+  config.threads = bs.threads;
+  return engine::make_engine(bs.backend, s, std::move(potential), config);
+}
+
+}  // namespace wsmd::scenario

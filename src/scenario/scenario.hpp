@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file scenario.hpp
+/// The declarative simulation description the `wsmd` driver executes.
+///
+/// A Scenario names everything needed to run one workload end-to-end on any
+/// backend: structure (element, geometry, replication, defects), thermostat
+/// schedule, backend selection, and outputs. It is built from a deck
+/// (scenario/deck.hpp) — unknown keys are rejected so a typo'd deck fails
+/// loudly instead of silently simulating the default — and the same
+/// `key=value` tokens work as CLI overrides.
+///
+/// Recognized keys:
+///   name, element                  — identification / Zhou parameter set
+///   geometry  = slab|bulk|grain_boundary
+///   scale     = N                  — paper_slab divisor (geometry=slab,
+///                                    when no explicit `replicate`)
+///   replicate = NX NY NZ           — explicit unit-cell replication
+///   vacancy_fraction = F           — random vacancies (slab/bulk)
+///   tilt_angle_deg = D, gb_atoms = N — bicrystal controls (grain_boundary)
+///   backend  = reference|wafer|sharded|sharded:N
+///   dt, swap_interval, rescale_interval, seed
+///   thermalize = T                 — schedule stages, in deck order:
+///   equilibrate = T STEPS            one-shot MB velocities; velocity-
+///   ramp = T0 T1 STEPS               rescale toward T; linear target;
+///   quench = T STEPS                 rescale every step; free NVE
+///   run = STEPS
+///   xyz = PATH, xyz_every = N      — trajectory output
+///   thermo = PATH, thermo_every = N, thermo_format = csv|jsonl
+///   summary = PATH                 — machine-readable run summary (JSON)
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "lattice/lattice.hpp"
+#include "scenario/deck.hpp"
+
+namespace wsmd::scenario {
+
+/// One thermostat-schedule stage.
+struct Stage {
+  enum class Kind {
+    kThermalize,   ///< one-shot Maxwell-Boltzmann at t0 (no steps)
+    kEquilibrate,  ///< velocity rescale toward t0 every rescale_interval
+    kRamp,         ///< rescale toward a target sliding t0 -> t1
+    kQuench,       ///< rescale toward t0 every step
+    kRun,          ///< free NVE
+  };
+  Kind kind = Kind::kRun;
+  double t0 = 0.0;  ///< target temperature (K); start of ramp
+  double t1 = 0.0;  ///< end-of-ramp temperature (K)
+  long steps = 0;
+
+  const char* name() const;
+};
+
+/// Parsed backend selector ("reference" | "wafer" | "sharded[:N]").
+struct BackendSpec {
+  engine::Backend backend = engine::Backend::kReference;
+  int threads = 1;  ///< sharded worker count (0 = auto)
+
+  bool is_wafer() const { return backend != engine::Backend::kReference; }
+};
+
+BackendSpec parse_backend(const std::string& spec);
+
+struct Scenario {
+  std::string name = "scenario";
+  std::string element = "Cu";
+  std::string geometry = "slab";  ///< slab | bulk | grain_boundary
+  int scale = 64;                 ///< paper_slab divisor
+  std::array<int, 3> replicate = {0, 0, 0};  ///< 0 = use paper slab / scale
+  double vacancy_fraction = 0.0;
+  double tilt_angle_deg = 16.0;     ///< grain_boundary only
+  std::size_t gb_target_atoms = 3000;  ///< grain_boundary only
+
+  std::string backend = "reference";
+  double dt = 0.002;        ///< ps
+  int swap_interval = 0;    ///< wafer backends: atom-swap cadence (0 = off)
+  int rescale_interval = 10;
+  std::uint64_t seed = 2024;
+
+  std::vector<Stage> schedule;
+
+  std::string xyz_path;       ///< empty = no trajectory
+  long xyz_every = 10;
+  std::string thermo_path;    ///< empty = no thermo log
+  long thermo_every = 1;
+  std::string thermo_format = "csv";
+  std::string summary_path;   ///< empty = no summary file
+
+  long total_steps() const;
+};
+
+/// Build a Scenario from a deck; throws on unknown keys or invalid values.
+/// Scalar keys are last-wins. Schedule keys are order-accumulating within
+/// one source, so they get whole-schedule replacement instead: when any
+/// schedule key appears as a CLI override (DeckEntry::line == 0), the
+/// overrides define the entire schedule and the file's stages are dropped.
+Scenario scenario_from_deck(const Deck& deck);
+
+/// Structure generation bookkeeping the driver reports.
+struct StructureInfo {
+  std::size_t atoms = 0;
+  std::size_t vacancies_removed = 0;
+  std::size_t gb_fused_atoms = 0;
+};
+
+/// Generate the scenario's atomic configuration (deterministic for a given
+/// scenario: defects draw from a seed-derived RNG stream).
+lattice::Structure build_structure(const Scenario& sc, StructureInfo* info = nullptr);
+
+/// Construct the scenario's engine over `s`. `backend_override`, when
+/// non-empty, replaces the deck's backend selection.
+std::unique_ptr<engine::Engine> build_engine(
+    const Scenario& sc, const lattice::Structure& s,
+    const std::string& backend_override = "");
+
+}  // namespace wsmd::scenario

@@ -110,11 +110,15 @@ std::string BenchJson::encode() const {
 
 std::string BenchJson::write(const std::string& dir) const {
   const std::string path = dir + "/BENCH_" + name_ + ".json";
+  write_to(path);
+  return path;
+}
+
+void BenchJson::write_to(const std::string& path) const {
   std::ofstream out(path);
   WSMD_REQUIRE(out.good(), "cannot open " << path << " for writing");
   out << encode();
   WSMD_REQUIRE(out.good(), "failed writing " << path);
-  return path;
 }
 
 }  // namespace wsmd

@@ -73,6 +73,10 @@ class BenchJson {
   /// Write `BENCH_<name>.json` into `dir`; returns the written path.
   std::string write(const std::string& dir = ".") const;
 
+  /// Write the encoded document to an explicit path (the scenario driver
+  /// reuses this format for its run summaries).
+  void write_to(const std::string& path) const;
+
  private:
   std::string name_;
   JsonObject meta_;

@@ -43,6 +43,26 @@ bool starts_with(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
 
+bool parse_long_strict(const std::string& token, long& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stol(token, &pos);
+    return pos == token.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_double_strict(const std::string& token, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(token, &pos);
+    return pos == token.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
 std::string format(const char* fmt, ...) {
   va_list args;
   va_start(args, fmt);

@@ -21,6 +21,13 @@ std::string trim(std::string_view s);
 /// True when `s` starts with `prefix`.
 bool starts_with(std::string_view s, std::string_view prefix);
 
+/// Strict full-token numeric parsing: succeeds only when the entire token
+/// is consumed (no trailing garbage), returns false on any failure without
+/// throwing. Shared by the deck parser and the trajectory/thermo readers
+/// so "50abc" is rejected identically everywhere.
+bool parse_long_strict(const std::string& token, long& out);
+bool parse_double_strict(const std::string& token, double& out);
+
 /// printf-style formatting into a std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 

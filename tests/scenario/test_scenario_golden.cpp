@@ -1,0 +1,149 @@
+/// \file test_scenario_golden.cpp
+/// Golden-run regression harness: every checked-in scenario deck under
+/// scenarios/ is replayed on the reference and sharded-wafer backends and
+/// the thermo stream is compared against the recorded golden log
+/// (scenarios/golden/<name>.thermo.csv).
+///
+/// This is what turns CI from "unit tests pass" into "the physics didn't
+/// drift": any change to the potential, integrator, lattice generators,
+/// defect streams, thermostat stages, or engine phase kernels that alters
+/// the trajectory shows up as a thermo mismatch here.
+///
+/// Tolerances: the reference replay must match the golden (also recorded
+/// on the reference backend) to FP64 replay precision — only compiler
+/// codegen differences are allowed through. The sharded-wafer replay runs
+/// the same physics in FP32 with half-step kinetic-energy convention
+/// (engine/engine.hpp), so it gets a physics-level band; sharded-vs-serial
+/// wafer bitwise parity is already pinned by the engine tests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "io/thermo_log.hpp"
+#include "scenario/deck.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace wsmd::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string scenarios_dir() { return std::string(WSMD_SOURCE_DIR) + "/scenarios"; }
+
+std::vector<std::string> discover_decks() {
+  std::vector<std::string> decks;
+  for (const auto& entry : fs::directory_iterator(scenarios_dir())) {
+    if (entry.path().extension() == ".deck") {
+      decks.push_back(entry.path().string());
+    }
+  }
+  std::sort(decks.begin(), decks.end());
+  return decks;
+}
+
+struct Tolerance {
+  double energy_rel;   ///< pe / total energy, relative to the golden value
+  double energy_abs;   ///< absolute floor (eV)
+  double temp_abs;     ///< temperature band (K)
+};
+
+/// Reference replay: FP64 determinism up to compiler codegen.
+constexpr Tolerance kReferenceTol{1e-5, 1e-6, 0.5};
+/// Wafer replay: FP32 state + half-step KE convention. Bands sit ~4x above
+/// the observed cross-backend spread at CI sizes, far below any real
+/// physics drift (wrong potential/integrator shifts energies by eV/atom).
+constexpr Tolerance kWaferTol{8e-3, 0.1, 45.0};
+
+void compare_stream(const std::vector<io::ThermoSample>& golden,
+                    const std::vector<io::ThermoSample>& got,
+                    const Tolerance& tol, const std::string& label) {
+  ASSERT_EQ(golden.size(), got.size()) << label << ": sample count drifted";
+  for (std::size_t k = 0; k < golden.size(); ++k) {
+    const auto& g = golden[k];
+    const auto& r = got[k];
+    ASSERT_EQ(g.step, r.step) << label << ": step sequence drifted at row "
+                              << k;
+    const auto band = [&](double value) {
+      return std::max(tol.energy_abs, tol.energy_rel * std::fabs(value));
+    };
+    EXPECT_NEAR(r.potential_energy, g.potential_energy,
+                band(g.potential_energy))
+        << label << ": potential energy drifted at step " << g.step;
+    EXPECT_NEAR(r.total_energy, g.total_energy, band(g.total_energy))
+        << label << ": total energy drifted at step " << g.step;
+    EXPECT_NEAR(r.temperature, g.temperature, tol.temp_abs)
+        << label << ": temperature drifted at step " << g.step;
+  }
+}
+
+class ScenarioGolden : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioGolden, ReplayMatchesGoldenOnReferenceAndSharded) {
+  const std::string deck_path = GetParam();
+  const auto deck_name = fs::path(deck_path).stem().string();
+  const std::string golden_path =
+      scenarios_dir() + "/golden/" + deck_name + ".thermo.csv";
+  ASSERT_TRUE(fs::exists(golden_path))
+      << "no golden recorded for " << deck_name
+      << " — run the deck on the reference backend and check in the "
+         "thermo CSV";
+  const auto golden = io::read_thermo_csv_file(golden_path);
+  ASSERT_FALSE(golden.empty());
+
+  struct BackendCase {
+    const char* backend;
+    const Tolerance* tol;
+  };
+  for (const auto& bc : std::vector<BackendCase>{
+           {"reference", &kReferenceTol}, {"sharded:3", &kWaferTol}}) {
+    Deck deck = parse_deck_file(deck_path);
+    const std::string thermo_path = ::testing::TempDir() + "wsmd_golden_" +
+                                    deck_name + "_" + bc.backend + ".csv";
+    // Replay wants only the thermo stream: no trajectory/summary clutter,
+    // full sampling so every golden row has a counterpart.
+    deck.set("thermo", thermo_path);
+    deck.set("thermo_format", "csv");
+    deck.set("thermo_every", "1");
+    deck.set("xyz", "");
+    deck.set("summary", "");
+
+    RunOptions opt;
+    opt.backend_override = bc.backend;
+    const auto result = run_scenario(scenario_from_deck(deck), opt);
+    EXPECT_EQ(result.total_steps,
+              golden.back().step);  // schedule length is part of the golden
+    const auto got = io::read_thermo_csv_file(thermo_path);
+    compare_stream(golden, got, *bc.tol,
+                   deck_name + " on " + bc.backend);
+    std::remove(thermo_path.c_str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Decks, ScenarioGolden,
+                         ::testing::ValuesIn(discover_decks()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return fs::path(i.param).stem().string();
+                         });
+
+/// The harness is only meaningful while decks exist; catch an empty or
+/// mislocated scenarios/ directory instead of vacuously passing.
+TEST(ScenarioGoldenSuite, CoversTheCheckedInDecks) {
+  const auto decks = discover_decks();
+  EXPECT_GE(decks.size(), 3u) << "expected the three paper-derived decks";
+  for (const auto& d : decks) {
+    const auto name = fs::path(d).stem().string();
+    EXPECT_TRUE(fs::exists(scenarios_dir() + "/golden/" + name +
+                           ".thermo.csv"))
+        << "deck " << name << " has no golden thermo log";
+  }
+}
+
+}  // namespace
+}  // namespace wsmd::scenario
