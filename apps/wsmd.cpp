@@ -11,6 +11,11 @@
 ///   $ wsmd element=Ta geometry=slab scale=32 thermalize=300 run=50
 ///   $ wsmd --print scenarios/ta_grain_boundary.deck
 ///
+/// The `analyze` subcommand replays a deck's `observe.*` probes offline
+/// over a saved XYZ trajectory (no engine run):
+///
+///   $ wsmd analyze scenarios/cu_gb_mobility.deck run/cu_gb.traj.xyz
+///
 /// Exit status: 0 on success, 1 on any error (bad deck, unknown key,
 /// engine failure, I/O failure).
 
@@ -20,6 +25,7 @@
 #include <vector>
 
 #include "eam/zhou.hpp"
+#include "scenario/analyze.hpp"
 #include "scenario/deck.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
@@ -33,10 +39,13 @@ void print_usage(std::FILE* out) {
                "wsmd — wafer-scale MD scenario driver\n"
                "\n"
                "usage: wsmd [options] [deck ...] [key=value ...]\n"
+               "       wsmd analyze [options] DECK TRAJECTORY.xyz "
+               "[key=value ...]\n"
                "\n"
                "Runs each deck (plus overrides) end-to-end on the selected\n"
                "backend. With no deck, a scenario is built from key=value\n"
-               "tokens alone.\n"
+               "tokens alone. `wsmd analyze` instead replays the deck's\n"
+               "observe.* probes offline over a saved XYZ trajectory.\n"
                "\n"
                "options:\n"
                "  --set key=value   scenario override (same as a bare\n"
@@ -54,7 +63,11 @@ void print_usage(std::FILE* out) {
                "  vacancy_fraction tilt_angle_deg gb_atoms backend dt\n"
                "  swap_interval rescale_interval seed thermalize\n"
                "  equilibrate ramp quench run xyz xyz_every thermo\n"
-               "  thermo_every thermo_format summary\n");
+               "  thermo_every thermo_format summary\n"
+               "observable keys: observe.probes (rdf msd vacf defects)\n"
+               "  observe.every observe.<probe>_every observe.format\n"
+               "  observe.prefix observe.rdf_rcut observe.rdf_bins\n"
+               "  observe.csp_threshold observe.gb_axis\n");
 }
 
 void print_scenario(const wsmd::scenario::Scenario& sc) {
@@ -114,12 +127,74 @@ void print_scenario(const wsmd::scenario::Scenario& sc) {
   if (!sc.summary_path.empty()) {
     std::printf("  summary   = %s\n", sc.summary_path.c_str());
   }
+  if (sc.observe.enabled()) {
+    std::printf("  observe   =");
+    for (const auto& kind : sc.observe.probes) {
+      std::printf(" %s(every %ld)", kind.c_str(),
+                  sc.observe.cadence_for(kind));
+    }
+    std::printf(" -> %s.<probe>.%s\n",
+                sc.observe.effective_prefix(sc.name).c_str(),
+                sc.observe.format.c_str());
+  }
+}
+
+int run_analyze(int argc, char** argv) {
+  using namespace wsmd;
+  std::vector<std::string> paths;
+  std::vector<scenario::DeckEntry> overrides;
+  scenario::AnalyzeOptions opt;
+  bool quiet = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--set") {
+      WSMD_REQUIRE(i + 1 < argc, "--set needs a key=value argument");
+      overrides.push_back(scenario::parse_override(argv[++i]));
+    } else if (starts_with(arg, "--set=")) {
+      overrides.push_back(scenario::parse_override(arg.substr(6)));
+    } else if (starts_with(arg, "--output-dir=")) {
+      opt.output_dir = arg.substr(13);
+    } else if (starts_with(arg, "--")) {
+      WSMD_REQUIRE(false, "unknown analyze option '" << arg << "'");
+    } else if (arg.find('=') != std::string::npos) {
+      overrides.push_back(scenario::parse_override(arg));
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  WSMD_REQUIRE(paths.size() == 2,
+               "analyze wants exactly a deck and a trajectory, got "
+                   << paths.size() << " path argument(s)");
+  if (!quiet) {
+    opt.log = [](const std::string& line) {
+      std::printf("%s\n", line.c_str());
+    };
+  }
+  scenario::Deck deck = scenario::parse_deck_file(paths[0]);
+  for (const auto& o : overrides) deck.set(o.key, o.value);
+  scenario::analyze_trajectory(scenario::scenario_from_deck(deck), paths[1],
+                               opt);
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace wsmd;
+
+  if (argc > 1 && std::strcmp(argv[1], "analyze") == 0) {
+    try {
+      return run_analyze(argc - 2, argv + 2);
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "wsmd: error: %s\n", ex.what());
+      return 1;
+    }
+  }
 
   std::vector<std::string> decks;
   std::vector<scenario::DeckEntry> overrides;

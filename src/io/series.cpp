@@ -1,0 +1,110 @@
+#include "io/series.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/bench_json.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace wsmd::io {
+
+SeriesWriter::SeriesWriter(const std::string& path, ThermoFormat format,
+                           std::vector<std::string> columns)
+    : path_(path),
+      columns_(std::move(columns)),
+      os_(std::make_unique<std::ofstream>(path)),
+      format_(format) {
+  WSMD_REQUIRE(!columns_.empty(), "series needs at least one column");
+  WSMD_REQUIRE(os_->good(), "cannot open '" << path_ << "' for writing");
+  for (const auto& c : columns_) {
+    WSMD_REQUIRE(!c.empty() && c.find(',') == std::string::npos &&
+                     c.find('"') == std::string::npos,
+                 "bad series column name '" << c << "'");
+  }
+  if (format_ == ThermoFormat::kCsv) {
+    for (std::size_t k = 0; k < columns_.size(); ++k) {
+      *os_ << (k ? "," : "") << columns_[k];
+    }
+    *os_ << '\n';
+  }
+}
+
+SeriesWriter::~SeriesWriter() = default;
+
+void SeriesWriter::write_row(const std::vector<double>& values) {
+  WSMD_REQUIRE(values.size() == columns_.size(),
+               "series row with " << values.size() << " values, expected "
+                                  << columns_.size() << " (" << path_ << ")");
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    WSMD_REQUIRE(std::isfinite(values[k]),
+                 "non-finite value for column '" << columns_[k] << "' in "
+                                                 << path_);
+  }
+  if (format_ == ThermoFormat::kCsv) {
+    std::ostringstream row;
+    row.precision(17);
+    for (std::size_t k = 0; k < values.size(); ++k) {
+      row << (k ? "," : "") << values[k];
+    }
+    *os_ << row.str() << '\n';
+  } else {
+    JsonObject obj;
+    for (std::size_t k = 0; k < values.size(); ++k) {
+      obj.set(columns_[k], values[k]);
+    }
+    *os_ << obj.encode() << '\n';
+  }
+  WSMD_REQUIRE(os_->good(), "series write failed (" << path_ << ")");
+  ++rows_;
+}
+
+void SeriesWriter::flush() {
+  os_->flush();
+  WSMD_REQUIRE(os_->good(), "series flush failed (" << path_ << ")");
+}
+
+std::size_t Series::column_index(const std::string& name) const {
+  for (std::size_t k = 0; k < columns.size(); ++k) {
+    if (columns[k] == name) return k;
+  }
+  WSMD_REQUIRE(false, "series has no column '" << name << "'");
+  return 0;  // unreachable
+}
+
+Series read_series_csv(std::istream& is) {
+  Series out;
+  std::string line;
+  WSMD_REQUIRE(static_cast<bool>(std::getline(is, line)),
+               "empty series CSV (no header)");
+  for (auto& c : split(trim(line), ',')) {
+    WSMD_REQUIRE(!trim(c).empty(), "empty column name in series header");
+    out.columns.push_back(trim(c));
+  }
+  while (std::getline(is, line)) {
+    if (trim(line).empty()) continue;
+    const auto fields = split(line, ',');
+    WSMD_REQUIRE(fields.size() == out.columns.size(),
+                 "series row with " << fields.size() << " fields, expected "
+                                    << out.columns.size() << ": '" << line
+                                    << "'");
+    std::vector<double> row(fields.size());
+    for (std::size_t k = 0; k < fields.size(); ++k) {
+      WSMD_REQUIRE(parse_double_strict(fields[k], row[k]) &&
+                       std::isfinite(row[k]),
+                   "malformed series value '" << fields[k] << "' in '" << line
+                                              << "'");
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Series read_series_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  WSMD_REQUIRE(is.good(), "cannot open series CSV '" << path << "'");
+  return read_series_csv(is);
+}
+
+}  // namespace wsmd::io

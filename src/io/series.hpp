@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file series.hpp
+/// Generic streaming numeric series: named columns, one row per sample,
+/// written as CSV or JSON-lines.
+///
+/// This is the output channel of the observables subsystem (src/obs): every
+/// probe streams its per-sample values (MSD, defect counts, ...) or its
+/// finish-time table (RDF g(r)) through a SeriesWriter, and the golden-run
+/// harness reads the CSVs back for regression comparison. Like the thermo
+/// log, non-finite values are rejected at the writer — a NaN observable is
+/// always an upstream bug and must not poison a golden file.
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/thermo_log.hpp"  // ThermoFormat (csv | jsonl)
+
+namespace wsmd::io {
+
+/// Streaming writer: fixed column schema, rows of doubles. CSV emits the
+/// header on construction; JSONL emits one object per row keyed by the
+/// column names.
+class SeriesWriter {
+ public:
+  SeriesWriter(const std::string& path, ThermoFormat format,
+               std::vector<std::string> columns);
+  ~SeriesWriter();
+
+  SeriesWriter(const SeriesWriter&) = delete;
+  SeriesWriter& operator=(const SeriesWriter&) = delete;
+
+  /// Append one row; `values` must match the column count and be finite.
+  void write_row(const std::vector<double>& values);
+
+  /// Flush buffered rows to disk (probes call this from finish() so the
+  /// file is complete while the probe object is still alive).
+  void flush();
+
+  std::size_t rows_written() const { return rows_; }
+  const std::string& path() const { return path_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+ private:
+  std::string path_;
+  std::vector<std::string> columns_;
+  std::unique_ptr<std::ofstream> os_;
+  ThermoFormat format_;
+  std::size_t rows_ = 0;
+};
+
+/// A fully parsed numeric series (the reader counterpart, used by the
+/// golden-observable regression tests and `wsmd analyze` consumers).
+struct Series {
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;  ///< each sized like `columns`
+
+  std::size_t column_index(const std::string& name) const;  ///< throws if absent
+};
+
+/// Parse a CSV series as emitted by SeriesWriter; validates the rectangular
+/// shape and that every value is finite.
+Series read_series_csv(std::istream& is);
+Series read_series_csv_file(const std::string& path);
+
+}  // namespace wsmd::io

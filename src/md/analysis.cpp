@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "md/neighbor.hpp"
+#include "md/cell_list.hpp"
 #include "util/error.hpp"
 
 namespace wsmd::md {
@@ -12,11 +12,17 @@ StructureAnalysis analyze_structure(const Box& box,
                                     const std::vector<Vec3d>& positions,
                                     double rcut, int neighbor_count) {
   WSMD_REQUIRE(!positions.empty(), "no atoms to analyze");
+  WSMD_REQUIRE(rcut > 0.0, "rcut must be positive");
   WSMD_REQUIRE(neighbor_count >= 2 && neighbor_count % 2 == 0,
                "CSP needs an even neighbor count (12 FCC, 8 BCC)");
+  // Minimum-image correctness: at most one periodic image within rcut.
+  CellList::require_min_image(box, rcut);
 
-  NeighborList nl(rcut, 0.0);
-  nl.build(box, positions);
+  // Shared cell list, queried directly: one O(N) binning pass and no
+  // materialized CSR — this is what keeps CSP on a 200k-atom slab at
+  // seconds of wall clock.
+  CellList cl;
+  cl.build(box, positions, rcut);
 
   StructureAnalysis out;
   out.centrosymmetry.assign(positions.size(), 0.0);
@@ -25,10 +31,9 @@ StructureAnalysis analyze_structure(const Box& box,
   std::vector<Vec3d> bonds;
   for (std::size_t i = 0; i < positions.size(); ++i) {
     bonds.clear();
-    for (std::size_t j : nl.neighbors(i)) {
-      const Vec3d d = box.minimum_image(positions[i], positions[j]);
-      if (norm2(d) < rcut * rcut) bonds.push_back(d);
-    }
+    cl.for_each_neighbor(i, [&](std::size_t, const Vec3d& d, double) {
+      bonds.push_back(d);
+    });
     out.coordination[i] = static_cast<int>(bonds.size());
 
     // Keep the `neighbor_count` shortest bonds.

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file cell_list.hpp
+/// Shared spatial cell list: the O(N) neighbor-search primitive behind the
+/// Verlet list (md/neighbor), the structural analysis (md/analysis), and the
+/// streaming observables (src/obs).
+///
+/// Atoms are binned into cells of edge >= `radius`; candidate neighbors of
+/// an atom are the atoms in its cell's 27-stencil. The stencil cell ids are
+/// deduplicated at build time, so every atom is visited at most once per
+/// query even when a periodic axis holds fewer than three cells (the wrap
+/// would otherwise fold distinct stencil offsets onto the same cell).
+///
+/// Correctness contract, shared with the Verlet list it was extracted from:
+/// distances use the minimum-image convention, which is exact only while at
+/// most one periodic image of any neighbor lies within `radius` — callers
+/// on periodic boxes must keep every periodic box length >= 2 * cutoff.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/box.hpp"
+#include "util/vec3.hpp"
+
+namespace wsmd::md {
+
+class CellList {
+ public:
+  CellList() = default;
+
+  /// Enforce the minimum-image precondition: every periodic box length
+  /// must be >= 2 * `cutoff`. Callers validate with the cutoff they
+  /// guarantee to their users — which may be smaller than the cell radius
+  /// (the Verlet list builds cells at cutoff + skin but only promises
+  /// completeness within cutoff), so build() cannot enforce this itself.
+  static void require_min_image(const Box& box, double cutoff);
+
+  /// Bin `positions` into cells of edge >= `radius`. For periodic axes the
+  /// box bounds are authoritative; open axes bin over the atom extrema
+  /// (atoms may drift outside the nominal box). The list keeps a pointer to
+  /// `positions`: the vector must stay alive and unmodified while queries
+  /// run (every call site builds and queries back-to-back).
+  void build(const Box& box, const std::vector<Vec3d>& positions,
+             double radius);
+
+  std::size_t atom_count() const { return positions_ ? positions_->size() : 0; }
+  double radius() const { return radius_; }
+  std::size_t cell_count() const {
+    return cell_start_.empty() ? 0 : cell_start_.size() - 1;
+  }
+
+  /// Invoke `f(j, d, r2)` for every atom j != i whose minimum-image
+  /// displacement d = rj - ri has |d|^2 = r2 < radius^2. Each such j is
+  /// visited exactly once, in cell-traversal order.
+  template <typename F>
+  void for_each_neighbor(std::size_t i, F&& f) const {
+    const std::vector<Vec3d>& pos = *positions_;
+    const Vec3d ri = pos[i];
+    const double r2max = radius_ * radius_;
+    const std::size_t cell = atom_cell_[i];
+    for (std::size_t s = stencil_start_[cell]; s < stencil_start_[cell + 1];
+         ++s) {
+      const std::size_t cc = stencil_cells_[s];
+      for (std::size_t k = cell_start_[cc]; k < cell_start_[cc + 1]; ++k) {
+        const std::size_t j = cell_atoms_[k];
+        if (j == i) continue;
+        const Vec3d d = box_.minimum_image(ri, pos[j]);
+        const double r2 = norm2(d);
+        if (r2 < r2max) f(j, d, r2);
+      }
+    }
+  }
+
+  /// Invoke `f(i, j, d, r2)` once per unordered pair i < j within `radius`
+  /// (d is the minimum image rj - ri). The full stencil holds both
+  /// directions of every pair; guarding j > i *before* the distance work
+  /// halves the minimum-image evaluations relative to filtering
+  /// for_each_neighbor's output.
+  template <typename F>
+  void for_each_pair(F&& f) const {
+    const std::vector<Vec3d>& pos = *positions_;
+    const double r2max = radius_ * radius_;
+    const std::size_t n = atom_count();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec3d ri = pos[i];
+      const std::size_t cell = atom_cell_[i];
+      for (std::size_t s = stencil_start_[cell];
+           s < stencil_start_[cell + 1]; ++s) {
+        const std::size_t cc = stencil_cells_[s];
+        for (std::size_t k = cell_start_[cc]; k < cell_start_[cc + 1]; ++k) {
+          const std::size_t j = cell_atoms_[k];
+          if (j <= i) continue;
+          const Vec3d d = box_.minimum_image(ri, pos[j]);
+          const double r2 = norm2(d);
+          if (r2 < r2max) f(i, j, d, r2);
+        }
+      }
+    }
+  }
+
+ private:
+  Box box_;
+  const std::vector<Vec3d>* positions_ = nullptr;
+  double radius_ = 0.0;
+  int ncell_[3] = {1, 1, 1};
+  Vec3d lo_{0, 0, 0};
+  double cell_edge_[3] = {0, 0, 0};
+
+  std::vector<std::size_t> atom_cell_;      ///< atom -> flat cell id
+  std::vector<std::size_t> cell_start_;     ///< CSR offsets into cell_atoms_
+  std::vector<std::size_t> cell_atoms_;     ///< atom ids grouped by cell
+  std::vector<std::size_t> stencil_start_;  ///< CSR offsets into stencil_cells_
+  std::vector<std::size_t> stencil_cells_;  ///< deduped neighbor cell ids
+};
+
+}  // namespace wsmd::md

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "md/cell_list.hpp"
 #include "util/error.hpp"
 
 namespace wsmd::md {
@@ -18,112 +19,25 @@ void NeighborList::build(const Box& box, const std::vector<Vec3d>& positions) {
   WSMD_REQUIRE(n > 0, "cannot build a neighbor list for zero atoms");
   // Minimum-image convention requires at most one periodic image of any
   // neighbor within the cutoff; otherwise the physics is silently wrong.
-  for (std::size_t a = 0; a < 3; ++a) {
-    if (box.periodic[a]) {
-      WSMD_REQUIRE(box.length(static_cast<int>(a)) >= 2.0 * cutoff_,
-                   "periodic box length " << box.length(static_cast<int>(a))
-                                          << " < 2*cutoff " << 2.0 * cutoff_
-                                          << " on axis " << a);
-    }
-  }
-  const double rlist = list_radius();
-  const double rlist2 = rlist * rlist;
-
-  // Bin atoms into cells of edge >= rlist over the atoms' bounding region.
-  // For periodic axes the box bounds are authoritative; for open axes the
-  // atom extrema are (atoms may drift outside the nominal box).
-  Vec3d lo = box.lo, hi = box.hi;
-  for (std::size_t a = 0; a < 3; ++a) {
-    if (box.periodic[a]) continue;
-    double mn = positions[0][a], mx = positions[0][a];
-    for (const auto& r : positions) {
-      mn = std::min(mn, r[a]);
-      mx = std::max(mx, r[a]);
-    }
-    lo[a] = mn - 1e-9;
-    hi[a] = mx + 1e-9;
-  }
-
-  int ncell[3];
-  double cell_edge[3];
-  for (std::size_t a = 0; a < 3; ++a) {
-    const double len = hi[a] - lo[a];
-    ncell[a] = std::max(1, static_cast<int>(std::floor(len / rlist)));
-    // Periodic axes require the cutoff to fit at least 3 cells for the
-    // 27-stencil to be exact; fall back to fewer cells => stencil covers all.
-    cell_edge[a] = len / ncell[a];
-  }
-
-  const std::size_t total_cells = static_cast<std::size_t>(ncell[0]) *
-                                  static_cast<std::size_t>(ncell[1]) *
-                                  static_cast<std::size_t>(ncell[2]);
-  std::vector<std::vector<std::size_t>> cells(total_cells);
-  auto cell_of = [&](const Vec3d& r) {
-    int c[3];
-    for (std::size_t a = 0; a < 3; ++a) {
-      double x = r[a] - lo[a];
-      if (box.periodic[a]) {
-        const double len = hi[a] - lo[a];
-        x -= std::floor(x / len) * len;
-      }
-      int idx = static_cast<int>(std::floor(x / cell_edge[a]));
-      idx = std::clamp(idx, 0, ncell[a] - 1);
-      c[a] = idx;
-    }
-    return (static_cast<std::size_t>(c[2]) * ncell[1] + c[1]) * ncell[0] + c[0];
-  };
-  for (std::size_t i = 0; i < n; ++i) cells[cell_of(positions[i])].push_back(i);
+  // (Checked at the cutoff, not the list radius: the list only promises
+  // completeness within cutoff, skin entries are rebuild slack.)
+  CellList::require_min_image(box, cutoff_);
+  CellList cl;
+  cl.build(box, positions, list_radius());
 
   offsets_.assign(n + 1, 0);
   indices_.clear();
-  // First pass estimates: just append per atom in order (CSR built on the
-  // fly; cheaper than counting twice for the system sizes we run).
   std::vector<std::size_t> scratch;
   scratch.reserve(128);
-
   for (std::size_t i = 0; i < n; ++i) {
     scratch.clear();
-    int ci[3];
-    {
-      // Recompute the cell coordinates of atom i (cell_of folded them).
-      const std::size_t flat = cell_of(positions[i]);
-      ci[0] = static_cast<int>(flat % static_cast<std::size_t>(ncell[0]));
-      ci[1] = static_cast<int>((flat / static_cast<std::size_t>(ncell[0])) %
-                               static_cast<std::size_t>(ncell[1]));
-      ci[2] = static_cast<int>(flat / (static_cast<std::size_t>(ncell[0]) *
-                                       static_cast<std::size_t>(ncell[1])));
-    }
-    for (int dz = -1; dz <= 1; ++dz) {
-      for (int dy = -1; dy <= 1; ++dy) {
-        for (int dx = -1; dx <= 1; ++dx) {
-          int cc[3] = {ci[0] + dx, ci[1] + dy, ci[2] + dz};
-          bool skip = false;
-          for (std::size_t a = 0; a < 3; ++a) {
-            if (box.periodic[a]) {
-              cc[a] = (cc[a] + ncell[a]) % ncell[a];
-            } else if (cc[a] < 0 || cc[a] >= ncell[a]) {
-              skip = true;
-              break;
-            }
-          }
-          if (skip) continue;
-          // With very few cells along a periodic axis, neighbors wrap onto
-          // the same cell; dedup via the dx==... guard below is handled by
-          // the distance check plus the self-exclusion.
-          const std::size_t flat =
-              (static_cast<std::size_t>(cc[2]) * ncell[1] + cc[1]) * ncell[0] +
-              cc[0];
-          for (std::size_t j : cells[flat]) {
-            if (j == i) continue;
-            const Vec3d d = box.minimum_image(positions[i], positions[j]);
-            if (norm2(d) < rlist2) scratch.push_back(j);
-          }
-        }
-      }
-    }
-    // Cells can repeat when a periodic axis has < 3 cells; dedup.
+    cl.for_each_neighbor(i, [&](std::size_t j, const Vec3d&, double) {
+      scratch.push_back(j);
+    });
+    // Ascending order keeps the CSR layout — and therefore the FP summation
+    // order of every force/density loop over it — independent of the cell
+    // traversal.
     std::sort(scratch.begin(), scratch.end());
-    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
     offsets_[i + 1] = offsets_[i] + scratch.size();
     indices_.insert(indices_.end(), scratch.begin(), scratch.end());
   }

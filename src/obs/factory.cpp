@@ -1,0 +1,105 @@
+#include "obs/factory.hpp"
+
+#include <algorithm>
+
+#include "obs/defects.hpp"
+#include "obs/msd.hpp"
+#include "obs/rdf.hpp"
+#include "obs/vacf.hpp"
+#include "util/error.hpp"
+
+namespace wsmd::obs {
+
+const std::vector<std::string>& probe_kinds() {
+  static const std::vector<std::string> kinds = {"rdf", "msd", "vacf",
+                                                 "defects"};
+  return kinds;
+}
+
+bool is_probe_kind(const std::string& kind) {
+  const auto& kinds = probe_kinds();
+  return std::find(kinds.begin(), kinds.end(), kind) != kinds.end();
+}
+
+bool ProbeSetConfig::has(const std::string& kind) const {
+  return std::find(probes.begin(), probes.end(), kind) != probes.end();
+}
+
+long ProbeSetConfig::cadence_for(const std::string& kind) const {
+  long override_every = 0;
+  if (kind == "rdf") override_every = rdf_every;
+  else if (kind == "msd") override_every = msd_every;
+  else if (kind == "vacf") override_every = vacf_every;
+  else if (kind == "defects") override_every = defects_every;
+  else WSMD_REQUIRE(false, "unknown probe kind '" << kind << "'");
+  return override_every > 0 ? override_every : every;
+}
+
+double effective_rdf_rcut(const ProbeSetConfig& config, const Material& m) {
+  if (config.rdf_rcut > 0.0) return config.rdf_rcut;
+  WSMD_REQUIRE(m.lattice_constant > 0.0,
+               "cannot derive an rdf rcut without a lattice constant");
+  // Three to four coordination shells: enough structure for the first-peak
+  // fingerprint while keeping periodic CI boxes (>= 4 cells) legal.
+  return 1.8 * m.lattice_constant;
+}
+
+double effective_csp_rcut(const Material& m) {
+  WSMD_REQUIRE(m.lattice_constant > 0.0,
+               "cannot derive a csp rcut without a lattice constant");
+  // Past the CSP shell with thermal headroom, below the shell after it:
+  // FCC keeps the 12 nearest of <= 18 candidates, BCC the 8 of <= 14.
+  return 1.2 * m.lattice_constant;
+}
+
+std::unique_ptr<ObserverBus> make_observer_bus(
+    const ProbeSetConfig& config, const Material& material,
+    bool with_velocities, std::vector<std::string>* skipped) {
+  WSMD_REQUIRE(config.enabled(), "no probes configured");
+  WSMD_REQUIRE(!config.prefix.empty(), "observable output prefix is empty");
+  const io::ThermoFormat format = io::thermo_format_from_name(config.format);
+  const std::string ext =
+      format == io::ThermoFormat::kCsv ? ".csv" : ".jsonl";
+
+  auto bus = std::make_unique<ObserverBus>();
+  for (const auto& kind : config.probes) {
+    WSMD_REQUIRE(is_probe_kind(kind), "unknown probe kind '" << kind << "'");
+    const std::string path = config.prefix + "." + kind + ext;
+    if (kind == "rdf") {
+      RdfProbe::Config c;
+      c.rcut = effective_rdf_rcut(config, material);
+      c.bins = config.rdf_bins;
+      c.path = path;
+      c.format = format;
+      bus->add(std::make_unique<RdfProbe>(c), config.cadence_for(kind));
+    } else if (kind == "msd") {
+      bus->add(std::make_unique<MsdProbe>(MsdProbe::Config{path, format}),
+               config.cadence_for(kind));
+    } else if (kind == "vacf") {
+      if (!with_velocities) {
+        if (skipped) skipped->push_back(kind);
+        continue;
+      }
+      bus->add(std::make_unique<VacfProbe>(VacfProbe::Config{path, format}),
+               config.cadence_for(kind));
+    } else {  // defects
+      DefectProbe::Config c;
+      c.csp_rcut = effective_csp_rcut(material);
+      c.csp_neighbors = material.csp_neighbors;
+      c.csp_threshold = config.csp_threshold;
+      c.gb_axis = config.gb_axis;
+      // One CSP radius of margin hides the open surfaces from the GB
+      // plane estimate without eating into a CI-sized grain interior.
+      c.surface_margin = effective_csp_rcut(material);
+      c.path = path;
+      c.format = format;
+      bus->add(std::make_unique<DefectProbe>(c), config.cadence_for(kind));
+    }
+  }
+  WSMD_REQUIRE(bus->size() > 0,
+               "every configured probe was skipped (velocity-dependent "
+               "probes cannot replay a position-only trajectory)");
+  return bus;
+}
+
+}  // namespace wsmd::obs

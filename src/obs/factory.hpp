@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file factory.hpp
+/// Observable-set configuration (the `observe.*` deck surface) and the
+/// factory that turns it into a ready ObserverBus.
+///
+/// ProbeSetConfig mirrors the deck keys one-to-one so the scenario layer
+/// can validate eagerly and pass the struct through unchanged; material
+/// facts the probes need (lattice constant for default cutoffs, FCC/BCC
+/// coordination for CSP) arrive separately so obs stays independent of the
+/// eam layer.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/probe.hpp"
+
+namespace wsmd::obs {
+
+/// Valid probe kind names ("rdf", "msd", "vacf", "defects").
+bool is_probe_kind(const std::string& kind);
+const std::vector<std::string>& probe_kinds();
+
+/// Parsed `observe.*` deck keys. Zeroed numeric fields mean "derive the
+/// default from the material at build time".
+struct ProbeSetConfig {
+  std::vector<std::string> probes;  ///< enabled kinds, deck order, unique
+  long every = 10;                  ///< default sampling cadence (steps)
+  /// Per-probe cadence overrides (0 = inherit `every`).
+  long rdf_every = 0, msd_every = 0, vacf_every = 0, defects_every = 0;
+  std::string format = "csv";  ///< csv | jsonl
+  std::string prefix;          ///< output path prefix ("" = scenario name)
+
+  double rdf_rcut = 0.0;  ///< histogram range (0 = 1.8 * lattice constant)
+  int rdf_bins = 200;
+
+  double csp_threshold = 1.0;  ///< defect classification threshold (A^2)
+  int gb_axis = -1;            ///< GB normal (0/1/2); -1 = no GB tracking
+
+  bool enabled() const { return !probes.empty(); }
+  bool has(const std::string& kind) const;
+  long cadence_for(const std::string& kind) const;
+
+  /// The output prefix actually used: the configured one, or the scenario
+  /// name when unset. Single authority for the defaulting rule — the
+  /// runner, the offline analyzer, and `--print` all go through it.
+  std::string effective_prefix(const std::string& scenario_name) const {
+    return prefix.empty() ? scenario_name : prefix;
+  }
+};
+
+/// Material facts the default probe parameters derive from.
+struct Material {
+  double lattice_constant = 0.0;  ///< conventional cubic a0 (A)
+  int csp_neighbors = 12;         ///< 12 FCC, 8 BCC
+};
+
+/// Effective (default-resolved) probe parameters, exposed so the driver can
+/// report them and tests can pin them.
+double effective_rdf_rcut(const ProbeSetConfig& config, const Material& m);
+double effective_csp_rcut(const Material& m);
+
+/// Build a bus holding one probe per configured kind. Output files are
+/// `<prefix>.<kind>.csv` (or .jsonl). When `with_velocities` is false
+/// (offline trajectory replay), velocity-dependent probes are skipped and
+/// their kinds appended to `*skipped` — the caller decides how loudly to
+/// report that. Throws when nothing remains to observe.
+std::unique_ptr<ObserverBus> make_observer_bus(
+    const ProbeSetConfig& config, const Material& material,
+    bool with_velocities = true, std::vector<std::string>* skipped = nullptr);
+
+}  // namespace wsmd::obs

@@ -1,0 +1,73 @@
+#include "obs/probe.hpp"
+
+#include "util/error.hpp"
+
+namespace wsmd::obs {
+
+void ObserverBus::add(std::unique_ptr<Probe> probe, long every) {
+  WSMD_REQUIRE(probe != nullptr, "null probe");
+  WSMD_REQUIRE(every >= 1, "probe cadence must be >= 1, got " << every);
+  WSMD_REQUIRE(!finished_, "cannot add probes to a finished bus");
+  slots_.push_back(Slot{std::move(probe), every, -1});
+}
+
+bool ObserverBus::has_pending(long step) const {
+  for (const auto& s : slots_) {
+    if (s.pending_at(step)) return true;
+  }
+  return false;
+}
+
+bool ObserverBus::needs_positions_at(long step, bool final_state) const {
+  for (const auto& s : slots_) {
+    if (!s.probe->wants_positions()) continue;
+    if (final_state ? s.pending_at(step) : s.fires_at(step)) return true;
+  }
+  return false;
+}
+
+bool ObserverBus::needs_velocities_at(long step, bool final_state) const {
+  for (const auto& s : slots_) {
+    if (!s.probe->wants_velocities()) continue;
+    if (final_state ? s.pending_at(step) : s.fires_at(step)) return true;
+  }
+  return false;
+}
+
+bool ObserverBus::due(long step) const {
+  for (const auto& s : slots_) {
+    if (s.fires_at(step)) return true;
+  }
+  return false;
+}
+
+void ObserverBus::observe(const Frame& frame) {
+  WSMD_REQUIRE(!finished_, "observe() after finish()");
+  for (auto& s : slots_) {
+    if (!s.fires_at(frame.step)) continue;
+    s.probe->sample(frame);
+    s.last_step = frame.step;
+  }
+}
+
+void ObserverBus::observe_all(const Frame& frame) {
+  WSMD_REQUIRE(!finished_, "observe_all() after finish()");
+  for (auto& s : slots_) {
+    if (!s.pending_at(frame.step)) continue;  // already saw this state
+    s.probe->sample(frame);
+    s.last_step = frame.step;
+  }
+}
+
+void ObserverBus::finish() {
+  WSMD_REQUIRE(!finished_, "finish() called twice");
+  for (auto& s : slots_) s.probe->finish();
+  finished_ = true;
+}
+
+void ObserverBus::summarize(JsonObject& meta) const {
+  WSMD_REQUIRE(finished_, "summarize() before finish()");
+  for (const auto& s : slots_) s.probe->summarize(meta);
+}
+
+}  // namespace wsmd::obs

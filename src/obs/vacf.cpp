@@ -1,0 +1,62 @@
+#include "obs/vacf.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wsmd::obs {
+
+VacfProbe::VacfProbe(const Config& config)
+    : path_(config.path),
+      writer_(config.path, config.format,
+              {"step", "time_ps", "vacf", "raw_A2_ps2"}) {}
+
+void VacfProbe::sample(const Frame& frame) {
+  WSMD_REQUIRE(frame.velocities != nullptr,
+               "vacf needs velocities (unavailable when replaying a saved "
+               "trajectory)");
+  const auto& vel = *frame.velocities;
+  WSMD_REQUIRE(!vel.empty(), "vacf needs at least 1 atom");
+  const double inv_n = 1.0 / static_cast<double>(vel.size());
+
+  if (v0_.empty()) {
+    double norm = 0.0;
+    for (const auto& v : vel) norm += norm2(v);
+    norm *= inv_n;
+    if (norm > 0.0) {  // motion has started: pin the time origin here
+      v0_ = vel;
+      norm0_ = norm;
+    }
+  } else {
+    WSMD_REQUIRE(vel.size() == v0_.size(),
+                 "vacf atom count changed mid-run: " << v0_.size() << " -> "
+                                                     << vel.size());
+  }
+
+  double raw = 0.0;
+  if (!v0_.empty()) {
+    for (std::size_t i = 0; i < vel.size(); ++i) raw += dot(v0_[i], vel[i]);
+    raw *= inv_n;
+  }
+  last_vacf_ = norm0_ > 0.0 ? raw / norm0_ : 0.0;
+  // Pre-origin rows are placeholders, not measurements: letting their 0
+  // into the minimum would fake a full decorrelation in every run that
+  // samples the at-rest lattice before thermalize.
+  if (!v0_.empty()) min_vacf_ = std::min(min_vacf_, last_vacf_);
+  writer_.write_row(
+      {static_cast<double>(frame.step), frame.time_ps, last_vacf_, raw});
+  ++samples_;
+}
+
+void VacfProbe::finish() { writer_.flush(); }
+
+void VacfProbe::summarize(JsonObject& meta) const {
+  // With no origin ever pinned (motion never started) the streamed series
+  // is all placeholder zeros; report 0, not the untouched sentinel, so
+  // the summary never fabricates an unmeasured correlation minimum.
+  meta.set("obs_vacf_samples", samples_)
+      .set("obs_vacf_final", last_vacf_)
+      .set("obs_vacf_min", v0_.empty() ? 0.0 : min_vacf_);
+}
+
+}  // namespace wsmd::obs

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file vacf.hpp
+/// Velocity autocorrelation function C(t) = <v(0) . v(t)> / <v(0) . v(0)>.
+///
+/// The time origin is the first sample with any thermal motion: scenario
+/// schedules start from a lattice at rest (velocities arrive with the first
+/// thermalize stage), and correlating against an all-zero origin would be
+/// meaningless. Samples before the origin stream C = 0.
+///
+/// VACF needs velocities, so this probe is unavailable during offline
+/// trajectory replay (`wsmd analyze` skips it with a warning) — positions
+/// alone cannot reconstruct the half-step velocity state the wafer
+/// backends hold.
+
+#include <string>
+#include <vector>
+
+#include "io/series.hpp"
+#include "obs/probe.hpp"
+
+namespace wsmd::obs {
+
+class VacfProbe final : public Probe {
+ public:
+  struct Config {
+    std::string path;
+    io::ThermoFormat format = io::ThermoFormat::kCsv;
+  };
+
+  explicit VacfProbe(const Config& config);
+
+  const char* kind() const override { return "vacf"; }
+  bool wants_positions() const override { return false; }
+  bool wants_velocities() const override { return true; }
+  const std::string& output_path() const override { return path_; }
+  void sample(const Frame& frame) override;
+  void finish() override;
+  void summarize(JsonObject& meta) const override;
+
+  /// Latest normalized C(t), for direct API users.
+  double current_vacf() const { return last_vacf_; }
+
+ private:
+  std::string path_;
+  io::SeriesWriter writer_;
+  std::vector<Vec3d> v0_;   ///< velocities at the time origin
+  double norm0_ = 0.0;      ///< <v(0) . v(0)>
+  double last_vacf_ = 0.0;
+  double min_vacf_ = 1.0;   ///< most negative C seen (cage rebound marker)
+};
+
+}  // namespace wsmd::obs

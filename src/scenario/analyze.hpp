@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file analyze.hpp
+/// Offline observable replay: run a scenario's `observe.*` probes over a
+/// saved XYZ trajectory instead of a live engine.
+///
+/// This is the `wsmd analyze` subcommand. The deck supplies everything the
+/// trajectory file cannot: the box (rebuilt from the scenario's structure
+/// generator), the element/material for probe defaults, dt for the time
+/// axis, and the probe configuration itself. Stored frames *are* the
+/// sampling — every frame is fed to every probe, so a run whose
+/// `xyz_every` equals its `observe.every` replays to the same series the
+/// live run streamed (modulo the trajectory's 10-significant-digit
+/// round-trip). Velocity-dependent probes (vacf) are skipped with a
+/// warning: positions alone cannot reconstruct them.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace wsmd::scenario {
+
+struct AnalyzeOptions {
+  /// Directory prefixed to relative output paths ("" = current directory).
+  std::string output_dir;
+  /// Progress sink (one human-readable line per event); empty = silent.
+  std::function<void(const std::string&)> log;
+};
+
+struct AnalyzeResult {
+  std::string scenario;
+  std::string trajectory_path;
+  std::size_t frames = 0;
+  std::vector<ProbeOutput> observables;
+  std::vector<std::string> skipped_probes;  ///< e.g. vacf (needs velocities)
+  std::string summary_path;
+};
+
+/// Replay `sc`'s probes over the trajectory at `xyz_path`. Outputs go to
+/// `<prefix>.analysis.<probe>.csv` (prefix as in a live run) so an offline
+/// pass never clobbers the live streams, plus a
+/// `<prefix>.analysis.summary.json` BENCH envelope. Throws wsmd::Error
+/// when the deck configures no probes, the trajectory mismatches the
+/// scenario's structure, or frames are unreadable.
+AnalyzeResult analyze_trajectory(const Scenario& sc,
+                                 const std::string& xyz_path,
+                                 const AnalyzeOptions& opt = {});
+
+}  // namespace wsmd::scenario

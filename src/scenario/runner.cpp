@@ -14,9 +14,8 @@
 
 namespace wsmd::scenario {
 
-namespace {
-
-std::string resolve_path(const std::string& path, const std::string& dir) {
+std::string resolve_output_path(const std::string& path,
+                                const std::string& dir) {
   std::string resolved = path;
   if (!path.empty() && !dir.empty() && path.front() != '/') {
     resolved = dir + "/" + path;
@@ -29,6 +28,24 @@ std::string resolve_path(const std::string& path, const std::string& dir) {
   }
   return resolved;
 }
+
+std::vector<ProbeOutput> collect_probe_outputs(
+    const obs::ObserverBus& bus,
+    const std::function<void(const std::string&)>& log) {
+  std::vector<ProbeOutput> outputs;
+  for (std::size_t k = 0; k < bus.size(); ++k) {
+    const auto& probe = bus.probe(k);
+    outputs.push_back(
+        {probe.kind(), probe.output_path(), probe.samples_taken()});
+    if (log) {
+      log(format("  %s: %zu samples -> %s", probe.kind(),
+                 probe.samples_taken(), probe.output_path().c_str()));
+    }
+  }
+  return outputs;
+}
+
+namespace {
 
 /// Berendsen-style hard rescale toward `target_K` through the generic
 /// Engine surface.
@@ -93,9 +110,9 @@ ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt) {
   }
 
   // Outputs.
-  result.xyz_path = resolve_path(sc.xyz_path, opt.output_dir);
-  result.thermo_path = resolve_path(sc.thermo_path, opt.output_dir);
-  result.summary_path = resolve_path(sc.summary_path, opt.output_dir);
+  result.xyz_path = resolve_output_path(sc.xyz_path, opt.output_dir);
+  result.thermo_path = resolve_output_path(sc.thermo_path, opt.output_dir);
+  result.summary_path = resolve_output_path(sc.summary_path, opt.output_dir);
   std::unique_ptr<io::XyzTrajectoryWriter> trajectory;
   if (!result.xyz_path.empty()) {
     trajectory = std::make_unique<io::XyzTrajectoryWriter>(
@@ -107,11 +124,26 @@ ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt) {
                        io::thermo_format_from_name(sc.thermo_format));
   }
 
+  // Streaming observables (src/obs): one probe per configured kind, all
+  // driven through the generic Engine surface so they behave identically on
+  // every backend.
+  std::unique_ptr<obs::ObserverBus> bus;
+  if (sc.observe.enabled()) {
+    auto obs_config = sc.observe;
+    obs_config.prefix = resolve_output_path(
+        obs_config.effective_prefix(sc.name), opt.output_dir);
+    bus = obs::make_observer_bus(obs_config, material_for(sc));
+    for (std::size_t k = 0; k < bus->size(); ++k) {
+      say(format("  probe: %s every %ld steps -> %s",
+                 bus->probe(k).kind(), bus->cadence(k),
+                 bus->probe(k).output_path().c_str()));
+    }
+  }
   long last_frame_step = -1;
   long last_sample_step = -1;
-  const auto emit_frame = [&](const engine::Thermo& t) {
-    if (!trajectory) return;
-    trajectory->append(structure.box, eng->positions(), structure.types,
+  const auto emit_frame = [&](const engine::Thermo& t,
+                              const std::vector<Vec3d>& positions) {
+    trajectory->append(structure.box, positions, structure.types,
                        format("step=%ld E=%.8g T=%.6g", t.step,
                               t.total_energy, t.temperature));
     last_frame_step = t.step;
@@ -121,9 +153,44 @@ ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt) {
     thermo_log->write(to_sample(t));
     last_sample_step = t.step;
   };
+  // Position-dependent outputs (trajectory frame + observables) share one
+  // snapshot per sampling step: eng->positions() widens the whole FP32
+  // state to FP64, so it is taken at most once, and velocities only when
+  // some probe actually reads them.
+  const auto stream_state = [&](const engine::Thermo& t, bool final_state) {
+    const bool want_frame =
+        trajectory && (final_state ? t.step != last_frame_step
+                                   : t.step % sc.xyz_every == 0);
+    const bool want_obs =
+        bus && (final_state ? bus->has_pending(t.step) : bus->due(t.step));
+    if (!want_frame && !want_obs) return;
+    const bool with_positions =
+        want_frame ||
+        (want_obs && bus->needs_positions_at(t.step, final_state));
+    std::vector<Vec3d> positions;
+    if (with_positions) positions = eng->positions();
+    if (want_frame) emit_frame(t, positions);
+    if (want_obs) {
+      const bool with_velocities =
+          bus->needs_velocities_at(t.step, final_state);
+      std::vector<Vec3d> velocities;
+      if (with_velocities) velocities = eng->velocities();
+      obs::Frame frame;
+      frame.step = t.step;
+      frame.time_ps = static_cast<double>(t.step) * sc.dt;
+      frame.box = &structure.box;
+      frame.positions = with_positions ? &positions : nullptr;
+      frame.velocities = with_velocities ? &velocities : nullptr;
+      if (final_state) {
+        bus->observe_all(frame);
+      } else {
+        bus->observe(frame);
+      }
+    }
+  };
 
-  // Initial state: frame + sample before any stage runs.
-  emit_frame(eng->thermo());
+  // Initial state: frame + sample + observables before any stage runs.
+  stream_state(eng->thermo(), /*final_state=*/false);
   emit_sample(eng->thermo());
 
   Rng rng(sc.seed);
@@ -178,7 +245,7 @@ ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt) {
       // trajectory frame, and the summary all describe the same state.
       if (rescaled) t = eng->thermo();
       if (t.step % sc.thermo_every == 0) emit_sample(t);
-      if (t.step % sc.xyz_every == 0) emit_frame(t);
+      stream_state(t, /*final_state=*/false);
     }
     sr.end = eng->thermo();
     result.stages.push_back(std::move(sr));
@@ -194,14 +261,16 @@ ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt) {
   // trailing thermalize's emission, or the pre-run emission when nothing
   // stepped) — the trajectory, thermo log, and summary must agree on
   // where the run ended.
-  if (trajectory && result.final_thermo.step != last_frame_step) {
-    emit_frame(result.final_thermo);
-  }
+  stream_state(result.final_thermo, /*final_state=*/true);
   if (thermo_log && result.final_thermo.step != last_sample_step) {
     emit_sample(result.final_thermo);
   }
   result.xyz_frames = trajectory ? trajectory->frames_written() : 0;
   result.thermo_samples = thermo_log ? thermo_log->samples_written() : 0;
+  if (bus) {
+    bus->finish();
+    result.observables = collect_probe_outputs(*bus, opt.log);
+  }
 
   if (!result.summary_path.empty()) {
     BenchJson summary("scenario_" + sc.name);
@@ -225,6 +294,10 @@ ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt) {
         .set("final_temperature_K", result.final_thermo.temperature)
         .set("xyz_frames", result.xyz_frames)
         .set("thermo_samples", result.thermo_samples);
+    // Observable summaries (first peaks, diffusion, GB mobility, ...) ride
+    // in the same BENCH envelope so trend tooling sees physics and
+    // throughput side by side.
+    if (bus) bus->summarize(summary.meta());
     for (const auto& sr : result.stages) {
       summary.add_row()
           .set("stage", sr.kind)

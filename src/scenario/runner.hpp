@@ -37,6 +37,13 @@ struct StageResult {
   engine::Thermo end;     ///< thermo after the stage's last step
 };
 
+/// One streaming observable's output bookkeeping.
+struct ProbeOutput {
+  std::string kind;      ///< rdf | msd | vacf | defects
+  std::string path;      ///< resolved output file
+  std::size_t samples = 0;
+};
+
 struct ScenarioResult {
   std::string scenario;
   std::string backend_name;   ///< as reported by the engine
@@ -47,6 +54,7 @@ struct ScenarioResult {
   std::vector<StageResult> stages;
   std::size_t xyz_frames = 0;
   std::size_t thermo_samples = 0;
+  std::vector<ProbeOutput> observables;  ///< one per configured probe
   // Resolved output paths ("" = output disabled).
   std::string xyz_path;
   std::string thermo_path;
@@ -56,5 +64,18 @@ struct ScenarioResult {
 /// Run the scenario: build structure + engine, execute the schedule, stream
 /// outputs. Throws wsmd::Error on invalid configuration or I/O failure.
 ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt = {});
+
+/// Resolve an output path against a run's output directory (relative paths
+/// are prefixed; parent directories are created). Shared by the runner and
+/// the offline analyzer so both lay files out identically.
+std::string resolve_output_path(const std::string& path,
+                                const std::string& dir);
+
+/// Collect each probe's {kind, path, samples} from a finished bus and log
+/// one line per probe via `log` (when set). Shared by the runner and the
+/// offline analyzer so their reports cannot drift.
+std::vector<ProbeOutput> collect_probe_outputs(
+    const obs::ObserverBus& bus,
+    const std::function<void(const std::string&)>& log);
 
 }  // namespace wsmd::scenario

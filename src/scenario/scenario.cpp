@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <map>
 
 #include "eam/zhou.hpp"
 #include "lattice/grain_boundary.hpp"
@@ -123,6 +124,9 @@ bool is_schedule_key(const std::string& key) {
 
 Scenario scenario_from_deck(const Deck& deck) {
   Scenario sc;
+  // observe.* entries are remembered so cross-key validation below can
+  // point at the offending deck line, not just the file.
+  std::map<std::string, const DeckEntry*> observe_seen;
   // Schedule keys accumulate stages in deck order, so plain last-wins
   // cannot apply to them. Instead, whole-schedule replacement: if any
   // schedule key arrives as an override (line == 0, appended by the CLI),
@@ -234,6 +238,67 @@ Scenario scenario_from_deck(const Deck& deck) {
       sc.thermo_format = e.value;
     } else if (e.key == "summary") {
       sc.summary_path = e.value;
+    } else if (e.key == "observe.probes") {
+      const auto t = split_whitespace(e.value);
+      if (t.empty()) {
+        bad_entry(deck, e, "expected at least one of rdf|msd|vacf|defects");
+      }
+      std::vector<std::string> probes;
+      for (const auto& kind : t) {
+        if (!obs::is_probe_kind(kind)) {
+          bad_entry(deck, e,
+                    "unknown probe '" + kind + "' (want rdf|msd|vacf|defects)");
+        }
+        if (std::find(probes.begin(), probes.end(), kind) != probes.end()) {
+          bad_entry(deck, e, "duplicate probe '" + kind + "'");
+        }
+        probes.push_back(kind);
+      }
+      sc.observe.probes = std::move(probes);
+      observe_seen[e.key] = &e;
+    } else if (e.key == "observe.every" || e.key == "observe.rdf_every" ||
+               e.key == "observe.msd_every" ||
+               e.key == "observe.vacf_every" ||
+               e.key == "observe.defects_every") {
+      const long v = one_long(deck, e);
+      if (v < 1) bad_entry(deck, e, "sampling cadence must be >= 1");
+      if (e.key == "observe.every") sc.observe.every = v;
+      else if (e.key == "observe.rdf_every") sc.observe.rdf_every = v;
+      else if (e.key == "observe.msd_every") sc.observe.msd_every = v;
+      else if (e.key == "observe.vacf_every") sc.observe.vacf_every = v;
+      else sc.observe.defects_every = v;
+      observe_seen[e.key] = &e;
+    } else if (e.key == "observe.format") {
+      if (e.value != "csv" && e.value != "jsonl") {
+        bad_entry(deck, e, "want csv|jsonl");
+      }
+      sc.observe.format = e.value;
+      observe_seen[e.key] = &e;
+    } else if (e.key == "observe.prefix") {
+      if (e.value.empty()) bad_entry(deck, e, "prefix must not be empty");
+      sc.observe.prefix = e.value;
+      observe_seen[e.key] = &e;
+    } else if (e.key == "observe.rdf_rcut") {
+      const double v = one_double(deck, e);
+      if (v <= 0.0) bad_entry(deck, e, "rdf rcut must be > 0 A");
+      sc.observe.rdf_rcut = v;
+      observe_seen[e.key] = &e;
+    } else if (e.key == "observe.rdf_bins") {
+      const long v = one_long(deck, e);
+      if (v < 2 || v > 100000) bad_entry(deck, e, "want 2..100000 bins");
+      sc.observe.rdf_bins = static_cast<int>(v);
+      observe_seen[e.key] = &e;
+    } else if (e.key == "observe.csp_threshold") {
+      const double v = one_double(deck, e);
+      if (v <= 0.0) bad_entry(deck, e, "csp threshold must be > 0 A^2");
+      sc.observe.csp_threshold = v;
+      observe_seen[e.key] = &e;
+    } else if (e.key == "observe.gb_axis") {
+      if (e.value != "x" && e.value != "y" && e.value != "z") {
+        bad_entry(deck, e, "want x|y|z");
+      }
+      sc.observe.gb_axis = e.value == "x" ? 0 : (e.value == "y" ? 1 : 2);
+      observe_seen[e.key] = &e;
     } else {
       bad_entry(deck, e, "unknown key");
     }
@@ -279,7 +344,87 @@ Scenario scenario_from_deck(const Deck& deck) {
       may_have_ke = true;
     }
   }
+
+  // observe.* cross-key validation. Each rule blames the deck line that
+  // introduced the inconsistent key, so the fix is one hop away.
+  if (!observe_seen.empty() && sc.observe.probes.empty()) {
+    bad_entry(deck, *observe_seen.begin()->second,
+              "observe.* keys need observe.probes");
+  }
+  const auto requires_probe = [&](const char* key, const char* probe) {
+    const auto it = observe_seen.find(key);
+    if (it != observe_seen.end() && !sc.observe.has(probe)) {
+      bad_entry(deck, *it->second,
+                std::string("requires the ") + probe + " probe");
+    }
+  };
+  requires_probe("observe.rdf_every", "rdf");
+  requires_probe("observe.rdf_rcut", "rdf");
+  requires_probe("observe.rdf_bins", "rdf");
+  requires_probe("observe.msd_every", "msd");
+  requires_probe("observe.vacf_every", "vacf");
+  requires_probe("observe.defects_every", "defects");
+  requires_probe("observe.csp_threshold", "defects");
+  requires_probe("observe.gb_axis", "defects");
+  if (const auto it = observe_seen.find("observe.gb_axis");
+      it != observe_seen.end() && sc.geometry != "grain_boundary") {
+    bad_entry(deck, *it->second,
+              "grain-boundary tracking requires geometry=grain_boundary");
+  }
+  // Default: a defect probe on a bicrystal tracks the boundary plane along
+  // the generator's GB normal (y) unless the deck says otherwise.
+  if (sc.observe.has("defects") && sc.geometry == "grain_boundary" &&
+      sc.observe.gb_axis < 0) {
+    sc.observe.gb_axis = 1;
+  }
+  // Probe-geometry mismatch, caught eagerly where the box is knowable at
+  // parse time: minimum-image probes need every periodic box length >=
+  // 2 * their search radius, and only geometry=bulk is periodic.
+  if (sc.observe.enabled() && sc.geometry == "bulk" && sc.replicate[0] > 0) {
+    const double a0 = eam::zhou_parameters(sc.element).lattice_constant();
+    // `blame_key` is the deck line at fault (nullptr / absent falls back
+    // to the observe.probes line); `fix_hint` must only name knobs that
+    // actually control the radius.
+    const auto require_box_fits = [&](const char* probe,
+                                      const char* blame_key, double rcut,
+                                      const char* fix_hint) {
+      const DeckEntry* entry = observe_seen.at("observe.probes");
+      if (blame_key != nullptr) {
+        if (const auto it = observe_seen.find(blame_key);
+            it != observe_seen.end()) {
+          entry = it->second;
+        }
+      }
+      for (std::size_t a = 0; a < 3; ++a) {
+        const double len = sc.replicate[a] * a0;
+        if (len < 2.0 * rcut) {
+          bad_entry(deck, *entry,
+                    format("%s search radius %.4g A needs periodic box "
+                           ">= %.4g A, but axis %zu is %.4g A — %s",
+                           probe, rcut, 2.0 * rcut, a, len, fix_hint));
+        }
+      }
+    };
+    const obs::Material mat{a0, 0};
+    if (sc.observe.has("rdf")) {
+      require_box_fits("rdf", "observe.rdf_rcut",
+                       obs::effective_rdf_rcut(sc.observe, mat),
+                       "enlarge 'replicate' or shrink observe.rdf_rcut");
+    }
+    if (sc.observe.has("defects")) {
+      // The CSP radius is fixed at 1.2 a0 (no deck knob): only the box
+      // can give.
+      require_box_fits("defects (csp)", nullptr,
+                       obs::effective_csp_rcut(mat), "enlarge 'replicate'");
+    }
+  }
   return sc;
+}
+
+obs::Material material_for(const Scenario& sc) {
+  const auto params = eam::zhou_parameters(sc.element);
+  return obs::Material{params.lattice_constant(),
+                       params.structure == "fcc" ? 12 : 8};
 }
 
 lattice::Structure build_structure(const Scenario& sc, StructureInfo* info) {

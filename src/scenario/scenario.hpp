@@ -28,6 +28,16 @@
 ///   xyz = PATH, xyz_every = N      — trajectory output
 ///   thermo = PATH, thermo_every = N, thermo_format = csv|jsonl
 ///   summary = PATH                 — machine-readable run summary (JSON)
+///   observe.probes = P...          — streaming observables (src/obs):
+///   observe.every = N                any of rdf msd vacf defects; sampled
+///   observe.<probe>_every = N        every N steps (per-probe override);
+///   observe.format = csv|jsonl       each probe writes PREFIX.<probe>.csv
+///   observe.prefix = PREFIX          (default PREFIX = scenario name)
+///   observe.rdf_rcut = R           — g(r) range (default 1.8 a0)
+///   observe.rdf_bins = N           — histogram bins
+///   observe.csp_threshold = X      — defect CSP threshold (A^2)
+///   observe.gb_axis = x|y|z        — GB mean-plane tracking axis
+///                                    (geometry=grain_boundary only)
 
 #include <array>
 #include <cstdint>
@@ -37,6 +47,7 @@
 
 #include "engine/engine.hpp"
 #include "lattice/lattice.hpp"
+#include "obs/factory.hpp"
 #include "scenario/deck.hpp"
 
 namespace wsmd::scenario {
@@ -93,8 +104,14 @@ struct Scenario {
   std::string thermo_format = "csv";
   std::string summary_path;   ///< empty = no summary file
 
+  obs::ProbeSetConfig observe;  ///< empty probes = no observables
+
   long total_steps() const;
 };
+
+/// Material facts the probes derive defaults from (lattice constant,
+/// FCC/BCC CSP coordination), looked up from the scenario's element.
+obs::Material material_for(const Scenario& sc);
 
 /// Build a Scenario from a deck; throws on unknown keys or invalid values.
 /// Scalar keys are last-wins. Schedule keys are order-accumulating within

@@ -113,4 +113,14 @@ LinearFit fit_two_regressors_with_intercept(const std::vector<double>& x1,
   return fit_linear_model(rows, y);
 }
 
+double fit_slope_with_intercept(const std::vector<double>& x,
+                                const std::vector<double>& y) {
+  WSMD_REQUIRE(x.size() == y.size(), "mismatched fit vectors");
+  if (x.size() < 2 || x.back() <= x.front()) return 0.0;
+  std::vector<std::vector<double>> rows;
+  rows.reserve(x.size());
+  for (const double xi : x) rows.push_back({xi, 1.0});
+  return fit_linear_model(rows, y).coefficients[0];
+}
+
 }  // namespace wsmd

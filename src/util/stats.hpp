@@ -53,4 +53,10 @@ LinearFit fit_two_regressors_with_intercept(const std::vector<double>& x1,
                                             const std::vector<double>& x2,
                                             const std::vector<double>& y);
 
+/// Convenience: slope of the OLS line y = a*x + b. Returns 0 when the fit
+/// is degenerate (fewer than 2 samples, or x spans no range) — the
+/// observables use this for diffusion (MSD slope) and GB mobility fits.
+double fit_slope_with_intercept(const std::vector<double>& x,
+                                const std::vector<double>& y);
+
 }  // namespace wsmd

@@ -1,0 +1,95 @@
+/// \file test_series.cpp
+/// Generic numeric series I/O (io/series): the observables' output channel.
+/// Writer validation (schema, finiteness), CSV round-trip, and JSONL shape.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "io/series.hpp"
+#include "util/error.hpp"
+
+namespace wsmd::io {
+namespace {
+
+std::string tmp_file(const std::string& name) {
+  return ::testing::TempDir() + "wsmd_series_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(Series, CsvRoundTripsRowsAndColumns) {
+  const std::string path = tmp_file("rt.csv");
+  {
+    SeriesWriter w(path, ThermoFormat::kCsv, {"step", "time_ps", "value"});
+    w.write_row({0, 0.0, 1.5});
+    w.write_row({10, 0.02, -2.25});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  const auto s = read_series_csv_file(path);
+  ASSERT_EQ(s.columns, (std::vector<std::string>{"step", "time_ps", "value"}));
+  ASSERT_EQ(s.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.rows[1][s.column_index("value")], -2.25);
+  EXPECT_DOUBLE_EQ(s.rows[1][s.column_index("step")], 10.0);
+  EXPECT_THROW(s.column_index("nope"), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Series, WriterRejectsBadSchemaAndNonFiniteValues) {
+  const std::string path = tmp_file("bad.csv");
+  EXPECT_THROW(SeriesWriter(path, ThermoFormat::kCsv, {}), Error);
+  EXPECT_THROW(SeriesWriter(path, ThermoFormat::kCsv, {"a,b"}), Error);
+  SeriesWriter w(path, ThermoFormat::kCsv, {"a", "b"});
+  EXPECT_THROW(w.write_row({1.0}), Error);  // wrong arity
+  EXPECT_THROW(w.write_row({1.0, std::numeric_limits<double>::quiet_NaN()}),
+               Error);
+  EXPECT_THROW(
+      w.write_row({std::numeric_limits<double>::infinity(), 0.0}), Error);
+  w.write_row({1.0, 2.0});  // writer stays usable after a rejected row
+  EXPECT_EQ(w.rows_written(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Series, JsonlEmitsOneObjectPerRow) {
+  const std::string path = tmp_file("rows.jsonl");
+  {
+    SeriesWriter w(path, ThermoFormat::kJsonLines, {"step", "msd_A2"});
+    w.write_row({0, 0.0});
+    w.write_row({5, 0.125});
+  }
+  const auto text = slurp(path);
+  EXPECT_NE(text.find("{\"step\": 0, \"msd_A2\": 0}"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"msd_A2\": 0.125}"), std::string::npos) << text;
+  std::remove(path.c_str());
+}
+
+TEST(Series, ReaderRejectsMalformedFiles) {
+  {
+    std::istringstream empty("");
+    EXPECT_THROW(read_series_csv(empty), Error);
+  }
+  {
+    std::istringstream ragged("a,b\n1,2\n3\n");
+    EXPECT_THROW(read_series_csv(ragged), Error);
+  }
+  {
+    std::istringstream garbage("a,b\n1,x\n");
+    EXPECT_THROW(read_series_csv(garbage), Error);
+  }
+  {
+    std::istringstream nan_row("a,b\n1,nan\n");
+    EXPECT_THROW(read_series_csv(nan_row), Error);
+  }
+}
+
+}  // namespace
+}  // namespace wsmd::io

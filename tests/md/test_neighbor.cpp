@@ -1,5 +1,7 @@
 #include "md/neighbor.hpp"
 
+#include "md/cell_list.hpp"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -160,6 +162,64 @@ TEST(NeighborList, SkinWithinListRadius) {
   EXPECT_DOUBLE_EQ(nl.list_radius(), 3.7);
   EXPECT_DOUBLE_EQ(nl.cutoff(), 3.0);
   EXPECT_DOUBLE_EQ(nl.skin(), 0.7);
+}
+
+TEST(CellList, MatchesBruteForceOnRandomGasAllBoundaryKinds) {
+  Rng rng(31);
+  // radius 2.5 -> >= 3 cells per axis (the generic stencil); radius 4.0
+  // -> exactly 2 cells per axis (box lengths in [2r, 3r)), the regime
+  // where periodic wrap folds distinct stencil offsets onto the same cell
+  // and only the build-time dedup prevents double-visiting neighbors.
+  for (const double radius : {2.5, 4.0}) {
+    for (const auto periodic :
+         {std::array<bool, 3>{false, false, false},
+          std::array<bool, 3>{true, true, true},
+          std::array<bool, 3>{true, false, true}}) {
+      const Box box({0, 0, 0}, {9, 11, 10}, periodic);
+      const auto pos = random_gas(rng, box, 160);
+      CellList cl;
+      cl.build(box, pos, radius);
+      for (std::size_t i = 0; i < pos.size(); ++i) {
+        const auto expect = brute_force_neighbors(box, pos, i, radius);
+        std::vector<std::size_t> got;
+        cl.for_each_neighbor(i,
+                             [&](std::size_t j, const Vec3d& d, double r2) {
+                               EXPECT_LT(r2, radius * radius);
+                               EXPECT_NEAR(norm2(d), r2, 1e-12);
+                               got.push_back(j);
+                             });
+        std::sort(got.begin(), got.end());
+        // Duplicate-freeness asserted on the raw list, not a set.
+        EXPECT_TRUE(std::adjacent_find(got.begin(), got.end()) == got.end())
+            << "duplicate neighbor of atom " << i << " at radius " << radius;
+        EXPECT_EQ(std::set<std::size_t>(got.begin(), got.end()), expect)
+            << "atom " << i << " radius " << radius;
+      }
+    }
+  }
+}
+
+TEST(CellList, PairIterationVisitsEachUnorderedPairOnce) {
+  Rng rng(77);
+  const Box box({0, 0, 0}, {8, 8, 8}, {true, true, true});
+  const auto pos = random_gas(rng, box, 120);
+  const double radius = 2.0;
+  CellList cl;
+  cl.build(box, pos, radius);
+  std::set<std::pair<std::size_t, std::size_t>> pairs;
+  cl.for_each_pair([&](std::size_t i, std::size_t j, const Vec3d&, double) {
+    EXPECT_LT(i, j);
+    EXPECT_TRUE(pairs.emplace(i, j).second) << "duplicate pair " << i << ","
+                                            << j;
+  });
+  // Cross-check the pair count against the per-atom view (each unordered
+  // pair appears in exactly two neighbor lists).
+  std::size_t directed = 0;
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    cl.for_each_neighbor(i,
+                         [&](std::size_t, const Vec3d&, double) { ++directed; });
+  }
+  EXPECT_EQ(directed, 2 * pairs.size());
 }
 
 }  // namespace

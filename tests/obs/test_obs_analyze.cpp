@@ -1,0 +1,126 @@
+/// \file test_obs_analyze.cpp
+/// Offline replay (`wsmd analyze` machinery): a live run with xyz_every ==
+/// observe.every must replay, from its own trajectory, to the same
+/// observable series the run streamed — RDF bit-for-bit (integer histogram
+/// counts survive the XYZ 10-digit round-trip), MSD/defects to round-trip
+/// precision. This is the equivalence that makes the checked-in golden
+/// trajectory a valid CI input for the analyze path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "io/series.hpp"
+#include "scenario/analyze.hpp"
+#include "scenario/deck.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "util/error.hpp"
+
+namespace wsmd::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+Deck analysis_deck(const std::string& dir) {
+  Deck deck = parse_deck_string(
+      "name = obs_rt\n"
+      "element = Cu\n"
+      "geometry = slab\n"
+      "replicate = 4 4 2\n"
+      "thermalize = 290\n"
+      "run = 12\n"
+      "observe.probes = rdf msd vacf defects\n"
+      "observe.every = 4\n"
+      "xyz = obs_rt.traj.xyz\n"
+      "xyz_every = 4\n",
+      "obs_rt.deck");
+  deck.set("observe.prefix", dir + "/obs_rt");
+  deck.set("xyz", dir + "/obs_rt.traj.xyz");
+  return deck;
+}
+
+TEST(Analyze, ReplaysTheLiveSeriesFromTheTrajectory) {
+  const std::string dir = ::testing::TempDir() + "wsmd_obs_analyze";
+  fs::create_directories(dir);
+  const Deck deck = analysis_deck(dir);
+  const auto sc = scenario_from_deck(deck);
+
+  const auto live = run_scenario(sc);
+  ASSERT_EQ(live.observables.size(), 4u);
+
+  AnalyzeOptions opt;
+  const auto replay = analyze_trajectory(sc, dir + "/obs_rt.traj.xyz", opt);
+  EXPECT_EQ(replay.frames, live.xyz_frames);
+  ASSERT_EQ(replay.skipped_probes, std::vector<std::string>{"vacf"});
+  ASSERT_EQ(replay.observables.size(), 3u);  // rdf msd defects
+
+  for (const auto& probe : replay.observables) {
+    const std::string live_path = dir + "/obs_rt." + probe.kind + ".csv";
+    const auto expect = io::read_series_csv_file(live_path);
+    const auto got = io::read_series_csv_file(probe.path);
+    ASSERT_EQ(expect.columns, got.columns) << probe.kind;
+    ASSERT_EQ(expect.rows.size(), got.rows.size()) << probe.kind;
+    for (std::size_t r = 0; r < expect.rows.size(); ++r) {
+      for (std::size_t c = 0; c < expect.columns.size(); ++c) {
+        const double e = expect.rows[r][c];
+        const double g = got.rows[r][c];
+        const std::string& col = expect.columns[c];
+        if (col == "step" || col == "defect_count") {
+          EXPECT_DOUBLE_EQ(g, e) << probe.kind << " " << col << " row " << r;
+        } else if (col == "mean_csp_A2") {
+          // The step-0 lattice is centrosymmetry-degenerate: the 10-digit
+          // XYZ round-trip can reorder tied bonds, shifting surface-atom
+          // CSP values while leaving the defect classification intact.
+          EXPECT_NEAR(g, e, 0.05 * std::fabs(e) + 0.05)
+              << probe.kind << " row " << r;
+        } else {
+          EXPECT_NEAR(g, e, 1e-6 * std::fabs(e) + 1e-6)
+              << probe.kind << " " << col << " row " << r;
+        }
+      }
+    }
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Analyze, RejectsMismatchedTrajectoriesAndProbelessDecks) {
+  const std::string dir = ::testing::TempDir() + "wsmd_obs_analyze_bad";
+  fs::create_directories(dir);
+  const Deck deck = analysis_deck(dir);
+  const auto sc = scenario_from_deck(deck);
+  run_scenario(sc);
+
+  // Deck without observables: nothing to replay.
+  auto bare = scenario_from_deck(parse_deck_string(
+      "element = Cu\ngeometry = slab\nreplicate = 4 4 2\nrun = 1\n"));
+  EXPECT_THROW(analyze_trajectory(bare, dir + "/obs_rt.traj.xyz"), Error);
+
+  // Deck whose structure does not match the trajectory's atom count.
+  Deck wrong_size = analysis_deck(dir);
+  wrong_size.set("replicate", "3 3 2");
+  EXPECT_THROW(analyze_trajectory(scenario_from_deck(wrong_size),
+                                  dir + "/obs_rt.traj.xyz"),
+               Error);
+
+  // Element mismatch: the species column disagrees with the deck.
+  Deck wrong_element = analysis_deck(dir);
+  wrong_element.set("element", "Ni");
+  bool threw = false;
+  try {
+    analyze_trajectory(scenario_from_deck(wrong_element),
+                       dir + "/obs_rt.traj.xyz");
+  } catch (const Error&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+
+  // Missing trajectory file.
+  EXPECT_THROW(analyze_trajectory(sc, dir + "/nope.xyz"), Error);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace wsmd::scenario

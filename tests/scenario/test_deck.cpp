@@ -222,6 +222,140 @@ TEST(Scenario, VacanciesAreDeterministicPerSeed) {
   EXPECT_TRUE(any_differs);
 }
 
+TEST(Scenario, ObserveKeysParseIntoProbeConfig) {
+  const auto sc = scenario_from_deck(parse_deck_string(
+      "element = Cu\n"
+      "geometry = grain_boundary\n"
+      "gb_atoms = 800\n"
+      "observe.probes = rdf msd vacf defects\n"
+      "observe.every = 5\n"
+      "observe.rdf_every = 10\n"
+      "observe.format = jsonl\n"
+      "observe.prefix = out/obs\n"
+      "observe.rdf_rcut = 6.0\n"
+      "observe.rdf_bins = 300\n"
+      "observe.csp_threshold = 0.75\n"
+      "observe.gb_axis = z\n"));
+  ASSERT_TRUE(sc.observe.enabled());
+  EXPECT_EQ(sc.observe.probes,
+            (std::vector<std::string>{"rdf", "msd", "vacf", "defects"}));
+  EXPECT_EQ(sc.observe.cadence_for("rdf"), 10);    // per-probe override
+  EXPECT_EQ(sc.observe.cadence_for("msd"), 5);     // inherits observe.every
+  EXPECT_EQ(sc.observe.format, "jsonl");
+  EXPECT_EQ(sc.observe.prefix, "out/obs");
+  EXPECT_DOUBLE_EQ(sc.observe.rdf_rcut, 6.0);
+  EXPECT_EQ(sc.observe.rdf_bins, 300);
+  EXPECT_DOUBLE_EQ(sc.observe.csp_threshold, 0.75);
+  EXPECT_EQ(sc.observe.gb_axis, 2);
+
+  // GB tracking defaults to the generator's boundary normal (y) when the
+  // deck enables the defect probe on a bicrystal without naming an axis.
+  const auto defaulted = scenario_from_deck(parse_deck_string(
+      "element = Ta\ngeometry = grain_boundary\nobserve.probes = defects\n"));
+  EXPECT_EQ(defaulted.observe.gb_axis, 1);
+  // ...and stays off elsewhere.
+  const auto slab = scenario_from_deck(
+      parse_deck_string("element = Cu\nobserve.probes = defects\n"));
+  EXPECT_EQ(slab.observe.gb_axis, -1);
+}
+
+TEST(Scenario, ObserveRejectsUnknownKeysWithFileLineContext) {
+  // Typo'd observe key: rejected like any unknown key, pointing at the
+  // offending line.
+  try {
+    scenario_from_deck(parse_deck_string(
+        "observe.probes = rdf\nobserve.rdf_cutoff = 6\n", "obs.deck"));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("obs.deck:2"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(
+      scenario_from_deck(parse_deck_string("observe.probs = rdf\n")), Error);
+  // Unknown / duplicate probe names.
+  EXPECT_THROW(
+      scenario_from_deck(parse_deck_string("observe.probes = xrd\n")), Error);
+  EXPECT_THROW(
+      scenario_from_deck(parse_deck_string("observe.probes = rdf rdf\n")),
+      Error);
+  EXPECT_THROW(scenario_from_deck(parse_deck_string("observe.probes =\n")),
+               Error);
+}
+
+TEST(Scenario, ObserveRejectsBadCadences) {
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "observe.probes = msd\nobserve.every = 0\n")),
+               Error);
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "observe.probes = msd\nobserve.every = -5\n")),
+               Error);
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "observe.probes = msd\nobserve.msd_every = 0\n")),
+               Error);
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "observe.probes = rdf\nobserve.rdf_every = x\n")),
+               Error);
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "observe.probes = rdf\nobserve.rdf_bins = 1\n")),
+               Error);
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "observe.probes = rdf\nobserve.rdf_rcut = 0\n")),
+               Error);
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "observe.probes = defects\nobserve.csp_threshold = -1\n")),
+               Error);
+}
+
+TEST(Scenario, ObserveRejectsCrossKeyAndGeometryMismatches) {
+  // observe.* keys without observe.probes: a deck that configures probes it
+  // never enables is a typo, not a request for silence.
+  try {
+    scenario_from_deck(parse_deck_string("observe.every = 5\n", "lone.deck"));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("lone.deck:1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("observe.probes"),
+              std::string::npos);
+  }
+  // Parameters for probes that are not enabled.
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "observe.probes = msd\nobserve.rdf_bins = 100\n")),
+               Error);
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "observe.probes = rdf\nobserve.csp_threshold = 1\n")),
+               Error);
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "observe.probes = rdf\nobserve.vacf_every = 5\n")),
+               Error);
+  // GB tracking needs a grain boundary.
+  EXPECT_THROW(
+      scenario_from_deck(parse_deck_string(
+          "geometry = slab\nobserve.probes = defects\nobserve.gb_axis = y\n")),
+      Error);
+  // Probe-geometry mismatch, caught at parse time: the rdf radius cannot
+  // satisfy minimum image in this periodic box.
+  try {
+    scenario_from_deck(parse_deck_string(
+        "element = Cu\ngeometry = bulk\nreplicate = 3 3 3\n"
+        "observe.probes = rdf\nobserve.rdf_rcut = 7.0\n",
+        "tight.deck"));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("tight.deck:5"), std::string::npos)
+        << e.what();
+  }
+  // Same box with a radius that fits is accepted.
+  EXPECT_NO_THROW(scenario_from_deck(parse_deck_string(
+      "element = Cu\ngeometry = bulk\nreplicate = 4 4 4\n"
+      "observe.probes = rdf\nobserve.rdf_rcut = 6.5\n")));
+  // The defect probe's derived CSP radius is checked the same way: a 2x2x2
+  // periodic cell cannot host the 1.2 a0 search sphere.
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "element = Cu\ngeometry = bulk\nreplicate = 2 2 2\n"
+                   "observe.probes = defects\n")),
+               Error);
+}
+
 TEST(Scenario, BuildEngineHonorsBackendAndOverride) {
   const auto sc = scenario_from_deck(parse_deck_string(
       "element = Ta\ngeometry = slab\nreplicate = 3 3 2\n"
