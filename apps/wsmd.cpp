@@ -16,6 +16,13 @@
 ///
 ///   $ wsmd analyze scenarios/cu_gb_mobility.deck run/cu_gb.traj.xyz
 ///
+/// The `resume` subcommand continues a checkpointed run (io/checkpoint)
+/// from its saved mid-stage cursor — the checkpoint is self-contained (the
+/// effective deck travels inside it), so no deck file is needed:
+///
+///   $ wsmd scenarios/cu_slab.deck checkpoint.every=10
+///   $ wsmd resume cu_slab.ckpt --output-dir=resumed
+///
 /// Exit status: 0 on success, 1 on any error (bad deck, unknown key,
 /// engine failure, I/O failure).
 
@@ -25,6 +32,7 @@
 #include <vector>
 
 #include "eam/zhou.hpp"
+#include "io/checkpoint.hpp"
 #include "scenario/analyze.hpp"
 #include "scenario/deck.hpp"
 #include "scenario/runner.hpp"
@@ -41,11 +49,18 @@ void print_usage(std::FILE* out) {
                "usage: wsmd [options] [deck ...] [key=value ...]\n"
                "       wsmd analyze [options] DECK TRAJECTORY.xyz "
                "[key=value ...]\n"
+               "       wsmd resume [options] CHECKPOINT [key=value ...]\n"
                "\n"
                "Runs each deck (plus overrides) end-to-end on the selected\n"
                "backend. With no deck, a scenario is built from key=value\n"
                "tokens alone. `wsmd analyze` instead replays the deck's\n"
                "observe.* probes offline over a saved XYZ trajectory.\n"
+               "`wsmd resume` continues a checkpointed run (written via\n"
+               "checkpoint.every / checkpoint.path) from its saved\n"
+               "mid-stage cursor; outputs restart at the resume step, so\n"
+               "point --output-dir somewhere fresh to keep the partial\n"
+               "originals. Output/backend overrides are accepted;\n"
+               "schedule or structure overrides are rejected.\n"
                "\n"
                "options:\n"
                "  --set key=value   scenario override (same as a bare\n"
@@ -63,7 +78,8 @@ void print_usage(std::FILE* out) {
                "  vacancy_fraction tilt_angle_deg gb_atoms backend dt\n"
                "  swap_interval rescale_interval seed thermalize\n"
                "  equilibrate ramp quench run xyz xyz_every thermo\n"
-               "  thermo_every thermo_format summary\n"
+               "  thermo_every thermo_format summary checkpoint.every\n"
+               "  checkpoint.path\n"
                "observable keys: observe.probes (rdf msd vacf defects)\n"
                "  observe.every observe.<probe>_every observe.format\n"
                "  observe.prefix observe.rdf_rcut observe.rdf_bins\n"
@@ -127,6 +143,10 @@ void print_scenario(const wsmd::scenario::Scenario& sc) {
   if (!sc.summary_path.empty()) {
     std::printf("  summary   = %s\n", sc.summary_path.c_str());
   }
+  if (sc.checkpoint_every > 0) {
+    std::printf("  checkpoint= %s (every %ld steps)\n",
+                sc.checkpoint_path.c_str(), sc.checkpoint_every);
+  }
   if (sc.observe.enabled()) {
     std::printf("  observe   =");
     for (const auto& kind : sc.observe.probes) {
@@ -182,6 +202,55 @@ int run_analyze(int argc, char** argv) {
   return 0;
 }
 
+int run_resume(int argc, char** argv) {
+  using namespace wsmd;
+  std::vector<std::string> paths;
+  std::vector<scenario::DeckEntry> overrides;
+  scenario::RunOptions opt;
+  bool quiet = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--set") {
+      WSMD_REQUIRE(i + 1 < argc, "--set needs a key=value argument");
+      overrides.push_back(scenario::parse_override(argv[++i]));
+    } else if (starts_with(arg, "--set=")) {
+      overrides.push_back(scenario::parse_override(arg.substr(6)));
+    } else if (starts_with(arg, "--backend=")) {
+      opt.backend_override = arg.substr(10);
+      scenario::parse_backend(opt.backend_override);  // validate now
+    } else if (starts_with(arg, "--output-dir=")) {
+      opt.output_dir = arg.substr(13);
+    } else if (starts_with(arg, "--")) {
+      WSMD_REQUIRE(false, "unknown resume option '" << arg << "'");
+    } else if (arg.find('=') != std::string::npos) {
+      overrides.push_back(scenario::parse_override(arg));
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  WSMD_REQUIRE(paths.size() == 1,
+               "resume wants exactly one checkpoint file, got "
+                   << paths.size() << " path argument(s)");
+  if (!quiet) {
+    opt.log = [](const std::string& line) {
+      std::printf("%s\n", line.c_str());
+    };
+  }
+  const auto ckpt = io::read_checkpoint_file(paths[0]);
+  // The checkpoint's embedded deck (the original run's effective
+  // scenario, CLI overrides included) plus this invocation's overrides.
+  scenario::Deck deck =
+      scenario::deck_from_entries(ckpt.deck, paths[0] + " (embedded deck)");
+  for (const auto& o : overrides) deck.set(o.key, o.value);
+  scenario::resume_scenario(scenario::scenario_from_deck(deck), ckpt, opt);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -190,6 +259,14 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "analyze") == 0) {
     try {
       return run_analyze(argc - 2, argv + 2);
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "wsmd: error: %s\n", ex.what());
+      return 1;
+    }
+  }
+  if (argc > 1 && std::strcmp(argv[1], "resume") == 0) {
+    try {
+      return run_resume(argc - 2, argv + 2);
     } catch (const std::exception& ex) {
       std::fprintf(stderr, "wsmd: error: %s\n", ex.what());
       return 1;

@@ -505,4 +505,33 @@ void AtomMapping::swap_atoms(const CoreCoord& a, const CoreCoord& b) {
   if (slot_b >= 0) atom_core_[static_cast<std::size_t>(slot_b)] = b;
 }
 
+void AtomMapping::restore_assignment(const std::vector<long>& core_atom) {
+  WSMD_REQUIRE(core_atom.size() == core_count(),
+               "restore_assignment: table covers " << core_atom.size()
+                                                   << " cores, grid has "
+                                                   << core_count());
+  std::vector<bool> placed(atom_core_.size(), false);
+  for (std::size_t c = 0; c < core_atom.size(); ++c) {
+    const long a = core_atom[c];
+    if (a < 0) continue;
+    WSMD_REQUIRE(static_cast<std::size_t>(a) < atom_core_.size(),
+                 "restore_assignment: atom id " << a << " out of range");
+    WSMD_REQUIRE(!placed[static_cast<std::size_t>(a)],
+                 "restore_assignment: atom " << a
+                                             << " assigned to two cores");
+    placed[static_cast<std::size_t>(a)] = true;
+  }
+  for (std::size_t a = 0; a < placed.size(); ++a) {
+    WSMD_REQUIRE(placed[a],
+                 "restore_assignment: atom " << a << " assigned to no core");
+  }
+  core_atom_ = core_atom;
+  for (std::size_t c = 0; c < core_atom_.size(); ++c) {
+    const long a = core_atom_[c];
+    if (a < 0) continue;
+    atom_core_[static_cast<std::size_t>(a)] = {
+        static_cast<int>(c) % grid_w_, static_cast<int>(c) / grid_w_};
+  }
+}
+
 }  // namespace wsmd::core

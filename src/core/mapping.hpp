@@ -114,6 +114,15 @@ class AtomMapping {
   /// Reassign atom->core (used by the online atom-swap step).
   void swap_atoms(const CoreCoord& a, const CoreCoord& b);
 
+  /// The full core->atom table (core y*w+x -> atom id or -1), the
+  /// assignment a checkpoint stores.
+  const std::vector<long>& core_atoms() const { return core_atom_; }
+
+  /// Replace the assignment wholesale (checkpoint restore). The grid
+  /// geometry is unchanged; `core_atom` must cover every core and place
+  /// every atom exactly once.
+  void restore_assignment(const std::vector<long>& core_atom);
+
   /// Logical (fold-transformed) in-plane coordinates of a physical
   /// position: identity minus the box origin on open axes; the Fig. 5
   /// interleaved fold on periodic axes. All displacement metrics and core

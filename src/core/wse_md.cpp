@@ -105,6 +105,64 @@ void WseMd::set_velocities(const std::vector<Vec3d>& v) {
   for (std::size_t i = 0; i < v.size(); ++i) velocities_[i] = Vec3f(v[i]);
 }
 
+void WseMd::set_positions(const std::vector<Vec3d>& r) {
+  WSMD_REQUIRE(r.size() == positions_.size(), "position count mismatch");
+  for (std::size_t i = 0; i < r.size(); ++i) positions_[i] = Vec3f(r[i]);
+  pe_current_ = false;
+  // A bare position overwrite (cross-backend transfer, tests) may exceed
+  // what the constructed mapping planned for; never shrink b, only widen.
+  std::vector<Vec3d> wide(positions_.size());
+  for (std::size_t i = 0; i < wide.size(); ++i) wide[i] = Vec3d(positions_[i]);
+  b_ = std::max(b_, mapping_.required_b(wide, rcut_) + 1);
+}
+
+WseMd::SavedState WseMd::save_state() const {
+  SavedState st;
+  st.step = step_count_;
+  st.elapsed_seconds = elapsed_seconds_;
+  st.potential_energy = potential_energy();  // forces the lazy evaluation
+  st.positions = positions();
+  st.velocities = velocities();
+  st.grid_width = mapping_.grid_width();
+  st.grid_height = mapping_.grid_height();
+  st.b = b_;
+  st.core_atoms = mapping_.core_atoms();
+  st.initial_positions = initial_positions_;
+  return st;
+}
+
+void WseMd::restore_state(const SavedState& state) {
+  WSMD_REQUIRE(state.positions.size() == positions_.size() &&
+                   state.velocities.size() == positions_.size(),
+               "restore_state: atom count mismatch ("
+                   << state.positions.size() << " vs " << positions_.size()
+                   << ")");
+  WSMD_REQUIRE(state.grid_width == mapping_.grid_width() &&
+                   state.grid_height == mapping_.grid_height(),
+               "restore_state: core grid mismatch ("
+                   << state.grid_width << "x" << state.grid_height << " vs "
+                   << mapping_.grid_width() << "x" << mapping_.grid_height()
+                   << ") — was the checkpoint taken from this structure?");
+  WSMD_REQUIRE(state.step >= 0, "restore_state: negative step counter");
+  WSMD_REQUIRE(state.b >= 1, "restore_state: neighborhood radius < 1");
+  WSMD_REQUIRE(state.initial_positions.size() == positions_.size(),
+               "restore_state: displacement baseline size mismatch");
+  mapping_.restore_assignment(state.core_atoms);
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    positions_[i] = Vec3f(state.positions[i]);
+    velocities_[i] = Vec3f(state.velocities[i]);
+  }
+  initial_positions_ = state.initial_positions;
+  b_ = state.b;
+  step_count_ = state.step;
+  elapsed_seconds_ = state.elapsed_seconds;
+  // The committed PE carries the wafer thermo convention (energy of the
+  // configuration the last step integrated *from*); adopting it keeps the
+  // first post-restore thermo row bitwise on the uninterrupted run.
+  pe_ = state.potential_energy;
+  pe_current_ = true;
+}
+
 void WseMd::thermalize(double temperature_K, Rng& rng) {
   WSMD_REQUIRE(temperature_K >= 0.0, "temperature must be non-negative");
   Vec3d p_total{0, 0, 0};

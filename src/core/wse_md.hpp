@@ -116,6 +116,39 @@ class WseMd {
   /// Overwrite velocities (e.g. copied from the reference engine so both
   /// integrate the same trajectory).
   void set_velocities(const std::vector<Vec3d>& v);
+  /// Overwrite positions (FP32-rounded); invalidates the cached potential
+  /// energy. When the new positions have drifted from the mapping (e.g. a
+  /// cross-backend state transfer), widen b so the candidate exchange
+  /// still covers every interacting pair.
+  void set_positions(const std::vector<Vec3d>& r);
+
+  /// Complete dynamic state for checkpoint/restart: the FP32 atom state
+  /// (widened exactly to FP64), the step counter and modeled clock, the
+  /// atom-to-core assignment as mutated by online swaps, the neighborhood
+  /// radius (derived from the initial structure, not recoverable mid-run),
+  /// the committed potential energy (thermo reports the *pre-step* PE — a
+  /// recompute from current positions would not reproduce it), and the
+  /// displacement-diagnostic baseline.
+  struct SavedState {
+    long step = 0;
+    double elapsed_seconds = 0.0;
+    double potential_energy = 0.0;
+    std::vector<Vec3d> positions;
+    std::vector<Vec3d> velocities;
+    int grid_width = 0;
+    int grid_height = 0;
+    int b = 0;
+    std::vector<long> core_atoms;
+    std::vector<Vec3d> initial_positions;
+  };
+
+  SavedState save_state() const;
+
+  /// Restore a snapshot taken from an identically-built engine (same
+  /// structure, potential, mapping config). The continued trajectory is
+  /// bitwise identical to the uninterrupted run at any shard count.
+  /// Throws on atom-count or core-grid mismatch.
+  void restore_state(const SavedState& state);
 
   /// Maxwell-Boltzmann initialization at T (FP32-rounded).
   void thermalize(double temperature_K, Rng& rng);

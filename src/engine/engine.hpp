@@ -45,6 +45,47 @@ struct Thermo {
 
 using StepCallback = std::function<void(const Thermo&)>;
 
+/// Complete dynamic state of an engine, FP64-widened (float -> double is
+/// exact, so FP32 wafer state round-trips bitwise). This is what a
+/// checkpoint stores (io/checkpoint): restoring it into a fresh engine of
+/// the same backend over the same structure continues the trajectory
+/// bit-for-bit. The auxiliary blocks keep each backend's restart exact:
+///
+///   - `neighbor_anchor` (reference): the positions the Verlet list was
+///     last built from. Rebuilding from the anchor reproduces both the
+///     list contents (pair order fixes FP summation order) and the future
+///     rebuild schedule, which plain positions would not.
+///   - wafer block: the atom-to-core mapping as mutated by online atom
+///     swaps, the neighborhood radius b (derived from the *initial*
+///     structure, not recoverable mid-run), the committed potential
+///     energy (the wafer thermo convention reports the pre-step PE, which
+///     a recompute from current positions would not reproduce), the
+///     modeled clock, and the displacement-diagnostic baseline.
+///
+/// Cross-backend restore (reference checkpoint into a wafer engine or vice
+/// versa) is supported as a best-effort state transfer: positions and
+/// velocities carry over, the missing auxiliaries are rebuilt, and the
+/// trajectory continues within cross-backend tolerance rather than
+/// bitwise.
+struct State {
+  long step = 0;
+  std::vector<Vec3d> positions;
+  std::vector<Vec3d> velocities;
+
+  /// Reference backend: Verlet-list anchor positions (empty otherwise).
+  std::vector<Vec3d> neighbor_anchor;
+
+  /// Wafer backends (serial and sharded); unused when has_wafer is false.
+  bool has_wafer = false;
+  double potential_energy = 0.0;  ///< committed PE (pre-step convention)
+  double elapsed_seconds = 0.0;   ///< modeled wafer clock
+  int grid_width = 0;
+  int grid_height = 0;
+  int b = 0;                      ///< neighborhood radius
+  std::vector<long> core_atoms;   ///< core (y*w+x) -> atom id, -1 = empty
+  std::vector<Vec3d> initial_positions;  ///< displacement baseline
+};
+
 class Engine {
  public:
   virtual ~Engine() = default;
@@ -59,6 +100,17 @@ class Engine {
   /// Overwrite velocities (e.g. copied from another engine so both
   /// integrate the same trajectory).
   virtual void set_velocities(const std::vector<Vec3d>& v) = 0;
+  /// Overwrite positions (checkpoint restore, state transfer). Derived
+  /// state (forces, neighbor lists, cached energies) is invalidated.
+  virtual void set_positions(const std::vector<Vec3d>& r) = 0;
+
+  /// Full dynamic state for checkpoint/restart (see State above).
+  virtual State snapshot() const = 0;
+  /// Restore a snapshot taken from the same structure. Same-backend
+  /// restores continue the trajectory bitwise; cross-backend restores
+  /// transfer positions/velocities and rebuild the rest. Throws on atom
+  /// count or (for wafer backends) core-grid mismatch.
+  virtual void restore(const State& state) = 0;
 
   /// Maxwell-Boltzmann initialization at T with zero net momentum.
   virtual void thermalize(double temperature_K, Rng& rng) = 0;

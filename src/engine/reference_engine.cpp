@@ -42,6 +42,34 @@ void ReferenceEngine::set_velocities(const std::vector<Vec3d>& v) {
   sim_.system().velocities() = v;
 }
 
+void ReferenceEngine::set_positions(const std::vector<Vec3d>& r) {
+  WSMD_REQUIRE(r.size() == sim_.system().size(), "position count mismatch");
+  sim_.system().positions() = r;
+  sim_.compute_forces();  // keep the thermo()-valid-always contract
+}
+
+State ReferenceEngine::snapshot() const {
+  State st;
+  const auto sim_state = sim_.save_state();
+  st.step = sim_state.step;
+  st.positions = sim_state.positions;
+  st.velocities = sim_state.velocities;
+  st.neighbor_anchor = sim_state.neighbor_anchor;
+  return st;
+}
+
+void ReferenceEngine::restore(const State& state) {
+  md::SimulationState sim_state;
+  sim_state.step = state.step;
+  sim_state.positions = state.positions;
+  sim_state.velocities = state.velocities;
+  // A wafer-written snapshot carries no Verlet anchor; restore_state then
+  // rebuilds the list from the positions themselves (cross-backend
+  // transfer — exactness is a same-backend guarantee).
+  sim_state.neighbor_anchor = state.neighbor_anchor;
+  sim_.restore_state(sim_state);
+}
+
 void ReferenceEngine::thermalize(double temperature_K, Rng& rng) {
   sim_.system().thermalize(temperature_K, rng);
 }

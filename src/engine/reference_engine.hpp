@@ -30,6 +30,9 @@ class ReferenceEngine final : public Engine {
   std::vector<Vec3d> positions() const override;
   std::vector<Vec3d> velocities() const override;
   void set_velocities(const std::vector<Vec3d>& v) override;
+  void set_positions(const std::vector<Vec3d>& r) override;
+  State snapshot() const override;
+  void restore(const State& state) override;
   void thermalize(double temperature_K, Rng& rng) override;
   Thermo step() override;
   Thermo run(long n, const StepCallback& callback = {}) override;

@@ -1,5 +1,6 @@
 #include "engine/wafer_engine.hpp"
 
+#include "util/error.hpp"
 #include "util/units.hpp"
 
 namespace wsmd::engine {
@@ -24,6 +25,55 @@ Thermo WaferEngine::run(long n, const StepCallback& callback) {
     });
   }
   return thermo();
+}
+
+State WaferEngine::snapshot() const {
+  State st;
+  const auto saved = md_.save_state();
+  st.step = saved.step;
+  st.positions = saved.positions;
+  st.velocities = saved.velocities;
+  st.has_wafer = true;
+  st.potential_energy = saved.potential_energy;
+  st.elapsed_seconds = saved.elapsed_seconds;
+  st.grid_width = saved.grid_width;
+  st.grid_height = saved.grid_height;
+  st.b = saved.b;
+  st.core_atoms = saved.core_atoms;
+  st.initial_positions = saved.initial_positions;
+  return st;
+}
+
+void WaferEngine::restore(const State& state) {
+  if (!state.has_wafer) {
+    // Reference-written snapshot: transfer positions/velocities onto the
+    // constructed mapping (cross-backend, not bitwise). set_positions
+    // widens b if the restored configuration needs it.
+    WSMD_REQUIRE(state.positions.size() == md_.atom_count() &&
+                     state.velocities.size() == md_.atom_count(),
+                 "restore: atom count mismatch ("
+                     << state.positions.size() << " vs " << md_.atom_count()
+                     << ")");
+    md_.set_positions(state.positions);
+    md_.set_velocities(state.velocities);
+    core::WseMd::SavedState partial = md_.save_state();
+    partial.step = state.step;
+    partial.elapsed_seconds = 0.0;
+    md_.restore_state(partial);
+    return;
+  }
+  core::WseMd::SavedState saved;
+  saved.step = state.step;
+  saved.elapsed_seconds = state.elapsed_seconds;
+  saved.potential_energy = state.potential_energy;
+  saved.positions = state.positions;
+  saved.velocities = state.velocities;
+  saved.grid_width = state.grid_width;
+  saved.grid_height = state.grid_height;
+  saved.b = state.b;
+  saved.core_atoms = state.core_atoms;
+  saved.initial_positions = state.initial_positions;
+  md_.restore_state(saved);
 }
 
 Thermo WaferEngine::thermo() const {

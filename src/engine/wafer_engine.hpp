@@ -32,6 +32,11 @@ class WaferEngine : public Engine {
   void set_velocities(const std::vector<Vec3d>& v) override {
     md_.set_velocities(v);
   }
+  void set_positions(const std::vector<Vec3d>& r) override {
+    md_.set_positions(r);
+  }
+  State snapshot() const override;
+  void restore(const State& state) override;
   void thermalize(double temperature_K, Rng& rng) override {
     md_.thermalize(temperature_K, rng);
   }

@@ -57,6 +57,14 @@ class NeighborList {
   /// Number of rebuilds performed so far (diagnostics; LAMMPS "Neigh" count).
   std::size_t rebuild_count() const { return rebuilds_; }
 
+  /// Positions the list was last built from (the Verlet anchor). Saved by
+  /// checkpoints: rebuilding from the anchor reproduces the list contents
+  /// (pair order fixes FP summation order) *and* the displacement-based
+  /// rebuild schedule, so a restored run stays bitwise on the original.
+  const std::vector<Vec3d>& reference_positions() const {
+    return reference_positions_;
+  }
+
  private:
   double cutoff_;
   double skin_;

@@ -46,6 +46,41 @@ void Simulation::equilibrate(double temperature_K, long steps, Rng& rng) {
   config_.rescale_temperature_K = saved;
 }
 
+SimulationState Simulation::save_state() const {
+  SimulationState st;
+  st.step = step_;
+  st.positions = system_.positions();
+  st.velocities = system_.velocities();
+  st.neighbor_anchor = neighbors_.reference_positions();
+  return st;
+}
+
+void Simulation::restore_state(const SimulationState& state) {
+  WSMD_REQUIRE(state.positions.size() == system_.size() &&
+                   state.velocities.size() == system_.size(),
+               "restore_state: atom count mismatch ("
+                   << state.positions.size() << " positions / "
+                   << state.velocities.size() << " velocities vs "
+                   << system_.size() << " atoms)");
+  WSMD_REQUIRE(state.step >= 0, "restore_state: negative step counter");
+  WSMD_REQUIRE(state.neighbor_anchor.empty() ||
+                   state.neighbor_anchor.size() == system_.size(),
+               "restore_state: neighbor anchor size mismatch");
+  system_.positions() = state.positions;
+  system_.velocities() = state.velocities;
+  step_ = state.step;
+  // Rebuild the Verlet list from the saved anchor so contents, pair order,
+  // and the next displacement-triggered rebuild all match the run that
+  // wrote the snapshot; then evaluate forces on the restored positions
+  // through that list (ensure_current sees displacement <= skin/2 — the
+  // anchor was current when saved — so it does not rebuild again).
+  neighbors_.build(system_.box(), state.neighbor_anchor.empty()
+                                      ? state.positions
+                                      : state.neighbor_anchor);
+  last_pe_ = kernel_.compute(system_, neighbors_);
+  forces_current_ = true;
+}
+
 ThermoState Simulation::thermo() const {
   ThermoState t;
   t.step = step_;

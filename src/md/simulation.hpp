@@ -37,6 +37,19 @@ struct ThermoState {
   double temperature = 0.0;       ///< K
 };
 
+/// Complete dynamic state for checkpoint/restart. `neighbor_anchor` is the
+/// Verlet list's last-build positions: restoring rebuilds the list from the
+/// anchor (not the current positions), which reproduces both the stored
+/// pair order (FP summation order) and the future displacement-triggered
+/// rebuild schedule — the two things that would otherwise break bitwise
+/// continuation.
+struct SimulationState {
+  long step = 0;
+  std::vector<Vec3d> positions;
+  std::vector<Vec3d> velocities;
+  std::vector<Vec3d> neighbor_anchor;  ///< empty = rebuild from positions
+};
+
 class Simulation {
  public:
   Simulation(AtomSystem system, SimulationConfig config = {});
@@ -57,6 +70,15 @@ class Simulation {
 
   /// Equilibrate: thermalize at T then run with periodic velocity rescaling.
   void equilibrate(double temperature_K, long steps, Rng& rng);
+
+  /// Snapshot the dynamic state (checkpoint).
+  SimulationState save_state() const;
+
+  /// Restore a snapshot taken from an identically-built simulation: sets
+  /// positions/velocities/step, rebuilds the Verlet list from the saved
+  /// anchor, and recomputes forces so thermo() is immediately valid. The
+  /// continued trajectory is bitwise identical to the uninterrupted run.
+  void restore_state(const SimulationState& state);
 
   /// Thermo snapshot. Kinetic energy / temperature are *synchronized*: the
   /// stored leapfrog velocities live at half steps, so they are advanced by

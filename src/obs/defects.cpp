@@ -1,5 +1,6 @@
 #include "obs/defects.hpp"
 
+#include "io/checkpoint.hpp"
 #include "md/analysis.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
@@ -89,6 +90,26 @@ void DefectProbe::sample(const Frame& frame) {
 }
 
 void DefectProbe::finish() { writer_.flush(); }
+
+void DefectProbe::save_state(io::BinaryWriter& w) const {
+  Probe::save_state(w);
+  w.i64(last_count_);
+  w.f64(last_fraction_);
+  w.f64(last_gb_position_);
+  w.u8(have_gb_position_ ? 1 : 0);
+  w.f64s(times_);
+  w.f64s(gb_positions_);
+}
+
+void DefectProbe::restore_state(io::BinaryReader& r) {
+  Probe::restore_state(r);
+  last_count_ = static_cast<long>(r.i64());
+  last_fraction_ = r.f64();
+  last_gb_position_ = r.f64();
+  have_gb_position_ = r.u8() != 0;
+  times_ = r.f64s();
+  gb_positions_ = r.f64s();
+}
 
 void DefectProbe::summarize(JsonObject& meta) const {
   meta.set("obs_defects_samples", samples_)

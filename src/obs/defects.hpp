@@ -42,6 +42,8 @@ class DefectProbe final : public Probe {
   void sample(const Frame& frame) override;
   void finish() override;
   void summarize(JsonObject& meta) const override;
+  void save_state(io::BinaryWriter& w) const override;
+  void restore_state(io::BinaryReader& r) override;
 
   long current_defect_count() const { return last_count_; }
   double current_gb_position() const { return last_gb_position_; }

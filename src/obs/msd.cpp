@@ -1,5 +1,9 @@
 #include "obs/msd.hpp"
 
+#include <cmath>
+#include <cstdio>
+
+#include "io/checkpoint.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -20,11 +24,35 @@ void MsdProbe::sample(const Frame& frame) {
     WSMD_REQUIRE(pos.size() == prev_.size(),
                  "msd atom count changed mid-run: " << prev_.size() << " -> "
                                                     << pos.size());
+    bool suspect = false;
     for (std::size_t i = 0; i < pos.size(); ++i) {
       // Minimum-image step from the previous sample accumulates the true
       // (unwrapped) path; open axes reduce to the plain difference.
-      unwrapped_[i] += frame.box->minimum_image(prev_[i], pos[i]);
+      const Vec3d d = frame.box->minimum_image(prev_[i], pos[i]);
+      // Unwrapping is provably correct only while the true per-sample
+      // motion stays under half a box edge; a minimum-image step beyond a
+      // quarter edge means the real displacement may already have aliased
+      // by a full box length. Flag it instead of corrupting silently.
+      for (std::size_t a = 0; a < 3 && !suspect; ++a) {
+        if (!frame.box->periodic[a]) continue;
+        suspect = std::fabs(d[a]) > 0.25 * frame.box->length(a);
+      }
+      unwrapped_[i] += d;
       prev_[i] = pos[i];
+    }
+    if (suspect) {
+      ++suspect_samples_;
+      if (!warned_) {
+        warned_ = true;
+        std::fprintf(
+            stderr,
+            "wsmd: warning: msd probe saw a per-sample displacement beyond "
+            "a quarter of the periodic box at step %ld (sampling every %ld "
+            "step(s)); minimum-image unwrapping is only reliable below half "
+            "a box edge per sample — reduce observe.every / observe."
+            "msd_every (or xyz_every for offline analyze replays)\n",
+            frame.step, frame.step - prev_step_);
+      }
     }
   }
   double sum = 0.0;
@@ -36,6 +64,7 @@ void MsdProbe::sample(const Frame& frame) {
       {static_cast<double>(frame.step), frame.time_ps, last_msd_});
   times_.push_back(frame.time_ps);
   msds_.push_back(last_msd_);
+  prev_step_ = frame.step;
   ++samples_;
 }
 
@@ -44,9 +73,36 @@ void MsdProbe::finish() { writer_.flush(); }
 void MsdProbe::summarize(JsonObject& meta) const {
   meta.set("obs_msd_samples", samples_)
       .set("obs_msd_final_A2", last_msd_)
+      .set("obs_msd_suspect_samples", suspect_samples_)
       // Einstein relation D = d(MSD)/dt / 6 from an OLS fit of MSD ~ t.
       .set("obs_msd_diffusion_A2_per_ps",
            fit_slope_with_intercept(times_, msds_) / 6.0);
+}
+
+void MsdProbe::save_state(io::BinaryWriter& w) const {
+  Probe::save_state(w);
+  w.vec3s(origin_);
+  w.vec3s(unwrapped_);
+  w.vec3s(prev_);
+  w.f64s(times_);
+  w.f64s(msds_);
+  w.f64(last_msd_);
+  w.i64(prev_step_);
+  w.u64(suspect_samples_);
+  w.u8(warned_ ? 1 : 0);
+}
+
+void MsdProbe::restore_state(io::BinaryReader& r) {
+  Probe::restore_state(r);
+  origin_ = r.vec3s();
+  unwrapped_ = r.vec3s();
+  prev_ = r.vec3s();
+  times_ = r.f64s();
+  msds_ = r.f64s();
+  last_msd_ = r.f64();
+  prev_step_ = static_cast<long>(r.i64());
+  suspect_samples_ = static_cast<std::size_t>(r.u64());
+  warned_ = r.u8() != 0;
 }
 
 }  // namespace wsmd::obs

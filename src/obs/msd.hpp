@@ -11,6 +11,15 @@
 /// consecutive samples — comfortably true for solids at any reasonable
 /// cadence (and checked implicitly by the golden replays).
 ///
+/// When that constraint is at risk the probe says so instead of silently
+/// corrupting the series: any per-sample minimum-image step beyond a
+/// quarter of a periodic box edge (half the provable-correct range —
+/// beyond it the true displacement may have aliased by a full box length)
+/// counts the sample as suspect and warns once, naming the offending
+/// sampling cadence. Typical causes: a large `observe.every`, or an
+/// offline `wsmd analyze` replay over a trajectory saved with sparse
+/// `xyz_every`.
+///
 /// The streamed series is (step, time, MSD); the summary folds in a
 /// diffusion-coefficient estimate D = slope/6 from a least-squares fit of
 /// MSD vs t (util/stats), the Einstein relation.
@@ -37,9 +46,16 @@ class MsdProbe final : public Probe {
   void sample(const Frame& frame) override;
   void finish() override;
   void summarize(JsonObject& meta) const override;
+  void save_state(io::BinaryWriter& w) const override;
+  void restore_state(io::BinaryReader& r) override;
 
   /// Latest MSD value (A^2), for direct API users.
   double current_msd() const { return last_msd_; }
+
+  /// Samples whose per-step minimum-image displacement exceeded a quarter
+  /// of a periodic box edge (unwrapping unreliable; see file comment).
+  /// Nonzero means the sampling cadence is too sparse for this system.
+  std::size_t suspect_samples() const { return suspect_samples_; }
 
  private:
   std::string path_;
@@ -49,6 +65,9 @@ class MsdProbe final : public Probe {
   std::vector<Vec3d> prev_;       ///< wrapped positions at the last sample
   std::vector<double> times_, msds_;  ///< for the finish-time diffusion fit
   double last_msd_ = 0.0;
+  long prev_step_ = 0;            ///< step of the last sample (cadence blame)
+  std::size_t suspect_samples_ = 0;
+  bool warned_ = false;
 };
 
 }  // namespace wsmd::obs

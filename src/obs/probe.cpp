@@ -1,8 +1,17 @@
 #include "obs/probe.hpp"
 
+#include <sstream>
+
+#include "io/checkpoint.hpp"
 #include "util/error.hpp"
 
 namespace wsmd::obs {
+
+void Probe::save_state(io::BinaryWriter& w) const { w.u64(samples_); }
+
+void Probe::restore_state(io::BinaryReader& r) {
+  samples_ = static_cast<std::size_t>(r.u64());
+}
 
 void ObserverBus::add(std::unique_ptr<Probe> probe, long every) {
   WSMD_REQUIRE(probe != nullptr, "null probe");
@@ -68,6 +77,43 @@ void ObserverBus::finish() {
 void ObserverBus::summarize(JsonObject& meta) const {
   WSMD_REQUIRE(finished_, "summarize() before finish()");
   for (const auto& s : slots_) s.probe->summarize(meta);
+}
+
+std::vector<std::pair<std::string, std::string>>
+ObserverBus::save_probe_states() const {
+  std::vector<std::pair<std::string, std::string>> blobs;
+  blobs.reserve(slots_.size());
+  for (const auto& s : slots_) {
+    std::ostringstream os(std::ios::binary);
+    io::BinaryWriter w(os);
+    w.i64(s.last_step);
+    s.probe->save_state(w);
+    blobs.emplace_back(s.probe->kind(), os.str());
+  }
+  return blobs;
+}
+
+void ObserverBus::restore_probe_states(
+    const std::vector<std::pair<std::string, std::string>>& blobs,
+    const std::string& context) {
+  WSMD_REQUIRE(!finished_, "restore_probe_states() after finish()");
+  WSMD_REQUIRE(blobs.size() == slots_.size(),
+               context << ": checkpoint holds " << blobs.size()
+                       << " probe state(s), the scenario configures "
+                       << slots_.size()
+                       << " — observe.* changed since the checkpoint");
+  for (std::size_t k = 0; k < slots_.size(); ++k) {
+    WSMD_REQUIRE(blobs[k].first == slots_[k].probe->kind(),
+                 context << ": probe " << k << " is '"
+                         << slots_[k].probe->kind()
+                         << "' but the checkpoint saved '" << blobs[k].first
+                         << "' — observe.probes changed since the "
+                            "checkpoint");
+    std::istringstream is(blobs[k].second, std::ios::binary);
+    io::BinaryReader r(is, context + " (probe '" + blobs[k].first + "')");
+    slots_[k].last_step = static_cast<long>(r.i64());
+    slots_[k].probe->restore_state(r);
+  }
 }
 
 }  // namespace wsmd::obs

@@ -20,11 +20,17 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/bench_json.hpp"
 #include "util/box.hpp"
 #include "util/vec3.hpp"
+
+namespace wsmd::io {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace wsmd::io
 
 namespace wsmd::obs {
 
@@ -68,6 +74,16 @@ class Probe {
   /// "obs_<kind>_" (the runner splices this into the BENCH envelope).
   /// Valid only after finish().
   virtual void summarize(JsonObject& meta) const = 0;
+
+  /// Serialize / restore the probe's accumulators (checkpoint/restart).
+  /// A restored probe continues its series and finish-time summary as if
+  /// the run had never stopped; only the *output file* restarts at the
+  /// resume point (SeriesWriter truncates on construction), so a resumed
+  /// run's streams cover [resume step, end] while finish-time tables
+  /// (RDF) and summaries cover the whole trajectory. Implementations
+  /// must call the base class first, in both directions.
+  virtual void save_state(io::BinaryWriter& w) const;
+  virtual void restore_state(io::BinaryReader& r);
 
   std::size_t samples_taken() const { return samples_; }
 
@@ -117,6 +133,18 @@ class ObserverBus {
 
   /// Fold every probe's summary into `meta`.
   void summarize(JsonObject& meta) const;
+
+  /// Serialize every probe's accumulators (plus the bus's own dispatch
+  /// cursor) into (kind, blob) pairs for a checkpoint.
+  std::vector<std::pair<std::string, std::string>> save_probe_states() const;
+
+  /// Restore from checkpointed pairs. The bus must hold the same probe
+  /// set in the same order as when the checkpoint was written (the
+  /// factory is deterministic for a given config); throws with `context`
+  /// in the message otherwise.
+  void restore_probe_states(
+      const std::vector<std::pair<std::string, std::string>>& blobs,
+      const std::string& context);
 
  private:
   struct Slot {

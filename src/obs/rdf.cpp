@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <numbers>
+#include <utility>
 
+#include "io/checkpoint.hpp"
 #include "io/series.hpp"
 #include "md/cell_list.hpp"
 #include "util/error.hpp"
@@ -81,6 +83,25 @@ void RdfProbe::finish() {
       break;
     }
   }
+}
+
+void RdfProbe::save_state(io::BinaryWriter& w) const {
+  Probe::save_state(w);
+  w.f64s(histogram_);
+  w.u64(atoms_);
+  w.f64(volume_);
+}
+
+void RdfProbe::restore_state(io::BinaryReader& r) {
+  Probe::restore_state(r);
+  auto histogram = r.f64s();
+  WSMD_REQUIRE(histogram.size() == histogram_.size(),
+               r.context() << ": rdf bin count changed since the checkpoint ("
+                           << histogram.size() << " -> " << histogram_.size()
+                           << ")");
+  histogram_ = std::move(histogram);
+  atoms_ = static_cast<std::size_t>(r.u64());
+  volume_ = r.f64();
 }
 
 void RdfProbe::summarize(JsonObject& meta) const {

@@ -40,6 +40,8 @@ class RdfProbe final : public Probe {
   void sample(const Frame& frame) override;
   void finish() override;
   void summarize(JsonObject& meta) const override;
+  void save_state(io::BinaryWriter& w) const override;
+  void restore_state(io::BinaryReader& r) override;
 
   /// Accumulated histogram (unordered pair counts), for direct API users.
   const std::vector<double>& histogram() const { return histogram_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "io/checkpoint.hpp"
 #include "util/error.hpp"
 
 namespace wsmd::obs {
@@ -49,6 +50,22 @@ void VacfProbe::sample(const Frame& frame) {
 }
 
 void VacfProbe::finish() { writer_.flush(); }
+
+void VacfProbe::save_state(io::BinaryWriter& w) const {
+  Probe::save_state(w);
+  w.vec3s(v0_);
+  w.f64(norm0_);
+  w.f64(last_vacf_);
+  w.f64(min_vacf_);
+}
+
+void VacfProbe::restore_state(io::BinaryReader& r) {
+  Probe::restore_state(r);
+  v0_ = r.vec3s();
+  norm0_ = r.f64();
+  last_vacf_ = r.f64();
+  min_vacf_ = r.f64();
+}
 
 void VacfProbe::summarize(JsonObject& meta) const {
   // With no origin ever pinned (motion never started) the streamed series

@@ -37,6 +37,8 @@ class VacfProbe final : public Probe {
   void sample(const Frame& frame) override;
   void finish() override;
   void summarize(JsonObject& meta) const override;
+  void save_state(io::BinaryWriter& w) const override;
+  void restore_state(io::BinaryReader& r) override;
 
   /// Latest normalized C(t), for direct API users.
   double current_vacf() const { return last_vacf_; }

@@ -83,4 +83,17 @@ DeckEntry parse_override(const std::string& token) {
   return entry;
 }
 
+Deck deck_from_entries(
+    const std::vector<std::pair<std::string, std::string>>& entries,
+    const std::string& source) {
+  Deck deck;
+  deck.source = source;
+  deck.entries.reserve(entries.size());
+  for (const auto& [key, value] : entries) {
+    deck.entries.push_back(
+        {key, value, static_cast<int>(deck.entries.size()) + 1});
+  }
+  return deck;
+}
+
 }  // namespace wsmd::scenario

@@ -24,6 +24,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace wsmd::scenario {
@@ -58,5 +59,14 @@ Deck parse_deck_file(const std::string& path);
 /// Split a `key=value` token (as given on the CLI); throws when '=' is
 /// missing or the key is empty.
 DeckEntry parse_override(const std::string& token);
+
+/// Rebuild a Deck from raw (key, value) pairs — a checkpoint's embedded
+/// deck — assigning file-style line numbers so overrides appended later
+/// (line 0) get the normal CLI-against-a-file semantics. Single authority
+/// for the reconstruction: `wsmd resume` and the runner's resume
+/// validation must agree on it.
+Deck deck_from_entries(
+    const std::vector<std::pair<std::string, std::string>>& entries,
+    const std::string& source);
 
 }  // namespace wsmd::scenario

@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 
+#include "io/checkpoint.hpp"
 #include "io/thermo_log.hpp"
 #include "io/trajectory.hpp"
 #include "util/bench_json.hpp"
@@ -14,12 +15,20 @@
 
 namespace wsmd::scenario {
 
+std::string join_output_path(const std::string& path,
+                             const std::string& dir) {
+  if (path.empty()) return path;
+  namespace fs = std::filesystem;
+  fs::path resolved(path);
+  if (!dir.empty() && !resolved.is_absolute()) {
+    resolved = fs::path(dir) / resolved;
+  }
+  return resolved.lexically_normal().string();
+}
+
 std::string resolve_output_path(const std::string& path,
                                 const std::string& dir) {
-  std::string resolved = path;
-  if (!path.empty() && !dir.empty() && path.front() != '/') {
-    resolved = dir + "/" + path;
-  }
+  const std::string resolved = join_output_path(path, dir);
   // Create the target directory up front: `wsmd --output-dir=out deck`
   // must work without a manual mkdir.
   if (!resolved.empty()) {
@@ -27,6 +36,23 @@ std::string resolve_output_path(const std::string& path,
     if (!parent.empty()) std::filesystem::create_directories(parent);
   }
   return resolved;
+}
+
+bool stage_rescales_after(const Stage& st, long steps_done,
+                          int rescale_interval) {
+  switch (st.kind) {
+    case Stage::Kind::kEquilibrate:
+    case Stage::Kind::kRamp:
+    case Stage::Kind::kQuench:
+      // Interval cadence plus a guaranteed final-step rescale: the stage
+      // thermostats at least once even when steps < rescale_interval, and
+      // a ramp ends at t1 even when steps is not an interval multiple.
+      return steps_done % rescale_interval == 0 || steps_done == st.steps;
+    case Stage::Kind::kThermalize:
+    case Stage::Kind::kRun:
+      return false;
+  }
+  return false;
 }
 
 std::vector<ProbeOutput> collect_probe_outputs(
@@ -85,9 +111,120 @@ std::string stage_label(const Stage& st) {
   return "?";
 }
 
-}  // namespace
+/// Expand the `*` placeholder in a checkpoint path with the step number
+/// (keeps every checkpoint; without a placeholder the latest overwrites).
+std::string checkpoint_file_for(const std::string& pattern, long step) {
+  const auto star = pattern.find('*');
+  if (star == std::string::npos) return pattern;
+  return pattern.substr(0, star) + std::to_string(step) +
+         pattern.substr(star + 1);
+}
 
-ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt) {
+/// Validate a checkpoint against the scenario it is about to resume: same
+/// structure (atom types), same box, the same schedule stage-for-stage as
+/// the one the checkpoint was written under (the cursor is meaningless
+/// against a different schedule — and a swapped-in stage of equal length
+/// would pass any step-count check while silently changing the physics),
+/// and a cursor consistent with that schedule. Catches resumes with
+/// incompatible overrides before any state is touched.
+void validate_resume(const Scenario& sc, const lattice::Structure& structure,
+                     const io::CheckpointData& ckpt) {
+  WSMD_REQUIRE(ckpt.element == sc.element,
+               "resume: checkpoint element '"
+                   << ckpt.element << "' does not match scenario element '"
+                   << sc.element << "'");
+  WSMD_REQUIRE(ckpt.types == structure.types,
+               "resume: checkpoint atom set ("
+                   << ckpt.types.size()
+                   << " atoms) does not match the structure this scenario "
+                      "builds ("
+                   << structure.types.size()
+                   << " atoms) — geometry/replicate/seed changed?");
+  for (std::size_t a = 0; a < 3; ++a) {
+    WSMD_REQUIRE(std::fabs(ckpt.box.lo[a] - structure.box.lo[a]) < 1e-9 &&
+                     std::fabs(ckpt.box.hi[a] - structure.box.hi[a]) < 1e-9 &&
+                     ckpt.box.periodic[a] == structure.box.periodic[a],
+                 "resume: checkpoint box does not match the scenario's "
+                 "structure (axis "
+                     << a << ")");
+  }
+  // Rebuild the schedule the checkpoint was written under from its
+  // embedded deck and require the resumed scenario's schedule to match it
+  // stage for stage.
+  const Scenario saved = scenario_from_deck(
+      deck_from_entries(ckpt.deck, "<checkpoint deck>"));
+  WSMD_REQUIRE(saved.schedule.size() == sc.schedule.size(),
+               "resume: schedule overrides are not supported (checkpoint "
+               "was written under "
+                   << saved.schedule.size() << " stage(s), resuming with "
+                   << sc.schedule.size() << ")");
+  for (std::size_t i = 0; i < sc.schedule.size(); ++i) {
+    const auto& a = saved.schedule[i];
+    const auto& b = sc.schedule[i];
+    WSMD_REQUIRE(a.kind == b.kind && a.t0 == b.t0 && a.t1 == b.t1 &&
+                     a.steps == b.steps,
+                 "resume: schedule overrides are not supported (stage "
+                     << i << " changed from '" << a.name() << "' to '"
+                     << b.name() << "' parameters)");
+  }
+  WSMD_REQUIRE(saved.rescale_interval == sc.rescale_interval,
+               "resume: rescale_interval changed ("
+                   << saved.rescale_interval << " -> " << sc.rescale_interval
+                   << ") — the thermostat cadence is part of the schedule");
+  WSMD_REQUIRE(saved.dt == sc.dt,
+               "resume: dt changed (" << saved.dt << " -> " << sc.dt
+                                      << ") — the timestep is part of the "
+                                         "trajectory, not an output option");
+  WSMD_REQUIRE(saved.swap_interval == sc.swap_interval,
+               "resume: swap_interval changed ("
+                   << saved.swap_interval << " -> " << sc.swap_interval
+                   << ") — the atom-swap cadence changes the wafer "
+                      "trajectory");
+  if (!ckpt.probes.empty() && sc.observe.enabled()) {
+    // The saved accumulators were measured under the checkpointed
+    // analysis parameters; merging them with samples taken under
+    // different ones corrupts silently (e.g. an RDF histogram binned
+    // over two different ranges). Output keys (observe.prefix /
+    // observe.format) remain free, and a scenario with observables
+    // disabled outright (C++ API — deck syntax cannot express it) takes
+    // the warn-and-discard path in the runner instead.
+    const auto& a = saved.observe;
+    const auto& b = sc.observe;
+    WSMD_REQUIRE(
+        a.probes == b.probes && a.every == b.every &&
+            a.rdf_every == b.rdf_every && a.msd_every == b.msd_every &&
+            a.vacf_every == b.vacf_every &&
+            a.defects_every == b.defects_every &&
+            a.rdf_rcut == b.rdf_rcut && a.rdf_bins == b.rdf_bins &&
+            a.csp_threshold == b.csp_threshold && a.gb_axis == b.gb_axis,
+        "resume: observe.* analysis parameters changed — the checkpointed "
+        "probe accumulators were measured under the saved settings (only "
+        "observe.prefix / observe.format may change on resume)");
+  }
+  WSMD_REQUIRE(ckpt.stage_index < sc.schedule.size(),
+               "resume: checkpoint stage cursor "
+                   << ckpt.stage_index << " is outside the schedule ("
+                   << sc.schedule.size() << " stage(s))");
+  const auto& st = sc.schedule[ckpt.stage_index];
+  WSMD_REQUIRE(ckpt.stage_steps_done >= 0 &&
+                   ckpt.stage_steps_done <= st.steps,
+               "resume: checkpoint cursor ("
+                   << ckpt.stage_steps_done << " steps into a " << st.steps
+                   << "-step '" << st.name() << "' stage) is out of range");
+  long expected_step = ckpt.stage_steps_done;
+  for (std::size_t i = 0; i < ckpt.stage_index; ++i) {
+    expected_step += sc.schedule[i].steps;
+  }
+  WSMD_REQUIRE(expected_step == ckpt.engine.step,
+               "resume: schedule does not line up with the checkpoint "
+               "(cursor implies step "
+                   << expected_step << ", engine state is at step "
+                   << ckpt.engine.step
+                   << ") — schedule overrides are not supported on resume");
+}
+
+ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
+                        const io::CheckpointData* resume) {
   const auto say = [&opt](const std::string& line) {
     if (opt.log) opt.log(line);
   };
@@ -96,6 +233,7 @@ ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt) {
   result.scenario = sc.name;
 
   const auto structure = build_structure(sc, &result.structure);
+  if (resume != nullptr) validate_resume(sc, structure, *resume);
   auto eng = build_engine(sc, structure, opt.backend_override);
   result.backend_name = eng->backend_name();
   say(format("%s: %zu atoms (%s %s), backend %s", sc.name.c_str(),
@@ -107,6 +245,15 @@ ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt) {
   if (result.structure.gb_fused_atoms > 0) {
     say(format("  %zu seam atoms fused at the grain boundary",
                result.structure.gb_fused_atoms));
+  }
+  if (resume != nullptr) {
+    eng->restore(resume->engine);
+    result.resumed_from_step = resume->engine.step;
+    say(format("  resumed at step %ld (stage %zu, %ld step(s) done; "
+               "checkpoint written by backend %s)",
+               resume->engine.step,
+               static_cast<std::size_t>(resume->stage_index),
+               resume->stage_steps_done, resume->backend.c_str()));
   }
 
   // Outputs.
@@ -141,6 +288,28 @@ ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt) {
   }
   long last_frame_step = -1;
   long last_sample_step = -1;
+
+  // Restore the run-side state the checkpoint carries beyond the engine:
+  // probe accumulators, output cursors, and the thermostat RNG stream.
+  Rng rng(sc.seed);
+  if (resume != nullptr) {
+    rng.set_state(resume->rng);
+    last_frame_step = resume->last_frame_step;
+    last_sample_step = resume->last_sample_step;
+    if (bus && !resume->probes.empty()) {
+      bus->restore_probe_states(resume->probes, "resume");
+    } else if (bus) {
+      // Probes configured now but not checkpointed: they re-prime at the
+      // resume point, so their series and summaries cover only the
+      // resumed portion (MSD/VACF origins restart here).
+      say("  warning: checkpoint carries no probe state — observables "
+          "re-prime at the resume step");
+    } else if (!resume->probes.empty()) {
+      say("  warning: checkpointed probe state discarded (observe.* "
+          "disabled by override)");
+    }
+  }
+
   const auto emit_frame = [&](const engine::Thermo& t,
                               const std::vector<Vec3d>& positions) {
     trajectory->append(structure.box, positions, structure.types,
@@ -189,18 +358,76 @@ ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt) {
     }
   };
 
-  // Initial state: frame + sample + observables before any stage runs.
-  stream_state(eng->thermo(), /*final_state=*/false);
-  emit_sample(eng->thermo());
+  // Periodic checkpoint write (atomic: tmp + rename). The checkpoint
+  // captures the post-thermostat state of the step just finished plus the
+  // schedule cursor pointing at it, so a resumed run continues with the
+  // very next step. The pattern is only joined here — its `*` may expand
+  // into directory components, so write_checkpoint_file creates the
+  // expanded file's parent per write instead.
+  result.checkpoint_path =
+      join_output_path(sc.checkpoint_path, opt.output_dir);
+  const auto maybe_checkpoint = [&](std::size_t stage_index, long steps_done,
+                                    const engine::Thermo& t) {
+    if (sc.checkpoint_every <= 0 || t.step % sc.checkpoint_every != 0) {
+      return;
+    }
+    io::CheckpointData ck;
+    ck.element = sc.element;
+    ck.backend = result.backend_name;
+    ck.box = structure.box;
+    ck.types = structure.types;
+    // The embedded deck must record the *effective* scenario: fold a
+    // --backend= override into it, or a plain `wsmd resume CKPT` would
+    // silently continue on the deck's backend instead of the one that
+    // wrote the checkpoint (breaking the bitwise-continuation promise).
+    Scenario effective = sc;
+    if (!opt.backend_override.empty()) {
+      effective.backend = opt.backend_override;
+    }
+    for (const auto& e : deck_from_scenario(effective).entries) {
+      ck.deck.emplace_back(e.key, e.value);
+    }
+    ck.engine = eng->snapshot();
+    ck.stage_index = stage_index;
+    ck.stage_steps_done = steps_done;
+    ck.rng = rng.state();
+    ck.last_frame_step = last_frame_step;
+    ck.last_sample_step = last_sample_step;
+    if (bus) ck.probes = bus->save_probe_states();
+    const std::string file =
+        checkpoint_file_for(result.checkpoint_path, t.step);
+    io::write_checkpoint_file(file, ck);
+    ++result.checkpoints_written;
+    say(format("  checkpoint -> %s (step %ld)", file.c_str(), t.step));
+  };
 
-  Rng rng(sc.seed);
+  if (resume == nullptr) {
+    // Initial state: frame + sample + observables before any stage runs.
+    stream_state(eng->thermo(), /*final_state=*/false);
+    emit_sample(eng->thermo());
+  } else {
+    // The restored state opens the resumed outputs (the probes already
+    // sampled this step before the checkpoint — only the thermo log gets
+    // the overlap row, as the fresh run's pre-run emission does). The
+    // row stays on the thermo_every grid: off-grid checkpoint steps emit
+    // nothing, or the resumed tail would hold a row the uninterrupted
+    // log does not and the byte-identical-tail guarantee would break.
+    const auto restored = eng->thermo();
+    if (restored.step % sc.thermo_every == 0) emit_sample(restored);
+  }
+
+  const std::size_t start_stage = resume ? resume->stage_index : 0;
+  const long start_steps = resume ? resume->stage_steps_done : 0;
   const auto wall_start = std::chrono::steady_clock::now();
-  for (const auto& st : sc.schedule) {
+  for (std::size_t si = start_stage; si < sc.schedule.size(); ++si) {
+    const auto& st = sc.schedule[si];
     StageResult sr;
     sr.label = stage_label(st);
     sr.kind = st.name();
     sr.steps = st.steps;
-    say("  stage: " + sr.label);
+    const long k0 = si == start_stage ? start_steps : 0;
+    say("  stage: " + sr.label +
+        (k0 > 0 ? format(" (resuming after %ld step(s))", k0) : ""));
 
     if (st.kind == Stage::Kind::kThermalize) {
       eng->thermalize(st.t0, rng);
@@ -210,35 +437,21 @@ ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt) {
       continue;
     }
 
-    for (long k = 0; k < st.steps; ++k) {
+    for (long k = k0; k < st.steps; ++k) {
       engine::Thermo t = eng->step();
-      bool rescaled = false;
-      switch (st.kind) {
-        case Stage::Kind::kEquilibrate:
-          // Final-step rescale guarantees the stage thermostats at least
-          // once even when steps < rescale_interval.
-          if ((k + 1) % sc.rescale_interval == 0 || k + 1 == st.steps) {
-            rescale_to(*eng, st.t0);
-            rescaled = true;
-          }
-          break;
-        case Stage::Kind::kRamp:
-          // Also fire on the stage's last step so the ramp ends at t1 even
-          // when steps is not a multiple of the rescale interval.
-          if ((k + 1) % sc.rescale_interval == 0 || k + 1 == st.steps) {
-            const double target =
-                st.t0 + (st.t1 - st.t0) * static_cast<double>(k + 1) /
-                            static_cast<double>(st.steps);
-            rescale_to(*eng, target);
-            rescaled = true;
-          }
-          break;
-        case Stage::Kind::kQuench:
-          rescale_to(*eng, st.t0);
-          rescaled = true;
-          break;
-        default:
-          break;
+      // One shared rescale schedule for every thermostatted stage kind
+      // (stage_rescales_after — quench included, which historically
+      // rescaled every step while the others honored rescale_interval);
+      // ramp slides the target toward t1, the others hold t0.
+      const bool rescaled =
+          stage_rescales_after(st, k + 1, sc.rescale_interval);
+      if (rescaled) {
+        const double target =
+            st.kind == Stage::Kind::kRamp
+                ? st.t0 + (st.t1 - st.t0) * static_cast<double>(k + 1) /
+                              static_cast<double>(st.steps)
+                : st.t0;
+        rescale_to(*eng, target);
       }
       // Outputs record the state after the step's full processing —
       // thermostat action included — so the log's last row, the final
@@ -246,6 +459,7 @@ ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt) {
       if (rescaled) t = eng->thermo();
       if (t.step % sc.thermo_every == 0) emit_sample(t);
       stream_state(t, /*final_state=*/false);
+      maybe_checkpoint(si, k + 1, t);
     }
     sr.end = eng->thermo();
     result.stages.push_back(std::move(sr));
@@ -254,6 +468,8 @@ ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt) {
   result.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();
   result.total_steps = sc.total_steps();
+  const long steps_executed =
+      result.total_steps - (resume != nullptr ? resume->engine.step : 0);
   result.final_thermo = eng->thermo();
 
   // Close every output at the final step, unless that exact step was
@@ -286,14 +502,28 @@ ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt) {
         .set("seed", static_cast<long long>(sc.seed))
         .set("total_steps", static_cast<long long>(result.total_steps))
         .set("wall_seconds", result.wall_seconds)
+        // Throughput counts the steps *this process* executed: a resumed
+        // run only stepped the post-checkpoint remainder, and crediting
+        // it the full schedule would fabricate a speedup in the trend
+        // tooling the BENCH envelope feeds.
+        .set("steps_executed", static_cast<long long>(steps_executed))
         .set("steps_per_s", result.wall_seconds > 0.0
-                                ? static_cast<double>(result.total_steps) /
+                                ? static_cast<double>(steps_executed) /
                                       result.wall_seconds
                                 : 0.0)
         .set("final_total_eV", result.final_thermo.total_energy)
         .set("final_temperature_K", result.final_thermo.temperature)
         .set("xyz_frames", result.xyz_frames)
         .set("thermo_samples", result.thermo_samples);
+    if (result.checkpoints_written > 0) {
+      summary.meta()
+          .set("checkpoints_written", result.checkpoints_written)
+          .set("checkpoint", result.checkpoint_path);
+    }
+    if (result.resumed_from_step >= 0) {
+      summary.meta().set("resumed_from_step",
+                         static_cast<long long>(result.resumed_from_step));
+    }
     // Observable summaries (first peaks, diffusion, GB mobility, ...) ride
     // in the same BENCH envelope so trend tooling sees physics and
     // throughput side by side.
@@ -315,6 +545,18 @@ ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt) {
              result.final_thermo.total_energy,
              result.final_thermo.temperature));
   return result;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt) {
+  return run_impl(sc, opt, nullptr);
+}
+
+ScenarioResult resume_scenario(const Scenario& sc,
+                               const io::CheckpointData& ckpt,
+                               const RunOptions& opt) {
+  return run_impl(sc, opt, &ckpt);
 }
 
 }  // namespace wsmd::scenario

@@ -18,6 +18,10 @@
 #include "engine/engine.hpp"
 #include "scenario/scenario.hpp"
 
+namespace wsmd::io {
+struct CheckpointData;
+}  // namespace wsmd::io
+
 namespace wsmd::scenario {
 
 struct RunOptions {
@@ -59,17 +63,51 @@ struct ScenarioResult {
   std::string xyz_path;
   std::string thermo_path;
   std::string summary_path;
+  // Checkpoint/restart bookkeeping.
+  std::string checkpoint_path;           ///< resolved pattern ("" = off)
+  std::size_t checkpoints_written = 0;
+  long resumed_from_step = -1;           ///< -1 = fresh run
 };
 
 /// Run the scenario: build structure + engine, execute the schedule, stream
 /// outputs. Throws wsmd::Error on invalid configuration or I/O failure.
 ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt = {});
 
-/// Resolve an output path against a run's output directory (relative paths
-/// are prefixed; parent directories are created). Shared by the runner and
-/// the offline analyzer so both lay files out identically.
+/// Continue a checkpointed run: rebuild the structure, restore engine /
+/// probe / RNG state from `ckpt`, and execute the remaining schedule from
+/// the saved mid-stage cursor. `sc` must be the scenario rebuilt from the
+/// checkpoint's embedded deck (scenario_from_deck over its entries), plus
+/// any compatible overrides — outputs and backend may change freely (the
+/// state transfers across backends); schedule or structure changes are
+/// rejected. Output files restart at the resume step: the thermo log and
+/// probe streams cover [resume step, end], finish-time tables (RDF) and
+/// summaries cover the whole trajectory, so point --output-dir somewhere
+/// fresh to keep the original partial outputs. Resuming on the backend
+/// that wrote the checkpoint continues the trajectory bit-for-bit.
+ScenarioResult resume_scenario(const Scenario& sc,
+                               const io::CheckpointData& ckpt,
+                               const RunOptions& opt = {});
+
+/// Join a path under a run's output directory (relative paths are
+/// prefixed, absolute ones pass through; no filesystem side effects).
+/// Used directly for the checkpoint pattern, whose `*` placeholder
+/// expands to directory components only at write time.
+std::string join_output_path(const std::string& path,
+                             const std::string& dir);
+
+/// join_output_path plus eager parent-directory creation. Shared by the
+/// runner and the offline analyzer so both lay files out identically.
 std::string resolve_output_path(const std::string& path,
                                 const std::string& dir);
+
+/// The thermostat-rescale schedule, factored out so tests can pin it per
+/// stage kind: a thermostatted stage (equilibrate / ramp / quench)
+/// rescales after every `rescale_interval`-th step of the stage and
+/// always after the stage's final step (so short stages thermostat at
+/// least once and ramps end exactly at t1); thermalize and run never
+/// rescale. `steps_done` counts completed steps within the stage (1-based).
+bool stage_rescales_after(const Stage& st, long steps_done,
+                          int rescale_interval);
 
 /// Collect each probe's {kind, path, samples} from a finished bus and log
 /// one line per probe via `log` (when set). Shared by the runner and the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <map>
+#include <utility>
 
 #include "eam/zhou.hpp"
 #include "lattice/grain_boundary.hpp"
@@ -127,6 +128,7 @@ Scenario scenario_from_deck(const Deck& deck) {
   // observe.* entries are remembered so cross-key validation below can
   // point at the offending deck line, not just the file.
   std::map<std::string, const DeckEntry*> observe_seen;
+  const DeckEntry* checkpoint_path_entry = nullptr;
   // Schedule keys accumulate stages in deck order, so plain last-wins
   // cannot apply to them. Instead, whole-schedule replacement: if any
   // schedule key arrives as an override (line == 0, appended by the CLI),
@@ -299,6 +301,16 @@ Scenario scenario_from_deck(const Deck& deck) {
       }
       sc.observe.gb_axis = e.value == "x" ? 0 : (e.value == "y" ? 1 : 2);
       observe_seen[e.key] = &e;
+    } else if (e.key == "checkpoint.every") {
+      const long v = one_long(deck, e);
+      if (v < 0) bad_entry(deck, e, "checkpoint cadence must be >= 0 (0 = off)");
+      sc.checkpoint_every = v;
+    } else if (e.key == "checkpoint.path") {
+      if (e.value.empty()) {
+        bad_entry(deck, e, "checkpoint path must not be empty");
+      }
+      checkpoint_path_entry = &e;
+      sc.checkpoint_path = e.value;
     } else {
       bad_entry(deck, e, "unknown key");
     }
@@ -343,6 +355,19 @@ Scenario scenario_from_deck(const Deck& deck) {
         st.steps > 0) {
       may_have_ke = true;
     }
+  }
+
+  // Checkpointing cross-validation: a path with no cadence at all would
+  // silently never checkpoint. An explicit `checkpoint.every = 0` is the
+  // documented off-switch (e.g. a resume override), so only the entirely
+  // absent key is an error.
+  if (checkpoint_path_entry != nullptr && sc.checkpoint_every == 0 &&
+      !deck.has("checkpoint.every")) {
+    bad_entry(deck, *checkpoint_path_entry,
+              "checkpoint.path needs checkpoint.every");
+  }
+  if (sc.checkpoint_every > 0 && sc.checkpoint_path.empty()) {
+    sc.checkpoint_path = sc.name + ".ckpt";
   }
 
   // observe.* cross-key validation. Each rule blames the deck line that
@@ -419,6 +444,104 @@ Scenario scenario_from_deck(const Deck& deck) {
     }
   }
   return sc;
+}
+
+Deck deck_from_scenario(const Scenario& sc) {
+  // Collected as raw pairs and numbered by deck_from_entries — the single
+  // authority for file-style line numbering, so overrides appended later
+  // (line 0) get the usual whole-schedule-replacement semantics.
+  std::vector<std::pair<std::string, std::string>> entries;
+  const auto add = [&entries](const std::string& key,
+                              const std::string& value) {
+    entries.emplace_back(key, value);
+  };
+  // %.17g round-trips FP64 exactly through the strict parser.
+  const auto num = [](double v) { return format("%.17g", v); };
+
+  add("name", sc.name);
+  add("element", sc.element);
+  add("geometry", sc.geometry);
+  if (sc.geometry == "grain_boundary") {
+    add("tilt_angle_deg", num(sc.tilt_angle_deg));
+    add("gb_atoms", std::to_string(sc.gb_target_atoms));
+  } else if (sc.replicate[0] > 0) {
+    add("replicate", format("%d %d %d", sc.replicate[0], sc.replicate[1],
+                            sc.replicate[2]));
+  } else {
+    add("scale", std::to_string(sc.scale));
+  }
+  if (sc.vacancy_fraction > 0.0) {
+    add("vacancy_fraction", num(sc.vacancy_fraction));
+  }
+  add("backend", sc.backend);
+  add("dt", num(sc.dt));
+  add("swap_interval", std::to_string(sc.swap_interval));
+  add("rescale_interval", std::to_string(sc.rescale_interval));
+  add("seed", std::to_string(sc.seed));
+  for (const auto& st : sc.schedule) {
+    switch (st.kind) {
+      case Stage::Kind::kThermalize:
+        add("thermalize", num(st.t0));
+        break;
+      case Stage::Kind::kEquilibrate:
+      case Stage::Kind::kQuench:
+        add(st.name(), num(st.t0) + " " + std::to_string(st.steps));
+        break;
+      case Stage::Kind::kRamp:
+        add("ramp", num(st.t0) + " " + num(st.t1) + " " +
+                        std::to_string(st.steps));
+        break;
+      case Stage::Kind::kRun:
+        add("run", std::to_string(st.steps));
+        break;
+    }
+  }
+  if (!sc.xyz_path.empty()) {
+    add("xyz", sc.xyz_path);
+    add("xyz_every", std::to_string(sc.xyz_every));
+  }
+  if (!sc.thermo_path.empty()) {
+    add("thermo", sc.thermo_path);
+    add("thermo_every", std::to_string(sc.thermo_every));
+    add("thermo_format", sc.thermo_format);
+  }
+  if (!sc.summary_path.empty()) add("summary", sc.summary_path);
+  if (sc.observe.enabled()) {
+    std::string probes;
+    for (const auto& kind : sc.observe.probes) {
+      probes += (probes.empty() ? "" : " ") + kind;
+    }
+    add("observe.probes", probes);
+    add("observe.every", std::to_string(sc.observe.every));
+    const auto add_cadence = [&](const char* key, long every) {
+      if (every > 0) add(key, std::to_string(every));
+    };
+    add_cadence("observe.rdf_every", sc.observe.rdf_every);
+    add_cadence("observe.msd_every", sc.observe.msd_every);
+    add_cadence("observe.vacf_every", sc.observe.vacf_every);
+    add_cadence("observe.defects_every", sc.observe.defects_every);
+    add("observe.format", sc.observe.format);
+    if (!sc.observe.prefix.empty()) add("observe.prefix", sc.observe.prefix);
+    if (sc.observe.has("rdf")) {
+      if (sc.observe.rdf_rcut > 0.0) {
+        add("observe.rdf_rcut", num(sc.observe.rdf_rcut));
+      }
+      add("observe.rdf_bins", std::to_string(sc.observe.rdf_bins));
+    }
+    if (sc.observe.has("defects")) {
+      add("observe.csp_threshold", num(sc.observe.csp_threshold));
+      if (sc.observe.gb_axis >= 0) {
+        add("observe.gb_axis",
+            std::string(1, "xyz"[static_cast<std::size_t>(
+                                sc.observe.gb_axis)]));
+      }
+    }
+  }
+  if (sc.checkpoint_every > 0) {
+    add("checkpoint.every", std::to_string(sc.checkpoint_every));
+    add("checkpoint.path", sc.checkpoint_path);
+  }
+  return deck_from_entries(entries, "<scenario>");
 }
 
 obs::Material material_for(const Scenario& sc) {

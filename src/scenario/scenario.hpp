@@ -23,8 +23,9 @@
 ///   thermalize = T                 — schedule stages, in deck order:
 ///   equilibrate = T STEPS            one-shot MB velocities; velocity-
 ///   ramp = T0 T1 STEPS               rescale toward T; linear target;
-///   quench = T STEPS                 rescale every step; free NVE
-///   run = STEPS
+///   quench = T STEPS                 rescale toward a cold T; free NVE
+///   run = STEPS                      (all rescaling stages honor
+///                                    rescale_interval + final step)
 ///   xyz = PATH, xyz_every = N      — trajectory output
 ///   thermo = PATH, thermo_every = N, thermo_format = csv|jsonl
 ///   summary = PATH                 — machine-readable run summary (JSON)
@@ -38,6 +39,13 @@
 ///   observe.csp_threshold = X      — defect CSP threshold (A^2)
 ///   observe.gb_axis = x|y|z        — GB mean-plane tracking axis
 ///                                    (geometry=grain_boundary only)
+///   checkpoint.every = N           — write a restart checkpoint every N
+///                                    steps (io/checkpoint; resume with
+///                                    `wsmd resume CKPT`)
+///   checkpoint.path = PATH         — checkpoint file (default
+///                                    <name>.ckpt); a `*` is replaced by
+///                                    the step number (keeps every
+///                                    checkpoint instead of overwriting)
 
 #include <array>
 #include <cstdint>
@@ -58,7 +66,7 @@ struct Stage {
     kThermalize,   ///< one-shot Maxwell-Boltzmann at t0 (no steps)
     kEquilibrate,  ///< velocity rescale toward t0 every rescale_interval
     kRamp,         ///< rescale toward a target sliding t0 -> t1
-    kQuench,       ///< rescale toward t0 every step
+    kQuench,       ///< rescale toward a (cold) t0, same cadence
     kRun,          ///< free NVE
   };
   Kind kind = Kind::kRun;
@@ -106,6 +114,13 @@ struct Scenario {
 
   obs::ProbeSetConfig observe;  ///< empty probes = no observables
 
+  /// Checkpoint/restart (io/checkpoint): write a restart file every
+  /// `checkpoint_every` steps (0 = off) to `checkpoint_path` (defaults to
+  /// "<name>.ckpt"; a `*` in the path is replaced with the step number so
+  /// every checkpoint is kept instead of overwritten).
+  std::string checkpoint_path;
+  long checkpoint_every = 0;
+
   long total_steps() const;
 };
 
@@ -119,6 +134,14 @@ obs::Material material_for(const Scenario& sc);
 /// schedule key appears as a CLI override (DeckEntry::line == 0), the
 /// overrides define the entire schedule and the file's stages are dropped.
 Scenario scenario_from_deck(const Deck& deck);
+
+/// The inverse: emit a Scenario as a canonical deck whose entries carry
+/// file-style line numbers (so later CLI overrides behave exactly as they
+/// do against a deck file). Round-trips: scenario_from_deck applied to the
+/// result reproduces the scenario. Checkpoints embed this deck, which is
+/// what makes `wsmd resume CKPT` self-contained — the effective scenario
+/// (original CLI overrides included) travels inside the checkpoint.
+Deck deck_from_scenario(const Scenario& sc);
 
 /// Structure generation bookkeeping the driver reports.
 struct StructureInfo {

@@ -82,4 +82,18 @@ Vec3d Rng::gaussian_vec3(double sigma) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+RngState Rng::state() const {
+  RngState st;
+  for (std::size_t k = 0; k < 4; ++k) st.s[k] = s_[k];
+  st.has_spare = has_spare_;
+  st.spare = spare_;
+  return st;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (std::size_t k = 0; k < 4; ++k) s_[k] = state.s[k];
+  has_spare_ = state.has_spare;
+  spare_ = state.spare;
+}
+
 }  // namespace wsmd

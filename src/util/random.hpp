@@ -14,6 +14,15 @@
 
 namespace wsmd {
 
+/// Complete serialized Rng state (checkpoint/restart). Covers the
+/// xoshiro256++ words and the Marsaglia spare, so a restored stream
+/// continues bit-for-bit — gaussian() included — from where it stopped.
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  bool has_spare = false;
+  double spare = 0.0;
+};
+
 /// xoshiro256++ PRNG (Blackman & Vigna), seeded via SplitMix64.
 /// Deterministic across compilers and platforms.
 class Rng {
@@ -43,6 +52,10 @@ class Rng {
 
   /// Split off an independent stream (for per-worker determinism).
   Rng split();
+
+  /// Snapshot / restore the full generator state (checkpoint/restart).
+  RngState state() const;
+  void set_state(const RngState& state);
 
  private:
   std::uint64_t s_[4];

@@ -143,6 +143,40 @@ TEST(Msd, BallisticGasGrowsQuadraticallyAcrossPeriodicWrap) {
   std::remove(probe.output_path().c_str());
 }
 
+TEST(Msd, FlagsPerSampleDisplacementsThatRiskAliasing) {
+  // Minimum-image unwrapping is only provably correct below half a box
+  // edge of true motion per sample; the probe flags apparent steps beyond
+  // a quarter edge (and warns once on stderr) instead of silently
+  // corrupting the MSD — the failure mode of a too-sparse observe.every
+  // or a sparse-xyz_every offline replay.
+  const Box box({0, 0, 0}, {10, 10, 10}, {true, true, true});
+  MsdProbe probe({tmp_path("msd_alias.csv"), io::ThermoFormat::kCsv});
+  std::vector<Vec3d> pos = {{1.0, 5.0, 5.0}};
+  probe.sample(frame_of(0, 0.0, box, pos));
+  pos[0].x += 2.0;  // 0.2 L: fine
+  probe.sample(frame_of(10, 0.1, box, pos));
+  EXPECT_EQ(probe.suspect_samples(), 0u);
+  pos[0].x = box.wrap(Vec3d{pos[0].x + 3.0, 5.0, 5.0}).x;  // 0.3 L: suspect
+  probe.sample(frame_of(20, 0.2, box, pos));
+  EXPECT_EQ(probe.suspect_samples(), 1u);
+  // Open boxes can never alias — the same jump on a non-periodic axis
+  // stays clean.
+  const Box open_box({0, 0, 0}, {10, 10, 10});
+  MsdProbe open_probe({tmp_path("msd_open.csv"), io::ThermoFormat::kCsv});
+  std::vector<Vec3d> r = {{1.0, 5.0, 5.0}};
+  open_probe.sample(frame_of(0, 0.0, open_box, r));
+  r[0].x += 4.5;
+  open_probe.sample(frame_of(10, 0.1, open_box, r));
+  EXPECT_EQ(open_probe.suspect_samples(), 0u);
+  probe.finish();
+  open_probe.finish();
+  // The summary carries the flag so offline consumers see it too.
+  JsonObject meta;
+  probe.summarize(meta);
+  std::remove(probe.output_path().c_str());
+  std::remove(open_probe.output_path().c_str());
+}
+
 TEST(Vacf, ConstantVelocitiesStayPerfectlyCorrelated) {
   const Box box({0, 0, 0}, {10, 10, 10});
   const std::vector<Vec3d> pos = {{1, 1, 1}, {2, 2, 2}, {3, 3, 3}};

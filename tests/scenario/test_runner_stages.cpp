@@ -1,0 +1,143 @@
+/// \file test_runner_stages.cpp
+/// Runner-side regressions that fell out of the checkpoint work:
+///
+///   - The thermostat-rescale schedule, pinned per stage kind through
+///     stage_rescales_after(): equilibrate, ramp, and *quench* all honor
+///     rescale_interval (quench historically rescaled every step) and all
+///     fire on the stage's final step; thermalize and run never rescale.
+///     An integration check pins the consequence: equilibrate and quench
+///     with identical parameters now produce identical thermo streams.
+///
+///   - resolve_output_path(): absolute paths pass through untouched (the
+///     old front()!='/' test missed nothing on POSIX but string
+///     concatenation mangled "./"-prefixed paths), relative paths join
+///     under --output-dir with proper path semantics, and nested parents
+///     are created.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "io/thermo_log.hpp"
+#include "scenario/deck.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace wsmd::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+Stage stage_of(Stage::Kind kind, long steps) {
+  Stage st;
+  st.kind = kind;
+  st.t0 = 300.0;
+  st.t1 = 350.0;
+  st.steps = steps;
+  return st;
+}
+
+TEST(RescaleSchedule, AllFourStageKindsPinned) {
+  const int interval = 4;
+  // Thermostatted stages: every interval-th step of the stage, plus the
+  // final step. 10 steps at interval 4 -> steps 4, 8, 10.
+  for (const auto kind : {Stage::Kind::kEquilibrate, Stage::Kind::kRamp,
+                          Stage::Kind::kQuench}) {
+    const auto st = stage_of(kind, 10);
+    std::vector<long> fired;
+    for (long k = 1; k <= st.steps; ++k) {
+      if (stage_rescales_after(st, k, interval)) fired.push_back(k);
+    }
+    EXPECT_EQ(fired, (std::vector<long>{4, 8, 10}))
+        << "stage kind " << st.name();
+  }
+  // A stage shorter than the interval still thermostats once, at its end.
+  for (const auto kind : {Stage::Kind::kEquilibrate, Stage::Kind::kRamp,
+                          Stage::Kind::kQuench}) {
+    const auto st = stage_of(kind, 3);
+    EXPECT_FALSE(stage_rescales_after(st, 1, interval));
+    EXPECT_FALSE(stage_rescales_after(st, 2, interval));
+    EXPECT_TRUE(stage_rescales_after(st, 3, interval)) << st.name();
+  }
+  // Free stages never rescale.
+  for (const auto kind : {Stage::Kind::kRun, Stage::Kind::kThermalize}) {
+    const auto st = stage_of(kind, 10);
+    for (long k = 1; k <= st.steps; ++k) {
+      EXPECT_FALSE(stage_rescales_after(st, k, interval)) << st.name();
+    }
+  }
+}
+
+TEST(RescaleSchedule, QuenchAndEquilibrateNowShareOneSchedule) {
+  // Same target, steps, seed, interval: the two stage kinds must produce
+  // bit-identical thermo streams — the only difference was the rescale
+  // cadence, and that difference was the bug.
+  const std::string base = ::testing::TempDir() + "wsmd_stage_";
+  const auto run_kind = [&](const std::string& stage_line,
+                            const std::string& tag) {
+    Deck deck = parse_deck_string(
+        "name = stage_" + tag +
+            "\n"
+            "element = Cu\n"
+            "geometry = slab\n"
+            "replicate = 3 3 2\n"
+            "seed = 91\n"
+            "rescale_interval = 4\n"
+            "thermalize = 300\n" +
+            stage_line + "\n",
+        "stage_test.deck");
+    deck.set("thermo", base + tag + ".thermo.csv");
+    deck.set("thermo_every", "1");
+    const auto result = run_scenario(scenario_from_deck(deck));
+    return result.thermo_path;
+  };
+  const auto eq_path = run_kind("equilibrate = 200 10", "eq");
+  const auto qu_path = run_kind("quench = 200 10", "qu");
+  const auto eq = io::read_thermo_csv_file(eq_path);
+  const auto qu = io::read_thermo_csv_file(qu_path);
+  ASSERT_EQ(eq.size(), qu.size());
+  for (std::size_t k = 0; k < eq.size(); ++k) {
+    EXPECT_EQ(eq[k].step, qu[k].step);
+    EXPECT_EQ(eq[k].total_energy, qu[k].total_energy) << "step "
+                                                      << eq[k].step;
+    EXPECT_EQ(eq[k].temperature, qu[k].temperature) << "step " << eq[k].step;
+  }
+  std::remove(eq_path.c_str());
+  std::remove(qu_path.c_str());
+}
+
+TEST(ResolveOutputPath, AbsolutePathsPassThroughUntouched) {
+  const std::string abs = ::testing::TempDir() + "wsmd_paths_abs.csv";
+  EXPECT_EQ(resolve_output_path(abs, "somewhere/else"),
+            fs::path(abs).lexically_normal().string());
+  EXPECT_EQ(resolve_output_path(abs, ""),
+            fs::path(abs).lexically_normal().string());
+}
+
+TEST(ResolveOutputPath, DotPrefixedRelativePathsJoinCleanly) {
+  const std::string dir = ::testing::TempDir() + "wsmd_paths_dot";
+  const auto resolved = resolve_output_path("./x.csv", dir);
+  EXPECT_EQ(resolved, (fs::path(dir) / "x.csv").lexically_normal().string())
+      << "the './' must not survive the join";
+  fs::remove_all(dir);
+}
+
+TEST(ResolveOutputPath, NestedRelativeOutputsCreateParents) {
+  const std::string dir = ::testing::TempDir() + "wsmd_paths_nested";
+  fs::remove_all(dir);
+  const auto resolved = resolve_output_path("a/b/c.csv", dir);
+  EXPECT_EQ(resolved,
+            (fs::path(dir) / "a" / "b" / "c.csv").lexically_normal().string());
+  EXPECT_TRUE(fs::is_directory(fs::path(dir) / "a" / "b"))
+      << "parent directories must exist so the writer can open the file";
+  fs::remove_all(dir);
+}
+
+TEST(ResolveOutputPath, EmptyStaysEmpty) {
+  EXPECT_EQ(resolve_output_path("", "out"), "");
+}
+
+}  // namespace
+}  // namespace wsmd::scenario
