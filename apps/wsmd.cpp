@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "eam/lennard_jones.hpp"
 #include "eam/zhou.hpp"
 #include "io/checkpoint.hpp"
 #include "scenario/analyze.hpp"
@@ -74,7 +75,8 @@ void print_usage(std::FILE* out) {
                "  --list-elements   show available Zhou parameter sets\n"
                "  --help            this text\n"
                "\n"
-               "deck keys: name element geometry scale replicate\n"
+               "deck keys: name element pair_style potential geometry\n"
+               "  scale replicate\n"
                "  vacancy_fraction tilt_angle_deg gb_atoms backend dt\n"
                "  swap_interval rescale_interval seed thermalize\n"
                "  equilibrate ramp quench run xyz xyz_every thermo\n"
@@ -89,7 +91,8 @@ void print_usage(std::FILE* out) {
 void print_scenario(const wsmd::scenario::Scenario& sc) {
   using wsmd::format;
   std::printf("scenario %s:\n", sc.name.c_str());
-  std::printf("  element   = %s\n", sc.element.c_str());
+  std::printf("  element   = %s (%s, potential %s)\n", sc.element.c_str(),
+              sc.pair_style.c_str(), sc.potential.c_str());
   std::printf("  geometry  = %s\n", sc.geometry.c_str());
   if (sc.replicate[0] > 0) {
     std::printf("  replicate = %d %d %d\n", sc.replicate[0], sc.replicate[1],
@@ -288,8 +291,13 @@ int main(int argc, char** argv) {
       } else if (arg == "--list-elements") {
         for (const auto& el : eam::zhou_available_elements()) {
           const auto p = eam::zhou_parameters(el);
-          std::printf("%-3s %s  a = %.4f A\n", el.c_str(),
+          std::printf("%-3s %s  a = %.4f A  (pair_style=eam)\n", el.c_str(),
                       p.structure.c_str(), p.lattice_constant());
+        }
+        for (const auto& el : eam::lj_available_elements()) {
+          const auto m = eam::lj_parameters(el);
+          std::printf("%-3s %s  a = %.4f A  (pair_style=lj)\n", el.c_str(),
+                      m.structure.c_str(), m.lattice_constant());
         }
         return 0;
       } else if (arg == "--print") {

@@ -4,17 +4,29 @@
 /// wavelet-level marching multicast, and full WSE-MD steps. These measure
 /// *host* performance of the simulator itself (not modeled WSE time) and
 /// guard against performance regressions in the reproduction code.
+///
+/// Besides the microbenches, the binary self-times the force hot path on
+/// both evaluation modes and both precisions — analytic virtual dispatch
+/// vs the flattened r²-indexed PotentialProfile — and emits
+/// `BENCH_kernels.json` (pairs/sec per {kernel, path}) for the CI bench
+/// gate: `tools/check_bench_regression.py` checks the rows against
+/// bench/baseline.json and enforces the profile-vs-analytic speedup
+/// ratios, so de-virtualizing the inner loop can never silently regress.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 
 #include "core/wse_md.hpp"
+#include "eam/profile.hpp"
 #include "eam/tabulated.hpp"
 #include "eam/zhou.hpp"
 #include "lattice/lattice.hpp"
 #include "md/simulation.hpp"
+#include "util/bench_json.hpp"
 #include "util/spline.hpp"
 #include "wse/multicast.hpp"
 
@@ -44,6 +56,24 @@ void BM_TabulatedPair(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TabulatedPair);
+
+void BM_ProfilePairLookup(benchmark::State& state) {
+  // The r²-indexed bundle lookup the hot loops actually run: pair energy
+  // plus force kernel in one fetch, no sqrt.
+  const eam::ZhouEam ta("Ta");
+  const eam::ProfileF64 prof(ta);
+  const double rc2 = prof.cutoff_sq();
+  double r2 = 0.4 * rc2, acc = 0.0;
+  for (auto _ : state) {
+    double phi, pf;
+    prof.pair(0, 0, r2, phi, pf);
+    acc += phi + pf;
+    r2 = 0.2 * rc2 + (r2 * 1.0001 - static_cast<int>(r2 * 1.0001 / (0.7 * rc2)) *
+                                        (0.7 * rc2));
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ProfilePairLookup);
 
 void BM_CubicSplineEval(benchmark::State& state) {
   const auto sp = CubicSplineTable::sample(
@@ -79,13 +109,11 @@ void BM_EamForceStep(benchmark::State& state) {
   const auto s = lattice::replicate(
       lattice::UnitCell::of(p.structure, p.lattice_constant()), n, n, n, 0,
       {true, true, true});
-  auto analytic = std::make_shared<eam::ZhouEam>("Ta", p.paper_cutoff());
-  auto pot = std::make_shared<eam::TabulatedEam>(
-      eam::TabulatedEam::from_potential(*analytic, 2000, 2000));
+  auto pot = std::make_shared<eam::ZhouEam>("Ta", p.paper_cutoff());
   md::AtomSystem sys(s, pot);
   Rng rng(3);
   sys.thermalize(290.0, rng);
-  md::Simulation sim(std::move(sys));
+  md::Simulation sim(std::move(sys));  // default: profiled evaluation
   sim.compute_forces();
   for (auto _ : state) {
     sim.run(1);
@@ -99,12 +127,10 @@ void BM_WseMdStep(benchmark::State& state) {
   const auto scale = static_cast<int>(state.range(0));
   const auto p = eam::zhou_parameters("Ta");
   const auto slab = lattice::paper_slab("Ta", scale);
-  auto analytic = std::make_shared<eam::ZhouEam>("Ta", p.paper_cutoff());
-  auto pot = std::make_shared<eam::TabulatedEam>(
-      eam::TabulatedEam::from_potential(*analytic, 2000, 2000));
+  auto pot = std::make_shared<eam::ZhouEam>("Ta", p.paper_cutoff());
   core::WseMdConfig cfg;
   cfg.mapping.cell_size = p.lattice_constant();
-  core::WseMd engine(slab, pot, cfg);
+  core::WseMd engine(slab, pot, cfg);  // default: FP32 profile tables
   Rng rng(5);
   engine.thermalize(290.0, rng);
   for (auto _ : state) {
@@ -127,4 +153,121 @@ void BM_MarchingMulticast(benchmark::State& state) {
 }
 BENCHMARK(BM_MarchingMulticast)->Arg(1)->Arg(2)->Arg(4);
 
+/// --- BENCH_kernels.json: analytic vs profiled pairs/sec -----------------
+
+/// Time `fn` until it has run for at least ~0.3 s (after one warmup call);
+/// returns evaluations per second.
+template <typename Fn>
+double evals_per_second(const Fn& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warmup: touch tables, fault pages
+  long iters = 0;
+  const auto start = clock::now();
+  double elapsed = 0.0;
+  while (elapsed < 0.3) {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  }
+  return static_cast<double>(iters) / elapsed;
+}
+
+void emit_pairs_bench() {
+  const auto p = eam::zhou_parameters("Ta");
+
+  // FP64 reference force kernel: same system, same neighbor list, the two
+  // evaluation paths of md::EamForceKernel. pairs = full-list entries per
+  // sweep (both paths walk the identical list).
+  const auto crystal = lattice::replicate(
+      lattice::UnitCell::of(p.structure, p.lattice_constant()), 8, 8, 8, 0,
+      {true, true, true});
+  auto pot = std::make_shared<eam::ZhouEam>("Ta", p.paper_cutoff());
+  md::AtomSystem sys(crystal, pot);
+  Rng rng(11);
+  sys.thermalize(290.0, rng);
+  md::NeighborList nl(pot->cutoff(), 1.0);
+  nl.build(sys.box(), sys.positions());
+  const auto ref_pairs = static_cast<double>(nl.total_entries());
+  md::EamForceKernel kernel;
+  const eam::ProfileF64 prof64(*pot);
+  double sink = 0.0;
+  const double ref_analytic =
+      ref_pairs * evals_per_second([&] { sink += kernel.compute(sys, nl); });
+  const double ref_profile = ref_pairs * evals_per_second([&] {
+                               sink += kernel.compute(sys, nl, &prof64);
+                             });
+
+  // FP32 wafer step (phases 1-4): serial WseMd on a paper-slab miniature,
+  // analytic vs tabulated config. pairs = accepted interactions per step.
+  const auto slab = lattice::paper_slab("Ta", 48);
+  core::WseMdConfig tab_cfg;
+  tab_cfg.mapping.cell_size = p.lattice_constant();
+  core::WseMdConfig ana_cfg = tab_cfg;
+  ana_cfg.tabulated = false;
+  core::WseMd tab(slab, pot, tab_cfg);
+  core::WseMd ana(slab, pot, ana_cfg);
+  Rng wrng(13);
+  tab.thermalize(290.0, wrng);
+  ana.set_velocities(tab.velocities());
+  const auto count_pairs = [](core::WseMd& eng) {
+    return eng.step().mean_interactions *
+           static_cast<double>(eng.atom_count());
+  };
+  const double wafer_pairs = count_pairs(tab);
+  const double wafer_profile =
+      wafer_pairs * evals_per_second([&] { sink += tab.step().max_cycles; });
+  const double wafer_analytic =
+      wafer_pairs * evals_per_second([&] { sink += ana.step().max_cycles; });
+
+  BenchJson out("kernels");
+  out.meta()
+      .set("element", "Ta")
+      .set("ref_atoms", sys.size())
+      .set("ref_pairs_per_sweep", ref_pairs)
+      .set("wafer_atoms", tab.atom_count())
+      .set("wafer_pairs_per_step", wafer_pairs)
+      .set("profile_table_bytes_fp32",
+           eam::ProfileF32(*pot).table_bytes())
+      .set("sink", sink);  // defeat dead-code elimination
+  out.add_row()
+      .set("kernel", "reference")
+      .set("path", "analytic")
+      .set("precision", "fp64")
+      .set("pairs_per_s", ref_analytic);
+  out.add_row()
+      .set("kernel", "reference")
+      .set("path", "profile")
+      .set("precision", "fp64")
+      .set("pairs_per_s", ref_profile)
+      .set("speedup_vs_analytic", ref_profile / ref_analytic);
+  out.add_row()
+      .set("kernel", "wafer")
+      .set("path", "analytic")
+      .set("precision", "fp32")
+      .set("pairs_per_s", wafer_analytic);
+  out.add_row()
+      .set("kernel", "wafer")
+      .set("path", "profile")
+      .set("precision", "fp32")
+      .set("pairs_per_s", wafer_profile)
+      .set("speedup_vs_analytic", wafer_profile / wafer_analytic);
+  const auto path = out.write(".");
+  std::printf("\npairs/sec (FP64 reference): analytic %.3g, profile %.3g "
+              "(%.2fx)\n",
+              ref_analytic, ref_profile, ref_profile / ref_analytic);
+  std::printf("pairs/sec (FP32 wafer):     analytic %.3g, profile %.3g "
+              "(%.2fx)\n",
+              wafer_analytic, wafer_profile, wafer_profile / wafer_analytic);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_pairs_bench();
+  return 0;
+}

@@ -16,6 +16,18 @@ WseMd::WseMd(const lattice::Structure& s, eam::EamPotentialPtr potential,
       mapping_(AtomMapping::for_structure(s, config.mapping)) {
   WSMD_REQUIRE(potential_ != nullptr, "WseMd needs a potential");
   rcut_ = potential_->cutoff();
+  if (config_.tabulated) {
+    // The paper's per-core table copies: one FP32 profile shared by every
+    // worker (the host simulation holds one copy; the real machine
+    // replicates it into each tile's SRAM). Deterministic build — restart
+    // and shard decomposition cannot perturb it.
+    profile_ = std::make_shared<eam::ProfileF32>(*potential_);
+  }
+  box_len_f_ = Vec3f(box_.lengths());
+  for (std::size_t a = 0; a < 3; ++a) {
+    box_periodic_[a] = box_.periodic[a];
+    box_inv_len_f_[a] = 1.0f / box_len_f_[a];
+  }
 
   positions_.resize(s.size());
   velocities_.assign(s.size(), Vec3f{0, 0, 0});
@@ -227,6 +239,8 @@ void WseMd::begin_step(StepWorkspace& ws) const {
 
 void WseMd::density_phase(const ShardRect& shard, StepWorkspace& ws) {
   const auto rc2 = static_cast<float>(rcut_ * rcut_);
+  const eam::ProfileF32* prof = profile_.get();
+  const bool pairwise_only = potential_->is_pairwise_only();
   std::vector<std::size_t> gathered;
   for (int cy = shard.y0; cy < shard.y1; ++cy) {
     for (int cx = shard.x0; cx < shard.x1; ++cx) {
@@ -240,17 +254,32 @@ void WseMd::density_phase(const ShardRect& shard, StepWorkspace& ws) {
       const Vec3f ri = positions_[i];
       float rho = 0.0f;
       for (std::size_t j : gathered) {
-        // FP32 displacement with minimum image (open axes unaffected).
-        const Vec3d d64 = box_.minimum_image(Vec3d(ri), Vec3d(positions_[j]));
-        const Vec3f d(d64);
+        // The accept test costs one FP32 subtract + dot per candidate;
+        // everything heavier (table lookup or sqrt + potential call) runs
+        // only for accepted candidates.
+        const Vec3f d = minimum_image_f(ri, positions_[j]);
         const float r2 = dot(d, d);
         if (r2 >= rc2) continue;
         neighbors.push_back(j);
-        rho += static_cast<float>(
-            potential_->density(types_[j], std::sqrt(static_cast<double>(r2))));
+        if (pairwise_only) continue;  // phase 3 skipped for pure pair styles
+        rho += prof != nullptr
+                   ? prof->density(types_[j], r2)
+                   : static_cast<float>(potential_->density(
+                         types_[j], std::sqrt(static_cast<double>(r2))));
       }
-      ws.pe_embed[i] = potential_->embed(types_[i], rho);
-      fprime_[i] = static_cast<float>(potential_->embed_deriv(types_[i], rho));
+      if (pairwise_only) {
+        ws.pe_embed[i] = 0.0;
+        fprime_[i] = 0.0f;
+      } else if (prof != nullptr) {
+        float f, fp;
+        prof->embed(types_[i], rho, f, fp);
+        ws.pe_embed[i] = f;
+        fprime_[i] = fp;
+      } else {
+        ws.pe_embed[i] = potential_->embed(types_[i], rho);
+        fprime_[i] =
+            static_cast<float>(potential_->embed_deriv(types_[i], rho));
+      }
     }
   }
 }
@@ -259,29 +288,46 @@ void WseMd::force_phase(const ShardRect& shard, StepWorkspace& ws) const {
   // F' of every neighborhood is available now, as after the embedding
   // exchange on the real machine.
   const auto dt = static_cast<float>(config_.dt);
+  const eam::ProfileF32* prof = profile_.get();
+  const bool pairwise_only = potential_->is_pairwise_only();
   for (int cy = shard.y0; cy < shard.y1; ++cy) {
     for (int cx = shard.x0; cx < shard.x1; ++cx) {
       const long ai = mapping_.atom_at(cx, cy);
       if (ai < 0) continue;
       const auto i = static_cast<std::size_t>(ai);
       const Vec3f ri = positions_[i];
+      const float fprime_i = fprime_[i];
+      const int ti = types_[i];
       Vec3f force{0, 0, 0};
       float pair_acc = 0.0f;
       for (std::size_t j : ws.neighbors[i]) {
-        const Vec3d d64 = box_.minimum_image(Vec3d(ri), Vec3d(positions_[j]));
-        const Vec3f d(d64);
+        const Vec3f d = minimum_image_f(ri, positions_[j]);
         const float r2 = dot(d, d);
-        const auto r = static_cast<float>(std::sqrt(static_cast<double>(r2)));
-        const double rd = r;
-        pair_acc += static_cast<float>(potential_->pair(types_[i], types_[j], rd));
-        const auto dphi =
-            static_cast<float>(potential_->pair_deriv(types_[i], types_[j], rd));
-        const auto drho_j =
-            static_cast<float>(potential_->density_deriv(types_[j], rd));
-        const auto drho_i =
-            static_cast<float>(potential_->density_deriv(types_[i], rd));
-        const float fmag = fprime_[i] * drho_j + fprime_[j] * drho_i + dphi;
-        force += d * (fmag / r);
+        float fmag_over_r;
+        if (prof != nullptr) {
+          // Tables carry phi'(r)/r and rho'(r)/r: no sqrt, no division.
+          float phi, phi_force;
+          prof->pair(ti, types_[j], r2, phi, phi_force);
+          pair_acc += phi;
+          fmag_over_r = phi_force;
+          if (!pairwise_only) {
+            fmag_over_r += fprime_i * prof->density_force(types_[j], r2) +
+                           fprime_[j] * prof->density_force(ti, r2);
+          }
+        } else {
+          const double rd = std::sqrt(static_cast<double>(r2));
+          pair_acc += static_cast<float>(potential_->pair(ti, types_[j], rd));
+          float fmag =
+              static_cast<float>(potential_->pair_deriv(ti, types_[j], rd));
+          if (!pairwise_only) {
+            fmag += fprime_i * static_cast<float>(
+                                   potential_->density_deriv(types_[j], rd)) +
+                    fprime_[j] * static_cast<float>(
+                                     potential_->density_deriv(ti, rd));
+          }
+          fmag_over_r = fmag / static_cast<float>(rd);
+        }
+        force += d * fmag_over_r;
       }
       ws.pair_half[i] = pair_acc;
 

@@ -32,6 +32,7 @@
 
 #include "core/mapping.hpp"
 #include "eam/potential.hpp"
+#include "eam/profile.hpp"
 #include "lattice/lattice.hpp"
 #include "util/random.hpp"
 #include "util/stats.hpp"
@@ -51,6 +52,13 @@ struct WseMdConfig {
   /// Neighborhood radius override; 0 derives the radius from the mapping
   /// (required_b plus one hop of slack for thermal motion).
   int b_override = 0;
+  /// Evaluate the phase-2..4 kernels from a flattened FP32 r²-indexed
+  /// PotentialProfile (eam/profile) — the paper's per-core table copies —
+  /// instead of virtual potential calls with a per-pair sqrt. Built once at
+  /// construction; deterministic, so checkpoint restore and serial-vs-
+  /// sharded parity are unaffected. `false` keeps the analytic path
+  /// (scenario key `potential = analytic`).
+  bool tabulated = true;
 };
 
 /// Per-step accounting, mirroring the counters the paper reports.
@@ -248,17 +256,38 @@ class WseMd {
   /// Cumulative modeled wall time (s) and cycles since construction.
   double elapsed_seconds() const { return elapsed_seconds_; }
 
+  /// The flattened FP32 evaluation tables (null on the analytic path).
+  const eam::ProfileF32* profile() const { return profile_.get(); }
+
  private:
   void gather_neighborhood(int cx, int cy,
                            std::vector<std::size_t>& out) const;
   WseStepStats do_timestep();
+
+  /// FP32 minimum-image displacement rj - ri. The candidate loops run this
+  /// for every gathered candidate, so it stays entirely in FP32 — the
+  /// FP64-widened round trip the hot path used to pay per candidate is
+  /// gone (rejected candidates now cost one subtract + dot).
+  Vec3f minimum_image_f(const Vec3f& ri, const Vec3f& rj) const {
+    Vec3f d = rj - ri;
+    for (std::size_t a = 0; a < 3; ++a) {
+      if (!box_periodic_[a]) continue;
+      d[a] -= std::round(d[a] * box_inv_len_f_[a]) * box_len_f_[a];
+    }
+    return d;
+  }
   /// Row-major serial PE reduction over the phase outputs (shared by
   /// commit_step and the construction-time energy evaluation).
   double reduce_potential_energy(const StepWorkspace& ws) const;
 
   WseMdConfig config_;
   eam::EamPotentialPtr potential_;
+  eam::ProfileF32Ptr profile_;  ///< set when config_.tabulated
   Box box_;
+  // FP32 copies of the box geometry for the per-candidate minimum image.
+  Vec3f box_len_f_{0, 0, 0};
+  Vec3f box_inv_len_f_{0, 0, 0};
+  std::array<bool, 3> box_periodic_{false, false, false};
   AtomMapping mapping_;
   int b_ = 1;
   double rcut_ = 0.0;

@@ -36,6 +36,52 @@ LennardJones LennardJones::copper_like() {
   return LennardJones({"Cu", 63.546, 0.4093, 2.338});
 }
 
+namespace {
+
+/// Classic noble-gas LJ parameters (epsilon/kB in K converted at
+/// kB = 8.617333e-5 eV/K; sigma in A). Sources: Bernardes 1958 / standard
+/// textbook values — good enough for the melt/diversity scenarios; nothing
+/// here calibrates against experiment.
+const LjMaterial kLjTable[] = {
+    {"Ne", 20.180, 0.0030675, 2.749, "fcc"},
+    {"Ar", 39.948, 0.0103235, 3.405, "fcc"},
+    {"Kr", 83.798, 0.0141325, 3.650, "fcc"},
+    {"Xe", 131.293, 0.0196137, 3.980, "fcc"},
+};
+
+}  // namespace
+
+double LjMaterial::lattice_constant() const {
+  // Full-lattice-sum FCC minimum: r_nn/sigma = (2*A12/A6)^(1/6) with the
+  // fcc lattice sums A12 = 12.13188, A6 = 14.45392; a0 = sqrt(2) r_nn.
+  const double rnn = std::pow(2.0 * 12.13188 / 14.45392, 1.0 / 6.0) * sigma;
+  return std::sqrt(2.0) * rnn;
+}
+
+double LjMaterial::default_cutoff() const { return 2.5 * sigma; }
+
+std::vector<std::string> lj_available_elements() {
+  std::vector<std::string> names;
+  for (const auto& m : kLjTable) names.push_back(m.name);
+  return names;
+}
+
+LjMaterial lj_parameters(const std::string& element) {
+  for (const auto& m : kLjTable) {
+    if (m.name == element) return m;
+  }
+  WSMD_REQUIRE(false, "no built-in LJ parameters for element '"
+                          << element << "' (pair_style=lj knows "
+                          << "Ne, Ar, Kr, Xe)");
+  return {};
+}
+
+LennardJones LennardJones::for_element(const std::string& element) {
+  const auto m = lj_parameters(element);
+  return LennardJones({m.name, m.mass, m.epsilon, m.sigma},
+                      m.default_cutoff());
+}
+
 int LennardJones::num_types() const { return static_cast<int>(species_.size()); }
 
 std::string LennardJones::type_name(int type) const {

@@ -18,6 +18,30 @@
 
 namespace wsmd::eam {
 
+/// Built-in LJ material: species parameters plus the crystal facts the
+/// scenario layer needs to generate structures (the LJ analogue of
+/// eam::zhou_parameters). The noble gases carry the classic
+/// Lennard-Jones/Bernardes parameterisation; all are FCC ground states.
+struct LjMaterial {
+  std::string name;     ///< chemical symbol ("Ar", ...)
+  double mass = 0.0;    ///< amu
+  double epsilon = 0.0; ///< well depth (eV)
+  double sigma = 0.0;   ///< length scale (A)
+  std::string structure = "fcc";
+
+  /// Conventional cubic lattice constant of the full-lattice-sum LJ FCC
+  /// minimum: a0 = 2^(1/2) * 1.0902 sigma (r_nn/sigma = (2 A12/A6)^(1/6)).
+  double lattice_constant() const;
+  /// Standard truncation: 2.5 sigma.
+  double default_cutoff() const;
+};
+
+/// Elements with built-in LJ parameter sets (noble gases).
+std::vector<std::string> lj_available_elements();
+
+/// Look up the LJ material for a chemical symbol; throws for unknown ones.
+LjMaterial lj_parameters(const std::string& element);
+
 /// Multi-type LJ with Lorentz-Berthelot mixing and shift-force truncation
 /// (value and slope zero at the cutoff, matching the EAM convention).
 class LennardJones final : public EamPotential {
@@ -38,6 +62,9 @@ class LennardJones final : public EamPotential {
   /// Copper-like LJ in metal units (eps=0.4093 eV, sigma=2.338 A) — handy
   /// for tests that want an FCC-friendly scale without EAM cost.
   static LennardJones copper_like();
+
+  /// Single built-in material (lj_parameters) at its default cutoff.
+  static LennardJones for_element(const std::string& element);
 
   int num_types() const override;
   std::string type_name(int type) const override;

@@ -1,0 +1,164 @@
+#include "eam/profile.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wsmd::eam {
+
+namespace {
+
+/// Fill one interleaved 2-wide table block from exact node samples.
+template <typename T>
+void fill_linear(T* block, const std::vector<double>& nodes) {
+  const std::size_t n = nodes.size() - 1;
+  for (std::size_t k = 0; k < n; ++k) {
+    const T y0 = static_cast<T>(nodes[k]);
+    const T y1 = static_cast<T>(nodes[k + 1]);
+    block[2 * k] = y0;
+    block[2 * k + 1] = y1 - y0;
+  }
+}
+
+/// Fill one interleaved 4-wide bundle from two node-sample series.
+template <typename T>
+void fill_bundle(T* block, const std::vector<double>& a,
+                 const std::vector<double>& b) {
+  const std::size_t n = a.size() - 1;
+  for (std::size_t k = 0; k < n; ++k) {
+    const T a0 = static_cast<T>(a[k]);
+    const T a1 = static_cast<T>(a[k + 1]);
+    const T b0 = static_cast<T>(b[k]);
+    const T b1 = static_cast<T>(b[k + 1]);
+    block[4 * k] = a0;
+    block[4 * k + 1] = a1 - a0;
+    block[4 * k + 2] = b0;
+    block[4 * k + 3] = b1 - b0;
+  }
+}
+
+}  // namespace
+
+template <typename T>
+PotentialProfile<T>::PotentialProfile(const EamPotential& src,
+                                      ProfileConfig config) {
+  WSMD_REQUIRE(config.nr >= 64 && config.nrho >= 64,
+               "profile resolution too small (want >= 64 segments)");
+  nt_ = src.num_types();
+  WSMD_REQUIRE(nt_ >= 1, "profile needs at least one type");
+  rc_ = src.cutoff();
+  WSMD_REQUIRE(rc_ > 0.0, "profile needs a positive cutoff");
+  nr_ = static_cast<std::size_t>(config.nr);
+  nrho_ = static_cast<std::size_t>(config.nrho);
+  pairwise_only_ = src.is_pairwise_only();
+
+  dr2_ = rc_ * rc_ / static_cast<double>(nr_);
+  rc2_ = static_cast<T>(rc_ * rc_);
+  inv_dr2_ = static_cast<T>(1.0 / dr2_);
+  // Small-r sampling clamp: pair functions diverge toward r = 0 (an LJ
+  // phi'/r grows like r^-14) and would overflow FP32 table slots, but no
+  // physical configuration probes below a twentieth of the cutoff — a pair
+  // that close has already blown up the integrator.
+  r_floor_ = 0.05 * rc_;
+
+  const auto nt = static_cast<std::size_t>(nt_);
+  std::vector<double> a(nr_ + 1), b(nr_ + 1);
+
+  rho_.resize(nt * nr_ * 2);
+  rho_force_.resize(nt * nr_ * 2);
+  for (int t = 0; t < nt_; ++t) {
+    for (std::size_t k = 0; k <= nr_; ++k) {
+      const double r = node_radius(k);
+      a[k] = src.density(t, r);
+      b[k] = src.density_deriv(t, r) / r;
+    }
+    fill_linear(rho_.data() + static_cast<std::size_t>(t) * nr_ * 2, a);
+    fill_linear(rho_force_.data() + static_cast<std::size_t>(t) * nr_ * 2, b);
+  }
+
+  pair_.resize(nt * nt * nr_ * 4);
+  for (int ti = 0; ti < nt_; ++ti) {
+    for (int tj = 0; tj < nt_; ++tj) {
+      for (std::size_t k = 0; k <= nr_; ++k) {
+        const double r = node_radius(k);
+        a[k] = src.pair(ti, tj, r);
+        b[k] = src.pair_deriv(ti, tj, r) / r;
+      }
+      fill_bundle(pair_.data() +
+                      (static_cast<std::size_t>(ti) * nt +
+                       static_cast<std::size_t>(tj)) *
+                          nr_ * 4,
+                  a, b);
+    }
+  }
+
+  rho_max_ = config.rho_max;
+  if (rho_max_ <= 0.0) {
+    // Same bound TabulatedEam uses: ~80 neighbors at close approach,
+    // generous for any crystal the library generates.
+    double densest = 0.0;
+    for (int t = 0; t < nt_; ++t) {
+      densest = std::max(densest, src.density(t, 0.6 * rc_));
+    }
+    rho_max_ = std::max(1.0, 80.0 * densest);
+  }
+  drho_ = rho_max_ / static_cast<double>(nrho_);
+  inv_drho_ = static_cast<T>(1.0 / drho_);
+
+  embed_.resize(nt * nrho_ * 4);
+  std::vector<double> fa(nrho_ + 1), fb(nrho_ + 1);
+  for (int t = 0; t < nt_; ++t) {
+    for (std::size_t k = 0; k <= nrho_; ++k) {
+      const double rho = drho_ * static_cast<double>(k);
+      fa[k] = src.embed(t, rho);
+      fb[k] = src.embed_deriv(t, rho);
+    }
+    fill_bundle(embed_.data() + static_cast<std::size_t>(t) * nrho_ * 4, fa,
+                fb);
+  }
+}
+
+template <typename T>
+double PotentialProfile<T>::node_radius(std::size_t k) const {
+  return std::max(std::sqrt(r2_node(k)), r_floor_);
+}
+
+template <typename T>
+T PotentialProfile<T>::density_node(int type, std::size_t k) const {
+  const T* block = rho_.data() + static_cast<std::size_t>(type) * nr_ * 2;
+  if (k < nr_) return block[2 * k];
+  return block[2 * (nr_ - 1)] + block[2 * (nr_ - 1) + 1];
+}
+
+template <typename T>
+T PotentialProfile<T>::density_force_node(int type, std::size_t k) const {
+  const T* block =
+      rho_force_.data() + static_cast<std::size_t>(type) * nr_ * 2;
+  if (k < nr_) return block[2 * k];
+  return block[2 * (nr_ - 1)] + block[2 * (nr_ - 1) + 1];
+}
+
+template <typename T>
+T PotentialProfile<T>::pair_node(int ti, int tj, std::size_t k) const {
+  const T* block = pair_.data() +
+                   (static_cast<std::size_t>(ti) * static_cast<std::size_t>(nt_) +
+                    static_cast<std::size_t>(tj)) *
+                       nr_ * 4;
+  if (k < nr_) return block[4 * k];
+  return block[4 * (nr_ - 1)] + block[4 * (nr_ - 1) + 1];
+}
+
+template <typename T>
+T PotentialProfile<T>::pair_force_node(int ti, int tj, std::size_t k) const {
+  const T* block = pair_.data() +
+                   (static_cast<std::size_t>(ti) * static_cast<std::size_t>(nt_) +
+                    static_cast<std::size_t>(tj)) *
+                       nr_ * 4;
+  if (k < nr_) return block[4 * k + 2];
+  return block[4 * (nr_ - 1) + 2] + block[4 * (nr_ - 1) + 3];
+}
+
+template class PotentialProfile<float>;
+template class PotentialProfile<double>;
+
+}  // namespace wsmd::eam

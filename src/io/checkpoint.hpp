@@ -35,9 +35,16 @@
 
 namespace wsmd::io {
 
-/// Current checkpoint format version. Bump on any layout change; readers
-/// reject other versions with a clear error instead of guessing.
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// Current checkpoint format version. Bump on any layout change — or any
+/// change to the embedded deck's semantics; readers reject other versions
+/// with a clear error instead of guessing.
+///
+/// v2: the embedded deck pins `potential` / `pair_style`. A v1 checkpoint
+/// carries neither, and the runs that wrote it evaluated forces through
+/// the then-only analytic path — resolving the missing key to today's
+/// `tabulated` default would silently switch the evaluation kernels under
+/// a resumed trajectory, so v1 files are rejected instead.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Little typed writer over a binary ostream. Strings and vectors are
 /// length-prefixed (u64); floating point is bit-copied, so FP64 state

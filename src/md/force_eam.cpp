@@ -7,14 +7,23 @@
 namespace wsmd::md {
 
 double EamForceKernel::compute(AtomSystem& system,
-                               const NeighborList& neighbors) {
+                               const NeighborList& neighbors,
+                               const eam::ProfileF64* profile) {
+  WSMD_REQUIRE(neighbors.atom_count() == system.size(),
+               "neighbor list built for a different atom count");
+  if (profile != nullptr) {
+    return compute_profiled(system, neighbors, *profile);
+  }
+  return compute_analytic(system, neighbors);
+}
+
+double EamForceKernel::compute_analytic(AtomSystem& system,
+                                        const NeighborList& neighbors) {
   const auto& pot = system.potential();
   const auto& pos = system.positions();
   const auto& types = system.types();
   const Box& box = system.box();
   const std::size_t n = system.size();
-  WSMD_REQUIRE(neighbors.atom_count() == n,
-               "neighbor list built for a different atom count");
 
   const double rc = pot.cutoff();
   const double rc2 = rc * rc;
@@ -62,6 +71,73 @@ double EamForceKernel::compute(AtomSystem& system,
       // Force on i: -dU/dr * unit(ri - rj) == +fmag * unit(rj - ri) ... with
       // fmag = dU/dr. Writing it via d = rj - ri keeps the signs compact.
       f += d * (fmag / r);
+    }
+    forces[i] = f;
+    e_pair_ += 0.5 * pair_acc;  // full list counts each pair twice
+  }
+
+  return e_pair_ + e_embed_;
+}
+
+double EamForceKernel::compute_profiled(AtomSystem& system,
+                                        const NeighborList& neighbors,
+                                        const eam::ProfileF64& prof) {
+  const auto& pos = system.positions();
+  const auto& types = system.types();
+  const Box& box = system.box();
+  const std::size_t n = system.size();
+
+  const double rc2 = prof.cutoff_sq();
+  const bool pairwise_only = prof.pairwise_only();
+
+  auto& forces = system.forces();
+  forces.assign(n, Vec3d{0, 0, 0});
+
+  e_embed_ = 0.0;
+  e_pair_ = 0.0;
+
+  // Pass 1: densities and embedding derivatives — one r²-indexed lookup per
+  // accepted pair, no sqrt.
+  rho_.assign(n, 0.0);
+  fprime_.assign(n, 0.0);
+  if (!pairwise_only) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double rho = 0.0;
+      for (std::size_t j : neighbors.neighbors(i)) {
+        const Vec3d d = box.minimum_image(pos[i], pos[j]);
+        const double r2 = norm2(d);
+        if (r2 >= rc2) continue;
+        rho += prof.density(types[j], r2);
+      }
+      rho_[i] = rho;
+      double f, fp;
+      prof.embed(types[i], rho, f, fp);
+      e_embed_ += f;
+      fprime_[i] = fp;
+    }
+  }
+
+  // Pass 2: pair + embedding forces. The force kernels are tabulated
+  // pre-divided by r, so the update is one fused multiply per component —
+  // no sqrt, no division.
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3d f{0, 0, 0};
+    double pair_acc = 0.0;
+    const double fprime_i = fprime_[i];
+    const int ti = types[i];
+    for (std::size_t j : neighbors.neighbors(i)) {
+      const Vec3d d = box.minimum_image(pos[i], pos[j]);  // rj - ri
+      const double r2 = norm2(d);
+      if (r2 >= rc2) continue;
+      double phi, phi_force;
+      prof.pair(ti, types[j], r2, phi, phi_force);
+      pair_acc += phi;
+      double fmag_over_r = phi_force;
+      if (!pairwise_only) {
+        fmag_over_r += fprime_i * prof.density_force(types[j], r2) +
+                       fprime_[j] * prof.density_force(ti, r2);
+      }
+      f += d * fmag_over_r;
     }
     forces[i] = f;
     e_pair_ += 0.5 * pair_acc;  // full list counts each pair twice

@@ -10,9 +10,17 @@
 ///         * (r_i - r_j)/r_ij
 /// This is the same decomposition LAMMPS's pair_eam uses and the same terms
 /// the paper's per-core kernel computes (Table III).
+///
+/// Two evaluation paths share the pass structure:
+///   * analytic — virtual EamPotential calls with a per-pair sqrt (the
+///     ground-truth functional form, kept selectable for validation);
+///   * profiled — flat r²-indexed PotentialProfile lookups (eam/profile):
+///     no virtual dispatch, no sqrt, no division in the inner loop. This is
+///     the production hot path (scenario key `potential = tabulated`).
 
 #include <vector>
 
+#include "eam/profile.hpp"
 #include "md/atom_system.hpp"
 #include "md/neighbor.hpp"
 
@@ -24,8 +32,11 @@ class EamForceKernel {
   /// Evaluate forces into `system.forces()`. Returns total potential energy
   /// (pair + embedding) in eV. The neighbor list must be current and built
   /// with the potential's cutoff (list entries beyond the cutoff are
-  /// filtered here — the list radius includes the skin).
-  double compute(AtomSystem& system, const NeighborList& neighbors);
+  /// filtered here — the list radius includes the skin). When `profile` is
+  /// non-null it must be built from the system's potential; the evaluation
+  /// then runs table-driven instead of through virtual calls.
+  double compute(AtomSystem& system, const NeighborList& neighbors,
+                 const eam::ProfileF64* profile = nullptr);
 
   /// Host densities from the most recent compute() (diagnostics/tests).
   const std::vector<double>& densities() const { return rho_; }
@@ -36,6 +47,10 @@ class EamForceKernel {
   double pair_energy() const { return e_pair_; }
 
  private:
+  double compute_analytic(AtomSystem& system, const NeighborList& neighbors);
+  double compute_profiled(AtomSystem& system, const NeighborList& neighbors,
+                          const eam::ProfileF64& profile);
+
   std::vector<double> rho_;
   std::vector<double> fprime_;
   double e_embed_ = 0.0;

@@ -12,11 +12,14 @@ Simulation::Simulation(AtomSystem system, SimulationConfig config)
       config_(config),
       neighbors_(system_.potential().cutoff(), config.skin) {
   WSMD_REQUIRE(config_.dt > 0.0, "timestep must be positive");
+  if (config_.tabulated) {
+    profile_ = std::make_shared<eam::ProfileF64>(system_.potential());
+  }
 }
 
 double Simulation::compute_forces() {
   neighbors_.ensure_current(system_.box(), system_.positions());
-  last_pe_ = kernel_.compute(system_, neighbors_);
+  last_pe_ = kernel_.compute(system_, neighbors_, profile_.get());
   forces_current_ = true;
   return last_pe_;
 }
@@ -77,7 +80,7 @@ void Simulation::restore_state(const SimulationState& state) {
   neighbors_.build(system_.box(), state.neighbor_anchor.empty()
                                       ? state.positions
                                       : state.neighbor_anchor);
-  last_pe_ = kernel_.compute(system_, neighbors_);
+  last_pe_ = kernel_.compute(system_, neighbors_, profile_.get());
   forces_current_ = true;
 }
 

@@ -26,6 +26,11 @@ struct SimulationConfig {
   std::optional<double> rescale_temperature_K;
   /// Rescale interval in steps (when rescale_temperature_K is set).
   int rescale_interval = 10;
+  /// Evaluate forces from a flattened r²-indexed PotentialProfile
+  /// (eam/profile, built once at construction) instead of virtual per-pair
+  /// potential calls — the production hot path. `false` keeps the analytic
+  /// functional form in the loop (scenario key `potential = analytic`).
+  bool tabulated = true;
 };
 
 /// Thermodynamic snapshot after a step.
@@ -88,11 +93,15 @@ class Simulation {
 
   const NeighborList& neighbor_list() const { return neighbors_; }
 
+  /// The flattened evaluation tables (null on the analytic path).
+  const eam::ProfileF64* profile() const { return profile_.get(); }
+
  private:
   AtomSystem system_;
   SimulationConfig config_;
   NeighborList neighbors_;
   EamForceKernel kernel_;
+  eam::ProfileF64Ptr profile_;  ///< set when config_.tabulated
   long step_ = 0;
   double last_pe_ = 0.0;
   bool forces_current_ = false;

@@ -167,6 +167,18 @@ void validate_resume(const Scenario& sc, const lattice::Structure& structure,
                      << i << " changed from '" << a.name() << "' to '"
                      << b.name() << "' parameters)");
   }
+  WSMD_REQUIRE(saved.pair_style == sc.pair_style,
+               "resume: pair_style changed (" << saved.pair_style << " -> "
+                                              << sc.pair_style
+                                              << ") — the interaction "
+                                                 "family is part of the "
+                                                 "trajectory");
+  WSMD_REQUIRE(saved.potential == sc.potential,
+               "resume: potential= changed ("
+                   << saved.potential << " -> " << sc.potential
+                   << ") — the evaluation path (profile tables vs analytic "
+                      "form) is part of the trajectory, not an output "
+                      "option");
   WSMD_REQUIRE(saved.rescale_interval == sc.rescale_interval,
                "resume: rescale_interval changed ("
                    << saved.rescale_interval << " -> " << sc.rescale_interval

@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "eam/lennard_jones.hpp"
 #include "eam/zhou.hpp"
 #include "lattice/grain_boundary.hpp"
 #include "util/error.hpp"
@@ -149,6 +150,16 @@ Scenario scenario_from_deck(const Deck& deck) {
       sc.name = e.value;
     } else if (e.key == "element") {
       sc.element = e.value;
+    } else if (e.key == "pair_style") {
+      if (e.value != "eam" && e.value != "lj") {
+        bad_entry(deck, e, "want eam|lj");
+      }
+      sc.pair_style = e.value;
+    } else if (e.key == "potential") {
+      if (e.value != "tabulated" && e.value != "analytic") {
+        bad_entry(deck, e, "want tabulated|analytic");
+      }
+      sc.potential = e.value;
     } else if (e.key == "geometry") {
       if (e.value != "slab" && e.value != "bulk" &&
           e.value != "grain_boundary") {
@@ -315,8 +326,23 @@ Scenario scenario_from_deck(const Deck& deck) {
       bad_entry(deck, e, "unknown key");
     }
   }
-  // Fail on an unknown element now, not steps into a run.
-  eam::zhou_parameters(sc.element);
+  // Fail on an unknown element now, not steps into a run; the lookup table
+  // depends on the pair style.
+  if (sc.pair_style == "lj") {
+    eam::lj_parameters(sc.element);
+    // The bicrystal generator and the paper slabs are Zhou-EAM metal
+    // geometries; LJ scenarios size their crystal explicitly.
+    WSMD_REQUIRE(sc.geometry != "grain_boundary",
+                 deck.source << ": pair_style=lj does not support "
+                                "geometry=grain_boundary (the bicrystal "
+                                "builder is EAM-metal only)");
+    WSMD_REQUIRE(sc.replicate[0] > 0,
+                 deck.source << ": pair_style=lj needs an explicit "
+                                "'replicate' (the paper slabs are EAM "
+                                "workloads)");
+  } else {
+    eam::zhou_parameters(sc.element);
+  }
 
   // Geometry/key cross-validation: a key the chosen geometry ignores must
   // reject, not silently simulate something else. Vacancies on a fused
@@ -406,7 +432,7 @@ Scenario scenario_from_deck(const Deck& deck) {
   // parse time: minimum-image probes need every periodic box length >=
   // 2 * their search radius, and only geometry=bulk is periodic.
   if (sc.observe.enabled() && sc.geometry == "bulk" && sc.replicate[0] > 0) {
-    const double a0 = eam::zhou_parameters(sc.element).lattice_constant();
+    const double a0 = material_facts(sc).lattice_constant;
     // `blame_key` is the deck line at fault (nullptr / absent falls back
     // to the observe.probes line); `fix_hint` must only name knobs that
     // actually control the radius.
@@ -460,6 +486,11 @@ Deck deck_from_scenario(const Scenario& sc) {
 
   add("name", sc.name);
   add("element", sc.element);
+  // Emitted unconditionally (defaults included): the checkpoint's embedded
+  // deck must pin the evaluation path, or a resume could silently continue
+  // a tabulated trajectory on the analytic kernels.
+  add("pair_style", sc.pair_style);
+  add("potential", sc.potential);
   add("geometry", sc.geometry);
   if (sc.geometry == "grain_boundary") {
     add("tilt_angle_deg", num(sc.tilt_angle_deg));
@@ -544,14 +575,23 @@ Deck deck_from_scenario(const Scenario& sc) {
   return deck_from_entries(entries, "<scenario>");
 }
 
-obs::Material material_for(const Scenario& sc) {
+MaterialFacts material_facts(const Scenario& sc) {
+  if (sc.pair_style == "lj") {
+    const auto m = eam::lj_parameters(sc.element);
+    return MaterialFacts{m.structure, m.lattice_constant()};
+  }
   const auto params = eam::zhou_parameters(sc.element);
-  return obs::Material{params.lattice_constant(),
-                       params.structure == "fcc" ? 12 : 8};
+  return MaterialFacts{params.structure, params.lattice_constant()};
+}
+
+obs::Material material_for(const Scenario& sc) {
+  const auto facts = material_facts(sc);
+  return obs::Material{facts.lattice_constant,
+                       facts.structure == "fcc" ? 12 : 8};
 }
 
 lattice::Structure build_structure(const Scenario& sc, StructureInfo* info) {
-  const auto params = eam::zhou_parameters(sc.element);
+  const auto facts = material_facts(sc);
   StructureInfo local;
   lattice::Structure s;
   if (sc.geometry == "grain_boundary") {
@@ -569,7 +609,7 @@ lattice::Structure build_structure(const Scenario& sc, StructureInfo* info) {
                                              : std::array<bool, 3>{false, false, false};
     if (sc.replicate[0] > 0) {
       const auto cell =
-          lattice::UnitCell::of(params.structure, params.lattice_constant());
+          lattice::UnitCell::of(facts.structure, facts.lattice_constant);
       s = lattice::replicate(cell, sc.replicate[0], sc.replicate[1],
                              sc.replicate[2], /*type=*/0, periodic);
     } else {
@@ -596,15 +636,24 @@ std::unique_ptr<engine::Engine> build_engine(
     const std::string& backend_override) {
   const BackendSpec bs = parse_backend(
       backend_override.empty() ? sc.backend : backend_override);
-  const auto params = eam::zhou_parameters(sc.element);
-  auto potential =
-      std::make_shared<eam::ZhouEam>(sc.element, params.paper_cutoff());
+  eam::EamPotentialPtr potential;
+  if (sc.pair_style == "lj") {
+    potential = std::make_shared<eam::LennardJones>(
+        eam::LennardJones::for_element(sc.element));
+  } else {
+    const auto params = eam::zhou_parameters(sc.element);
+    potential =
+        std::make_shared<eam::ZhouEam>(sc.element, params.paper_cutoff());
+  }
 
   engine::EngineConfig config;
+  const bool tabulated = sc.potential == "tabulated";
   config.reference.dt = sc.dt;
+  config.reference.tabulated = tabulated;
   config.wafer.dt = sc.dt;
+  config.wafer.tabulated = tabulated;
   config.wafer.swap_interval = sc.swap_interval;
-  config.wafer.mapping.cell_size = params.lattice_constant();
+  config.wafer.mapping.cell_size = material_facts(sc).lattice_constant;
   config.threads = bs.threads;
   return engine::make_engine(bs.backend, s, std::move(potential), config);
 }

@@ -11,7 +11,15 @@
 /// `key=value` tokens work as CLI overrides.
 ///
 /// Recognized keys:
-///   name, element                  — identification / Zhou parameter set
+///   name, element                  — identification / parameter-set lookup
+///   pair_style = eam|lj            — interaction family: Zhou EAM metals
+///                                    (default) or built-in noble-gas LJ
+///                                    (pure pair potential; the engines
+///                                    skip the density pass)
+///   potential = tabulated|analytic — force-evaluation path: flattened
+///                                    r²-indexed profile tables (default,
+///                                    the paper's per-core table copies)
+///                                    or the analytic functional form
 ///   geometry  = slab|bulk|grain_boundary
 ///   scale     = N                  — paper_slab divisor (geometry=slab,
 ///                                    when no explicit `replicate`)
@@ -90,6 +98,8 @@ BackendSpec parse_backend(const std::string& spec);
 struct Scenario {
   std::string name = "scenario";
   std::string element = "Cu";
+  std::string pair_style = "eam";       ///< eam | lj
+  std::string potential = "tabulated";  ///< tabulated | analytic
   std::string geometry = "slab";  ///< slab | bulk | grain_boundary
   int scale = 64;                 ///< paper_slab divisor
   std::array<int, 3> replicate = {0, 0, 0};  ///< 0 = use paper slab / scale
@@ -123,6 +133,16 @@ struct Scenario {
 
   long total_steps() const;
 };
+
+/// Crystal facts of the scenario's material, resolved through its
+/// pair_style (Zhou table for eam, built-in noble-gas table for lj) — the
+/// single lookup the structure generators, probes, and engine mapping all
+/// share.
+struct MaterialFacts {
+  std::string structure;          ///< "fcc" | "bcc"
+  double lattice_constant = 0.0;  ///< conventional cubic a0 (A)
+};
+MaterialFacts material_facts(const Scenario& sc);
 
 /// Material facts the probes derive defaults from (lattice constant,
 /// FCC/BCC CSP coordination), looked up from the scenario's element.

@@ -222,5 +222,67 @@ TEST(WseMd, BOverrideRespected) {
   EXPECT_EQ(engine.b(), 6);
 }
 
+TEST(WseMd, CandidateAndNeighborCountsIdenticalAcrossPotentialModes) {
+  // The r² < rcut² accept test is the *same computation* on the analytic
+  // and profiled paths — the sqrt/FP64-widening hoist moved all heavy work
+  // behind the accept test, so which pairs interact cannot depend on the
+  // evaluation mode. Pin it: identical state in, identical candidate and
+  // neighbor counts out.
+  Fixture f;
+  WseMdConfig tab_cfg = f.config();
+  tab_cfg.tabulated = true;
+  WseMdConfig ana_cfg = f.config();
+  ana_cfg.tabulated = false;
+  WseMd tab(f.structure, f.potential, tab_cfg);
+  WseMd ana(f.structure, f.potential, ana_cfg);
+  ASSERT_NE(tab.profile(), nullptr);
+  ASSERT_EQ(ana.profile(), nullptr);
+
+  Rng rng(17);
+  tab.thermalize(420.0, rng);
+  ana.set_velocities(tab.velocities());
+
+  const auto st = tab.step();
+  const auto sa = ana.step();
+  EXPECT_EQ(st.mean_candidates, sa.mean_candidates);
+  EXPECT_EQ(st.mean_interactions, sa.mean_interactions);
+
+  // Regression anchor for the accept test itself: the engine's accepted
+  // count must equal an independent FP32 brute-force pair count at the
+  // pre-step positions (the open slab needs no minimum image, and b is
+  // wide enough that every in-range pair is a candidate).
+  WseMd fresh(f.structure, f.potential, tab_cfg);
+  fresh.set_velocities(std::vector<Vec3d>(f.structure.size(), Vec3d{}));
+  const auto positions = fresh.positions();
+  const auto rc2 =
+      static_cast<float>(f.potential->cutoff() * f.potential->cutoff());
+  std::size_t brute_pairs = 0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Vec3f ri(positions[i]);
+    for (std::size_t j = 0; j < positions.size(); ++j) {
+      if (i == j) continue;
+      const Vec3f d = Vec3f(positions[j]) - ri;
+      if (dot(d, d) < rc2) ++brute_pairs;
+    }
+  }
+  const auto s0 = fresh.step();
+  EXPECT_EQ(std::llround(s0.mean_interactions *
+                         static_cast<double>(fresh.atom_count())),
+            static_cast<long long>(brute_pairs));
+}
+
+TEST(WseMd, ProfiledEnergyTracksAnalyticEnergy) {
+  // Cross-mode sanity at the engine level: same configuration, both
+  // evaluation paths, energies within table-interpolation + FP32 noise.
+  Fixture f = periodic_fixture();
+  WseMdConfig tab_cfg = f.config();
+  WseMdConfig ana_cfg = f.config();
+  ana_cfg.tabulated = false;
+  WseMd tab(f.structure, f.potential, tab_cfg);
+  WseMd ana(f.structure, f.potential, ana_cfg);
+  EXPECT_NEAR(tab.potential_energy(), ana.potential_energy(),
+              1e-4 * std::fabs(ana.potential_energy()) + 1e-3);
+}
+
 }  // namespace
 }  // namespace wsmd::core

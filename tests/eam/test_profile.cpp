@@ -1,0 +1,202 @@
+/// \file test_profile.cpp
+/// PotentialProfile (flattened r²-indexed tables): accuracy against the
+/// analytic Zhou functions over the full radial grid, exact node
+/// reproduction (setfl inputs pass through undistorted at knots), FP32
+/// widening of the FP64 tables, the pair-only LJ special case, and the
+/// per-core table memory accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "eam/lennard_jones.hpp"
+#include "eam/profile.hpp"
+#include "eam/setfl.hpp"
+#include "eam/tabulated.hpp"
+#include "eam/zhou.hpp"
+
+namespace wsmd::eam {
+namespace {
+
+class ProfileAccuracy : public ::testing::TestWithParam<const char*> {};
+
+/// Cross-path accuracy: the profile evaluated over a dense r grid must
+/// track the analytic Zhou functions to far below any physical force or
+/// energy scale. Bounds are ~10x the observed interpolation error at the
+/// default resolution — tight enough that a mis-indexed segment, a
+/// dropped 1/r, or a coarse grid all fail loudly.
+TEST_P(ProfileAccuracy, Fp64TracksAnalyticZhouOverTheFullGrid) {
+  const std::string el = GetParam();
+  const auto p = zhou_parameters(el);
+  const ZhouEam pot(el, p.paper_cutoff());
+  const ProfileF64 prof(pot);
+
+  const double rc = pot.cutoff();
+  // Max |Δ| of each tabulated function over a dense sweep of [r_lo, rc).
+  const auto sweep = [&](double r_lo, double& de, double& df, double& drho,
+                         double& dfr) {
+    de = df = drho = dfr = 0.0;
+    const int n = 20000;
+    for (int k = 0; k <= n; ++k) {
+      const double r = r_lo + (rc - 1e-9 - r_lo) * k / n;
+      const double r2 = r * r;
+      double phi, phi_force;
+      prof.pair(0, 0, r2, phi, phi_force);
+      de = std::max(de, std::fabs(phi - pot.pair(0, 0, r)));
+      df = std::max(df, std::fabs(phi_force - pot.pair_deriv(0, 0, r) / r));
+      drho = std::max(drho,
+                      std::fabs(prof.density(0, r2) - pot.density(0, r)));
+      dfr = std::max(
+          dfr,
+          std::fabs(prof.density_force(0, r2) - pot.density_deriv(0, r) / r));
+    }
+  };
+  // Thermal range (r >= 0.7 r_e — hotter than anything the scenarios
+  // reach): errors must sit orders of magnitude below FP32 state noise
+  // and any physical force scale (observed <= 4e-5 at the default grid).
+  double de, df, drho, dfr;
+  sweep(0.7 * p.re, de, df, drho, dfr);
+  EXPECT_LT(de, 5e-5) << el;
+  EXPECT_LT(df, 1e-4) << el;
+  EXPECT_LT(drho, 2e-5) << el;
+  EXPECT_LT(dfr, 3e-5) << el;
+  // Extended range, deep into the repulsive wall (0.5 r_e): the uniform
+  // r² grid is coarsest in r here; the error may grow but must stay
+  // bounded (a collision this deep carries ~10 eV of pair energy).
+  sweep(0.5 * p.re, de, df, drho, dfr);
+  EXPECT_LT(de, 1e-3) << el;
+  EXPECT_LT(df, 4e-3) << el;
+
+  // Embedding over the full tabulated rho range (the observed worst case
+  // is the curvature mismatch where the mid branch meets the u^eta
+  // branch: ~7e-4 eV for W).
+  double max_dF = 0.0, max_dFp = 0.0;
+  for (int k = 0; k <= 20000; ++k) {
+    const double rho = prof.rho_max() * k / 20000;
+    double F, Fp;
+    prof.embed(0, rho, F, Fp);
+    max_dF = std::max(max_dF, std::fabs(F - pot.embed(0, rho)));
+    max_dFp = std::max(max_dFp, std::fabs(Fp - pot.embed_deriv(0, rho)));
+  }
+  EXPECT_LT(max_dF, 2e-3) << el;
+  EXPECT_LT(max_dFp, 1e-3) << el;
+}
+
+INSTANTIATE_TEST_SUITE_P(Elements, ProfileAccuracy,
+                         ::testing::Values("Cu", "W", "Ta"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           return std::string(i.param);
+                         });
+
+TEST(Profile, NodesReproduceTheSourceExactly) {
+  // Linear interpolation evaluates to the stored sample at every grid
+  // node, and the stored samples are exact (double) evaluations of the
+  // source — so the profile cannot distort a potential at its own knots.
+  const ZhouEam pot("Ta", zhou_parameters("Ta").paper_cutoff());
+  const ProfileF64 prof(pot);
+  for (std::size_t k = 0; k <= prof.r2_segments(); k += 97) {
+    const double r = prof.node_radius(k);
+    EXPECT_EQ(prof.pair_node(0, 0, k), pot.pair(0, 0, r)) << k;
+    EXPECT_EQ(prof.pair_force_node(0, 0, k), pot.pair_deriv(0, 0, r) / r)
+        << k;
+    EXPECT_EQ(prof.density_node(0, k), pot.density(0, r)) << k;
+    EXPECT_EQ(prof.density_force_node(0, k), pot.density_deriv(0, r) / r)
+        << k;
+  }
+}
+
+TEST(Profile, SetflInputPassesThroughUndistortedAtKnots) {
+  // A setfl-tabulated potential (the paper's distribution format) rides
+  // the same guarantee: profile nodes reproduce the spline-tabulated
+  // input bitwise. Round-trip Zhou-W through the setfl writer/reader to
+  // get a genuine file-born TabulatedEam.
+  const ZhouEam w("W", zhou_parameters("W").paper_cutoff());
+  std::stringstream file;
+  write_setfl(w, file, /*nrho=*/1500, /*nr=*/1500);
+  const TabulatedEam tab = read_setfl(file);
+  const ProfileF64 prof(tab);
+  ASSERT_EQ(prof.num_types(), 1);
+  ASSERT_DOUBLE_EQ(prof.cutoff(), tab.cutoff());
+  for (std::size_t k = 1; k <= prof.r2_segments(); k += 61) {
+    const double r = prof.node_radius(k);
+    EXPECT_EQ(prof.pair_node(0, 0, k), tab.pair(0, 0, r)) << k;
+    EXPECT_EQ(prof.density_node(0, k), tab.density(0, r)) << k;
+    EXPECT_EQ(prof.pair_force_node(0, 0, k), tab.pair_deriv(0, 0, r) / r)
+        << k;
+  }
+}
+
+TEST(Profile, Fp32TablesAreWidenedFp64Samples) {
+  // The wafer profile is the same table rounded once to FP32 — node k of
+  // the FP32 build equals the FP64 node cast to float (one rounding, not
+  // an accumulation of FP32 arithmetic).
+  const ZhouEam pot("Cu", zhou_parameters("Cu").paper_cutoff());
+  const ProfileF64 f64(pot);
+  const ProfileF32 f32(pot);
+  ASSERT_EQ(f64.r2_segments(), f32.r2_segments());
+  for (std::size_t k = 0; k <= f64.r2_segments(); k += 101) {
+    EXPECT_EQ(f32.pair_node(0, 0, k),
+              static_cast<float>(f64.pair_node(0, 0, k)))
+        << k;
+    EXPECT_EQ(f32.density_node(0, k),
+              static_cast<float>(f64.density_node(0, k)))
+        << k;
+    EXPECT_EQ(f32.pair_force_node(0, 0, k),
+              static_cast<float>(f64.pair_force_node(0, 0, k)))
+        << k;
+  }
+  // And FP32 evaluation stays within FP32 noise of the FP64 path.
+  const float rc2 = f32.cutoff_sq();
+  for (int k = 1; k < 1000; ++k) {
+    const float r2 = rc2 * static_cast<float>(k) / 1000.0f * 0.999f;
+    float phi32, pf32;
+    f32.pair(0, 0, r2, phi32, pf32);
+    double phi64, pf64;
+    f64.pair(0, 0, static_cast<double>(r2), phi64, pf64);
+    EXPECT_NEAR(phi32, phi64, 2e-5 * std::max(1.0, std::fabs(phi64))) << k;
+  }
+}
+
+TEST(Profile, PairOnlyLjSkipsDensityAndEmbedding) {
+  const LennardJones lj = LennardJones::for_element("Ar");
+  const ProfileF64 prof(lj);
+  EXPECT_TRUE(prof.pairwise_only());
+  // Zero density everywhere, zero embedding at any rho.
+  for (std::size_t k = 0; k <= prof.r2_segments(); k += 211) {
+    EXPECT_EQ(prof.density_node(0, k), 0.0);
+    EXPECT_EQ(prof.density_force_node(0, k), 0.0);
+  }
+  double F = 1.0, Fp = 1.0;
+  prof.embed(0, 0.5, F, Fp);
+  EXPECT_EQ(F, 0.0);
+  EXPECT_EQ(Fp, 0.0);
+  // The pair table still tracks the analytic LJ through the well.
+  const double sigma = lj_parameters("Ar").sigma;
+  double max_de = 0.0;
+  for (int k = 0; k <= 10000; ++k) {
+    const double r = 0.8 * sigma + (lj.cutoff() - 1e-9 - 0.8 * sigma) * k / 10000;
+    double phi, pf;
+    prof.pair(0, 0, r * r, phi, pf);
+    max_de = std::max(max_de, std::fabs(phi - lj.pair(0, 0, r)));
+  }
+  EXPECT_LT(max_de, 2e-5);
+}
+
+TEST(Profile, CoarseFp32TablesFitTheTileSram) {
+  // Paper Sec. III-A: a worker holds its table copies in 48 kB of SRAM.
+  // The machine-realistic resolution (512 segments) fits with room for
+  // the atom state; the host default trades that budget for fidelity.
+  const ZhouEam pot("Cu", zhou_parameters("Cu").paper_cutoff());
+  ProfileConfig coarse;
+  coarse.nr = 512;
+  coarse.nrho = 512;
+  const ProfileF32 prof(pot, coarse);
+  EXPECT_LE(prof.table_bytes(), 48u * 1024u);
+  const ProfileF32 fine(pot);
+  EXPECT_GT(fine.table_bytes(), prof.table_bytes());
+}
+
+}  // namespace
+}  // namespace wsmd::eam

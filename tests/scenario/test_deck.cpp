@@ -149,6 +149,58 @@ TEST(Scenario, RejectsUnknownKeysAndBadValues) {
                Error);
 }
 
+TEST(Scenario, PotentialAndPairStyleKeysValidateEagerly) {
+  // Evaluation-path selector: tabulated (default) | analytic, nothing else.
+  EXPECT_EQ(scenario_from_deck(parse_deck_string("")).potential, "tabulated");
+  EXPECT_EQ(
+      scenario_from_deck(parse_deck_string("potential = analytic\n")).potential,
+      "analytic");
+  try {
+    scenario_from_deck(parse_deck_string("potential = spline\n", "p.deck"));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    // Eager validation with file:line blame.
+    EXPECT_NE(std::string(e.what()).find("p.deck:1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("tabulated|analytic"),
+              std::string::npos);
+  }
+
+  // Interaction family: eam (default) | lj with its own element table.
+  EXPECT_THROW(scenario_from_deck(parse_deck_string("pair_style = morse\n")),
+               Error);
+  EXPECT_NO_THROW(scenario_from_deck(parse_deck_string(
+      "pair_style = lj\nelement = Ar\ngeometry = bulk\nreplicate = 4 4 4\n")));
+  // Cu is a Zhou element, not a built-in LJ species.
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "pair_style = lj\nelement = Cu\nreplicate = 4 4 4\n")),
+               Error);
+  // LJ scenarios size their crystal explicitly and have no bicrystal
+  // generator.
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "pair_style = lj\nelement = Ar\ngeometry = slab\n")),
+               Error);
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "pair_style = lj\nelement = Ar\n"
+                   "geometry = grain_boundary\n")),
+               Error);
+}
+
+TEST(Scenario, LjMaterialFactsDriveStructureAndEngine) {
+  // 4 cells per axis keep the periodic box above 2x the 2.5-sigma cutoff.
+  const auto sc = scenario_from_deck(parse_deck_string(
+      "pair_style = lj\nelement = Ar\ngeometry = bulk\n"
+      "replicate = 4 4 4\nthermalize = 40\nrun = 2\n"));
+  const auto facts = material_facts(sc);
+  EXPECT_EQ(facts.structure, "fcc");
+  EXPECT_NEAR(facts.lattice_constant, 5.25, 0.05);  // solid Ar a0 (A)
+  const auto s = build_structure(sc);
+  EXPECT_EQ(s.size(), 4u * 4u * 4u * 4u);  // FCC: 4 atoms per cell
+  auto eng = build_engine(sc, s);
+  EXPECT_EQ(eng->atom_count(), s.size());
+  // Pure pair potential: the engine runs with a zero density pass.
+  EXPECT_LT(eng->thermo().potential_energy, 0.0);  // cohesive LJ crystal
+}
+
 TEST(Scenario, BackendSpecParsing) {
   EXPECT_EQ(parse_backend("reference").backend, engine::Backend::kReference);
   EXPECT_EQ(parse_backend("wafer").backend, engine::Backend::kWafer);

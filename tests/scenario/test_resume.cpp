@@ -255,8 +255,58 @@ TEST(Resume, RejectsScheduleAndStructureChanges) {
     EXPECT_THROW(resume_scenario(scenario_from_deck(rdeck), ckpt, {}),
                  wsmd::Error);
   }
+  {
+    // The potential evaluation path (profile tables vs analytic form) is
+    // part of the trajectory: a checkpoint written under
+    // potential=tabulated (the default) must not continue on the analytic
+    // kernels.
+    Deck rdeck = embedded_deck(ckpt);
+    rdeck.set("potential", "analytic");
+    rdeck.set("observe.prefix", base + ".r10");
+    EXPECT_THROW(resume_scenario(scenario_from_deck(rdeck), ckpt, {}),
+                 wsmd::Error);
+  }
   for (const auto& o : result.observables) std::remove(o.path.c_str());
   std::remove((base + ".ckpt").c_str());
+}
+
+TEST(Resume, AnalyticModeResumesBitwiseUnderItsOwnKey) {
+  // The analytic path keeps the same kill-and-resume guarantee as the
+  // tabulated default — and the embedded deck carries `potential =
+  // analytic`, so a plain resume continues on the matching kernels.
+  const std::string base = ::testing::TempDir() + "wsmd_resume_analytic";
+  const char* spec =
+      "element = Cu\n"
+      "geometry = slab\n"
+      "scale = 64\n"
+      "potential = analytic\n"
+      "thermalize = 120\n"
+      "run = 12\n"
+      "thermo_every = 1\n";
+  Deck deck = parse_deck_string(spec, "<analytic-resume>");
+  deck.set("name", "analytic_resume");
+  deck.set("thermo", base + ".straight.thermo.csv");
+  deck.set("checkpoint.every", "6");
+  deck.set("checkpoint.path", base + ".*.ckpt");
+  const auto straight = run_scenario(scenario_from_deck(deck));
+  ASSERT_GE(straight.checkpoints_written, 2u);
+
+  const auto ckpt = io::read_checkpoint_file(base + ".6.ckpt");
+  EXPECT_EQ(embedded_deck(ckpt).get("potential"), "analytic");
+  Deck rdeck = embedded_deck(ckpt);
+  rdeck.set("thermo", base + ".resumed.thermo.csv");
+  rdeck.set("checkpoint.every", "0");
+  resume_scenario(scenario_from_deck(rdeck), ckpt, {});
+
+  expect_rows_equal(
+      io::read_series_csv_file(base + ".straight.thermo.csv"),
+      io::read_series_csv_file(base + ".resumed.thermo.csv"),
+      /*from_step=*/6, "analytic thermo");
+  for (const auto* suffix :
+       {".straight.thermo.csv", ".resumed.thermo.csv", ".6.ckpt",
+        ".12.ckpt"}) {
+    std::remove((base + suffix).c_str());
+  }
 }
 
 TEST(Resume, OffGridCheckpointKeepsTheThermoTailAligned) {

@@ -61,6 +61,11 @@ constexpr Tolerance kReferenceTol{1e-5, 1e-6, 0.5};
 /// the observed cross-backend spread at CI sizes, far below any real
 /// physics drift (wrong potential/integrator shifts energies by eV/atom).
 constexpr Tolerance kWaferTol{8e-3, 0.1, 45.0};
+/// Wafer replay of pair_style=lj decks: the LJ well (~0.01 eV) is ~40x
+/// shallower than EAM cohesion, so the same FP32 state noise decorrelates
+/// a chaotic melt trajectory to a larger *relative* energy spread (observed
+/// max ~1.3% through the ar_lj_melt ramp; band ~3x that).
+constexpr Tolerance kLjWaferTol{4e-2, 0.2, 45.0};
 
 void compare_stream(const std::vector<io::ThermoSample>& golden,
                     const std::vector<io::ThermoSample>& got,
@@ -175,6 +180,8 @@ TEST_P(ScenarioGolden, ReplayMatchesGoldenOnReferenceAndSharded) {
       deck.set("observe.prefix", tmp_base);
       deck.set("observe.format", "csv");
     }
+    const Tolerance* tol = bc.tol;
+    if (tol == &kWaferTol && sc_probe.pair_style == "lj") tol = &kLjWaferTol;
 
     RunOptions opt;
     opt.backend_override = bc.backend;
@@ -182,8 +189,7 @@ TEST_P(ScenarioGolden, ReplayMatchesGoldenOnReferenceAndSharded) {
     EXPECT_EQ(result.total_steps,
               golden.back().step);  // schedule length is part of the golden
     const auto got = io::read_thermo_csv_file(thermo_path);
-    compare_stream(golden, got, *bc.tol,
-                   deck_name + " on " + bc.backend);
+    compare_stream(golden, got, *tol, deck_name + " on " + bc.backend);
     std::remove(thermo_path.c_str());
 
     // Observable streams replay against their own goldens — this is the

@@ -24,8 +24,21 @@ Baseline format (bench/baseline.json):
         "key": ["element", "threads"],  # fields identifying a row
         "rows": [ {"element": "Cu", "threads": 2, "steps_per_s": 1.0e5} ]
       }
-    }
+    },
+    "ratios": [
+      {"label": "fp64 profile speedup", "bench": "kernels",
+       "metric": "pairs_per_s",
+       "num": {"kernel": "reference", "path": "profile"},
+       "den": {"kernel": "reference", "path": "analytic"},
+       "min": 2.0}
+    ]
   }
+
+Ratio checks divide two emitted rows of the *same run* — both sides share
+the machine and the load, so unlike absolute throughput they are stable on
+shared runners. A ratio below its "min" therefore FAILS even in non-strict
+mode: it means a structural performance property (e.g. the profiled hot
+path beating virtual dispatch) was lost, not that the runner was slow.
 
 Usage: check_bench_regression.py [--build-dir build]
                                  [--baseline bench/baseline.json] [--strict]
@@ -66,6 +79,7 @@ def main():
     failures = []
     warnings = []
     checked = 0
+    emitted_rows = {}  # bench name -> rows (for the ratio checks below)
     for name, spec in benches.items():
         path = os.path.join(args.build_dir, f"BENCH_{name}.json")
         if not os.path.exists(path):
@@ -77,6 +91,7 @@ def main():
         if not isinstance(rows, list):
             failures.append(f"{name}: emitted JSON has no 'rows' array")
             continue
+        emitted_rows[name] = rows
         metric = spec["metric"]
         key_fields = spec["key"]
         emitted_by_key = {row_key(r, key_fields): r for r in rows}
@@ -113,6 +128,48 @@ def main():
                 status = "WARN"
             print(f"  [{status:4s}] {label}: {metric} = {got_val:.6g} "
                   f"(baseline {base_val:.6g})")
+
+    def match_row(rows, selector):
+        hits = [r for r in rows
+                if all(r.get(k) == v for k, v in selector.items())]
+        return hits[0] if len(hits) == 1 else None
+
+    for ratio in baseline.get("ratios", []):
+        label = ratio.get("label", "ratio")
+        bench = ratio["bench"]
+        metric = ratio["metric"]
+        rows = emitted_rows.get(bench)
+        if rows is None:
+            # Bench not row-gated above (or its file failed to load there):
+            # read the BENCH file directly so a ratio is never skipped
+            # silently.
+            path = os.path.join(args.build_dir, f"BENCH_{bench}.json")
+            if not os.path.exists(path):
+                if bench not in benches:  # otherwise already failed above
+                    failures.append(f"{label}: {path} not emitted")
+                continue
+            rows = load_json(path).get("rows") or []
+        num_row = match_row(rows, ratio["num"])
+        den_row = match_row(rows, ratio["den"])
+        if num_row is None or den_row is None:
+            failures.append(f"{label}: no unique emitted row matches "
+                            f"num={ratio['num']} / den={ratio['den']}")
+            continue
+        num = float(num_row.get(metric, 0.0))
+        den = float(den_row.get(metric, 0.0))
+        if den <= 0 or num <= 0:
+            failures.append(f"{label}: non-positive {metric} "
+                            f"(num {num}, den {den})")
+            continue
+        value = num / den
+        minimum = float(ratio["min"])
+        checked += 1
+        status = "ok"
+        if value < minimum:
+            failures.append(f"{label}: {metric} ratio {value:.2f}x below "
+                            f"required {minimum:.2f}x")
+            status = "FAIL"
+        print(f"  [{status:4s}] {label}: {value:.2f}x (>= {minimum:.2f}x)")
 
     print(f"\nbench gate: {checked} metric(s) checked, "
           f"{len(warnings)} deviation(s), {len(failures)} structural "
