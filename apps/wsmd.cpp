@@ -23,8 +23,15 @@
 ///   $ wsmd scenarios/cu_slab.deck checkpoint.every=10
 ///   $ wsmd resume cu_slab.ckpt --output-dir=resumed
 ///
+/// The `report` subcommand runs a deck with telemetry armed and prints a
+/// measured-vs-modeled per-phase cost table (src/telemetry/report):
+///
+///   $ wsmd report scenarios/cu_gb_mobility.deck
+///
 /// Exit status: 0 on success, 1 on any error (bad deck, unknown key,
 /// engine failure, I/O failure).
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
@@ -38,6 +45,7 @@
 #include "scenario/deck.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
+#include "telemetry/report.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
 
@@ -51,6 +59,7 @@ void print_usage(std::FILE* out) {
                "       wsmd analyze [options] DECK TRAJECTORY.xyz "
                "[key=value ...]\n"
                "       wsmd resume [options] CHECKPOINT [key=value ...]\n"
+               "       wsmd report [options] [deck ...] [key=value ...]\n"
                "\n"
                "Runs each deck (plus overrides) end-to-end on the selected\n"
                "backend. With no deck, a scenario is built from key=value\n"
@@ -62,6 +71,10 @@ void print_usage(std::FILE* out) {
                "point --output-dir somewhere fresh to keep the partial\n"
                "originals. Output/backend overrides are accepted;\n"
                "schedule or structure overrides are rejected.\n"
+               "`wsmd report` runs a deck with telemetry armed and prints\n"
+               "a measured-vs-modeled per-phase cost table (wafer cost\n"
+               "model; a reference-backend deck is promoted to sharded:2\n"
+               "unless --backend= says otherwise).\n"
                "\n"
                "options:\n"
                "  --set key=value   scenario override (same as a bare\n"
@@ -72,6 +85,16 @@ void print_usage(std::FILE* out) {
                "  --print           parse and show the effective scenario,\n"
                "                    do not run\n"
                "  --quiet           suppress progress output\n"
+               "  --trace[=PATH]    write a chrome://tracing trace-event\n"
+               "                    JSON (default <name>.trace.json); same\n"
+               "                    as telemetry.trace=auto|PATH\n"
+               "  --metrics[=PATH]  write span/counter aggregates as JSONL\n"
+               "                    (default <name>.metrics.jsonl); same\n"
+               "                    as telemetry.metrics=auto|PATH\n"
+               "  --progress        stderr heartbeat (step/total, ns/day,\n"
+               "                    ETA) at thermo cadence; only when\n"
+               "                    stderr is a TTY (--progress=force\n"
+               "                    overrides)\n"
                "  --list-elements   show available Zhou parameter sets\n"
                "  --help            this text\n"
                "\n"
@@ -81,7 +104,7 @@ void print_usage(std::FILE* out) {
                "  swap_interval rescale_interval seed thermalize\n"
                "  equilibrate ramp quench run xyz xyz_every thermo\n"
                "  thermo_every thermo_format summary checkpoint.every\n"
-               "  checkpoint.path\n"
+               "  checkpoint.path telemetry.trace telemetry.metrics\n"
                "observable keys: observe.probes (rdf msd vacf defects)\n"
                "  observe.every observe.<probe>_every observe.format\n"
                "  observe.prefix observe.rdf_rcut observe.rdf_bins\n"
@@ -160,6 +183,137 @@ void print_scenario(const wsmd::scenario::Scenario& sc) {
                 sc.observe.effective_prefix(sc.name).c_str(),
                 sc.observe.format.c_str());
   }
+}
+
+/// The --progress heartbeat: one \r-rewritten stderr status line per
+/// report, finished with a newline on the run's final report so the next
+/// shell prompt stays clean.
+std::function<void(const wsmd::scenario::ProgressInfo&)> progress_printer() {
+  return [](const wsmd::scenario::ProgressInfo& p) {
+    const double pct =
+        p.total_steps > 0
+            ? 100.0 * static_cast<double>(p.step) /
+                  static_cast<double>(p.total_steps)
+            : 100.0;
+    const long eta = static_cast<long>(p.eta_seconds + 0.5);
+    std::fprintf(stderr,
+                 "\rstep %ld/%ld (%5.1f%%)  %.3g ns/day  ETA %02ld:%02ld:%02ld",
+                 p.step, p.total_steps, pct, p.ns_per_day, eta / 3600,
+                 (eta / 60) % 60, eta % 60);
+    if (p.final) {
+      std::fprintf(stderr, "\n");
+    } else {
+      std::fflush(stderr);
+    }
+  };
+}
+
+/// Parse --progress / --progress=force into RunOptions::progress. The
+/// heartbeat is only armed when stderr is a TTY (a redirected run must
+/// not fill its log with \r lines) unless forced.
+bool parse_progress_flag(const std::string& arg,
+                         wsmd::scenario::RunOptions& opt) {
+  if (arg != "--progress" && arg != "--progress=force") return false;
+  if (arg == "--progress=force" || isatty(fileno(stderr)) != 0) {
+    opt.progress = progress_printer();
+  }
+  return true;
+}
+
+/// Parse --trace[=PATH] / --metrics[=PATH] into a telemetry.* deck
+/// override (so the flag and the deck key cannot drift).
+bool parse_telemetry_flag(const std::string& arg,
+                          std::vector<wsmd::scenario::DeckEntry>& overrides) {
+  using wsmd::scenario::DeckEntry;
+  using wsmd::starts_with;
+  if (arg == "--trace") {
+    overrides.push_back(DeckEntry{"telemetry.trace", "auto", 0});
+  } else if (starts_with(arg, "--trace=")) {
+    overrides.push_back(DeckEntry{"telemetry.trace", arg.substr(8), 0});
+  } else if (arg == "--metrics") {
+    overrides.push_back(DeckEntry{"telemetry.metrics", "auto", 0});
+  } else if (starts_with(arg, "--metrics=")) {
+    overrides.push_back(DeckEntry{"telemetry.metrics", arg.substr(10), 0});
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int run_report(int argc, char** argv) {
+  using namespace wsmd;
+  std::vector<std::string> decks;
+  std::vector<scenario::DeckEntry> overrides;
+  scenario::RunOptions opt;
+  opt.collect_telemetry = true;  // the report needs measured span totals
+  bool quiet = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--set") {
+      WSMD_REQUIRE(i + 1 < argc, "--set needs a key=value argument");
+      overrides.push_back(scenario::parse_override(argv[++i]));
+    } else if (starts_with(arg, "--set=")) {
+      overrides.push_back(scenario::parse_override(arg.substr(6)));
+    } else if (starts_with(arg, "--backend=")) {
+      opt.backend_override = arg.substr(10);
+      scenario::parse_backend(opt.backend_override);  // validate now
+      WSMD_REQUIRE(opt.backend_override != "reference",
+                   "wsmd report joins measured time against the wafer cost "
+                   "model, which the reference backend does not have — use "
+                   "wafer or sharded[:N]");
+    } else if (starts_with(arg, "--output-dir=")) {
+      opt.output_dir = arg.substr(13);
+    } else if (parse_telemetry_flag(arg, overrides)) {
+      // handled
+    } else if (parse_progress_flag(arg, opt)) {
+      // handled
+    } else if (starts_with(arg, "--")) {
+      WSMD_REQUIRE(false, "unknown report option '" << arg << "'");
+    } else if (arg.find('=') != std::string::npos) {
+      overrides.push_back(scenario::parse_override(arg));
+    } else {
+      decks.push_back(arg);
+    }
+  }
+  WSMD_REQUIRE(!decks.empty() || !overrides.empty(),
+               "report wants a deck file or key=value overrides");
+  if (!quiet) {
+    opt.log = [](const std::string& line) {
+      std::printf("%s\n", line.c_str());
+    };
+  }
+  if (decks.empty()) decks.push_back("");
+  for (const auto& path : decks) {
+    scenario::Deck deck = path.empty()
+                              ? scenario::Deck{"<cli>", {}, }
+                              : scenario::parse_deck_file(path);
+    for (const auto& o : overrides) deck.set(o.key, o.value);
+    const auto sc = scenario::scenario_from_deck(deck);
+    scenario::RunOptions run_opt = opt;
+    if (run_opt.backend_override.empty() && sc.backend == "reference") {
+      // The report needs a backend with a cost model; promote the deck's
+      // reference default rather than erroring out.
+      run_opt.backend_override = "sharded:2";
+      if (!quiet) {
+        std::printf(
+            "report: deck backend is 'reference' (no cost model); running "
+            "on sharded:2 — pass --backend= to choose another\n");
+      }
+    }
+    const auto result = scenario::run_scenario(sc, run_opt);
+    WSMD_REQUIRE(result.modeled.valid,
+                 "backend '" << result.backend_name
+                             << "' produced no cost-model breakdown");
+    std::printf("\n%s", telemetry::format_cost_report(
+                            telemetry::build_cost_report(result.modeled))
+                            .c_str());
+  }
+  return 0;
 }
 
 int run_analyze(int argc, char** argv) {
@@ -275,6 +429,14 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (argc > 1 && std::strcmp(argv[1], "report") == 0) {
+    try {
+      return run_report(argc - 2, argv + 2);
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "wsmd: error: %s\n", ex.what());
+      return 1;
+    }
+  }
 
   std::vector<std::string> decks;
   std::vector<scenario::DeckEntry> overrides;
@@ -314,6 +476,10 @@ int main(int argc, char** argv) {
         scenario::parse_backend(opt.backend_override);  // validate now
       } else if (starts_with(arg, "--output-dir=")) {
         opt.output_dir = arg.substr(13);
+      } else if (parse_telemetry_flag(arg, overrides)) {
+        // handled
+      } else if (parse_progress_flag(arg, opt)) {
+        // handled
       } else if (starts_with(arg, "--")) {
         WSMD_REQUIRE(false, "unknown option '" << arg << "'");
       } else if (arg.find('=') != std::string::npos) {

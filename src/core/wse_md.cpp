@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -226,6 +227,7 @@ ShardRect WseMd::full_grid() const {
 }
 
 void WseMd::begin_step(StepWorkspace& ws) const {
+  telemetry::ScopedSpan span("wse.begin");
   const std::size_t n = positions_.size();
   ws.neighbors.resize(n);
   ws.candidates.assign(n, 0);
@@ -238,6 +240,7 @@ void WseMd::begin_step(StepWorkspace& ws) const {
 }
 
 void WseMd::density_phase(const ShardRect& shard, StepWorkspace& ws) {
+  telemetry::ScopedSpan span("wse.density");
   const auto rc2 = static_cast<float>(rcut_ * rcut_);
   const eam::ProfileF32* prof = profile_.get();
   const bool pairwise_only = potential_->is_pairwise_only();
@@ -285,6 +288,7 @@ void WseMd::density_phase(const ShardRect& shard, StepWorkspace& ws) {
 }
 
 void WseMd::force_phase(const ShardRect& shard, StepWorkspace& ws) const {
+  telemetry::ScopedSpan span("wse.force");
   // F' of every neighborhood is available now, as after the embedding
   // exchange on the real machine.
   const auto dt = static_cast<float>(config_.dt);
@@ -347,6 +351,7 @@ void WseMd::force_phase(const ShardRect& shard, StepWorkspace& ws) const {
 }
 
 bool WseMd::commit_step(StepWorkspace& ws) {
+  telemetry::ScopedSpan span("wse.commit");
   positions_.swap(ws.new_positions);
   velocities_.swap(ws.new_velocities);
 
@@ -363,6 +368,7 @@ bool WseMd::commit_step(StepWorkspace& ws) {
 
 void WseMd::swap_select(const ShardRect& shard,
                         std::vector<int>& partner) const {
+  telemetry::ScopedSpan span("wse.swap_select");
   // Paper Sec. III-D, first exchange: workers see neighbors' atom state and
   // score the best greedy swap. Empty tiles participate ("atoms at
   // infinity"). Reads only committed positions and the mapping; writes only
@@ -410,6 +416,7 @@ void WseMd::swap_select(const ShardRect& shard,
 }
 
 std::size_t WseMd::swap_commit(const std::vector<int>& partner) {
+  telemetry::ScopedSpan span("wse.swap_commit");
   // Second exchange: chosen partner ids cross the fabric; mutual agreement
   // commits the swap. Serial — it mutates the mapping.
   WSMD_REQUIRE(partner.size() == mapping_.core_count(),
@@ -475,6 +482,14 @@ WseStepStats WseMd::finish_step(const StepWorkspace& ws,
     stats.wall_seconds *= 2.0;
   }
   elapsed_seconds_ += stats.wall_seconds;
+  cum_.candidate_step_sum += stats.mean_candidates;
+  cum_.interaction_step_sum += stats.mean_interactions;
+  if (stats.swapped) {
+    ++cum_.swap_steps;
+    telemetry::count("wse.swap_steps");
+    telemetry::count("wse.swaps_applied", stats.swaps_applied);
+  }
+  telemetry::count("wse.steps");
   return stats;
 }
 

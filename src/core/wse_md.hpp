@@ -256,6 +256,17 @@ class WseMd {
   /// Cumulative modeled wall time (s) and cycles since construction.
   double elapsed_seconds() const { return elapsed_seconds_; }
 
+  /// Run totals accumulated by finish_step, for cost-model breakdowns of a
+  /// whole run (engine::ModeledPhaseCost): sums over steps of the per-step
+  /// mean per-worker candidate/interaction counts, plus how many steps
+  /// applied an atom swap.
+  struct CumulativeStats {
+    double candidate_step_sum = 0.0;    ///< sum of mean_candidates
+    double interaction_step_sum = 0.0;  ///< sum of mean_interactions
+    long swap_steps = 0;
+  };
+  const CumulativeStats& cumulative_stats() const { return cum_; }
+
   /// The flattened FP32 evaluation tables (null on the analytic path).
   const eam::ProfileF32* profile() const { return profile_.get(); }
 
@@ -307,6 +318,7 @@ class WseMd {
   mutable bool pe_current_ = false;
   long step_count_ = 0;
   double elapsed_seconds_ = 0.0;
+  CumulativeStats cum_;
 
   /// Workspace reused by the serial step()/run() path and the lazy initial
   /// energy evaluation (engine backends own their own and drive the phase

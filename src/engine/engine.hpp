@@ -86,11 +86,37 @@ struct State {
   std::vector<Vec3d> initial_positions;  ///< displacement baseline
 };
 
+/// Cost-model prediction of where a finished run's modeled wafer time went,
+/// phase by phase, in the same units the telemetry spans measure (seconds).
+/// Produced by the wafer backends from their cumulative per-step counters
+/// (mean candidates/interactions per worker) pushed through wse::CostModel;
+/// `wsmd report` joins it against the measured span totals. The component
+/// seconds use *mean* per-worker counts while `total_seconds` is the
+/// engine's modeled clock (max-cycles, slowest worker), so components
+/// summing below the total is expected — the gap is load imbalance.
+struct ModeledPhaseCost {
+  bool valid = false;  ///< false: backend has no cost model (reference)
+  long steps = 0;
+  double mean_candidates = 0.0;    ///< per worker per step, run average
+  double mean_interactions = 0.0;  ///< per worker per step, run average
+  long swap_steps = 0;
+  double density_seconds = 0.0;  ///< candidate multicast + r^2 filtering
+  double force_seconds = 0.0;    ///< pair interactions (embedding + force)
+  double fixed_seconds = 0.0;    ///< per-step fixed overhead
+  double swap_seconds = 0.0;     ///< atom-swap steps (~1 extra step each)
+  double halo_seconds = 0.0;     ///< multi-wafer halo (sharded backend)
+  double total_seconds = 0.0;    ///< modeled clock (max-cycles basis)
+};
+
 class Engine {
  public:
   virtual ~Engine() = default;
 
   virtual const char* backend_name() const = 0;
+
+  /// Cost-model breakdown of the run so far. Default: invalid (backends
+  /// without modeled accounting, i.e. the FP64 reference).
+  virtual ModeledPhaseCost modeled_phase_cost() const { return {}; }
   virtual std::size_t atom_count() const = 0;
   virtual long step_count() const = 0;
 

@@ -1,5 +1,8 @@
 #include "engine/shard_pool.hpp"
 
+#include <string>
+
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace wsmd::engine {
@@ -47,6 +50,10 @@ void ShardPool::run(const std::function<void(int)>& task) {
 }
 
 void ShardPool::worker_loop(int index) {
+  // Stable telemetry merge identity: exports are keyed by thread name, so
+  // two identical runs produce identical event groupings regardless of
+  // which OS thread gets which index.
+  telemetry::set_thread_name("shard" + std::to_string(index));
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(int)>* task = nullptr;

@@ -1,8 +1,10 @@
 #include "engine/sharded_wafer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace wsmd::engine {
@@ -30,6 +32,11 @@ std::vector<core::ShardRect> make_row_shards(int width, int height,
   return shards;
 }
 
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
 ShardedWafer::ShardedWafer(const lattice::Structure& s,
@@ -42,13 +49,36 @@ ShardedWafer::ShardedWafer(const lattice::Structure& s,
   shard_stats_.resize(shards_.size());
 }
 
+void ShardedWafer::run_sharded(const std::function<void(int)>& task) {
+  if (!telemetry::enabled()) {
+    pool_.run(task);
+    return;
+  }
+  busy_seconds_.assign(static_cast<std::size_t>(pool_.size()), 0.0);
+  const auto round_start = std::chrono::steady_clock::now();
+  pool_.run([&](int t) {
+    const auto busy_start = std::chrono::steady_clock::now();
+    task(t);
+    busy_seconds_[static_cast<std::size_t>(t)] = seconds_since(busy_start);
+  });
+  const double round = seconds_since(round_start);
+  // Each worker waits from the end of its own work until the slowest one
+  // finishes the round (the implicit barrier between pool_.run calls).
+  double wait = 0.0;
+  for (const double busy : busy_seconds_) {
+    wait += std::max(0.0, round - busy);
+  }
+  telemetry::add_span_time("shard.barrier_wait", wait,
+                           static_cast<std::uint64_t>(pool_.size()));
+}
+
 Thermo ShardedWafer::step() {
   md_.begin_step(ws_);
-  pool_.run([&](int t) {
+  run_sharded([&](int t) {
     md_.density_phase(shards_[static_cast<std::size_t>(t)], ws_);
   });
   // Implicit barrier: every F' is published before any force kernel reads.
-  pool_.run([&](int t) {
+  run_sharded([&](int t) {
     const auto& shard = shards_[static_cast<std::size_t>(t)];
     md_.force_phase(shard, ws_);
     shard_stats_[static_cast<std::size_t>(t)] = md_.reduce_region(shard, ws_);
@@ -58,7 +88,7 @@ Thermo ShardedWafer::step() {
   const bool swap_now = md_.commit_step(ws_);
   std::size_t applied = 0;
   if (swap_now) {
-    pool_.run([&](int t) {
+    run_sharded([&](int t) {
       md_.swap_select(shards_[static_cast<std::size_t>(t)], ws_.partner);
     });
     applied = md_.swap_commit(ws_.partner);
@@ -71,6 +101,15 @@ Thermo ShardedWafer::run(long n, const StepCallback& callback) {
   // Bypass WaferEngine::run (which drives the serial md_.run path) in
   // favor of the base step() loop, which dispatches to the sharded step.
   return Engine::run(n, callback);
+}
+
+ModeledPhaseCost ShardedWafer::modeled_phase_cost() const {
+  ModeledPhaseCost cost = WaferEngine::modeled_phase_cost();
+  if (!cost.valid) return cost;
+  cost.halo_seconds = halo_cycles_per_step() *
+                      static_cast<double>(cost.steps) /
+                      (md_.config().cost_model.clock_ghz() * 1e9);
+  return cost;
 }
 
 double ShardedWafer::halo_cycles_per_step() const {

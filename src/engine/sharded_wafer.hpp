@@ -48,6 +48,9 @@ class ShardedWafer final : public WaferEngine {
   const char* backend_name() const override { return "sharded-wafer"; }
   Thermo step() override;
   Thermo run(long n, const StepCallback& callback = {}) override;
+  /// Base breakdown plus the modeled halo-exchange cost of this shard
+  /// decomposition (halo_seconds).
+  ModeledPhaseCost modeled_phase_cost() const override;
 
   int threads() const { return pool_.size(); }
   const std::vector<core::ShardRect>& shards() const { return shards_; }
@@ -65,8 +68,15 @@ class ShardedWafer final : public WaferEngine {
   double halo_cycles_per_step() const;
 
  private:
+  /// pool_.run with telemetry: times each worker's busy span and folds the
+  /// round's aggregate barrier wait (round wall time minus per-worker busy
+  /// time) into the "shard.barrier_wait" span — the imbalance instrument.
+  /// Falls back to a plain pool_.run when telemetry is disabled.
+  void run_sharded(const std::function<void(int)>& task);
+
   std::vector<core::ShardRect> shards_;
   std::vector<core::WseStepStats> shard_stats_;
+  std::vector<double> busy_seconds_;  ///< run_sharded scratch, per worker
   core::StepWorkspace ws_;
   ShardPool pool_;
 };

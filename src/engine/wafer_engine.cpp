@@ -76,6 +76,41 @@ void WaferEngine::restore(const State& state) {
   md_.restore_state(saved);
 }
 
+ModeledPhaseCost WaferEngine::modeled_phase_cost() const {
+  ModeledPhaseCost cost;
+  cost.steps = md_.step_count();
+  if (cost.steps <= 0) return cost;
+  cost.valid = true;
+  const core::WseMd::CumulativeStats& cum = md_.cumulative_stats();
+  const auto steps = static_cast<double>(cost.steps);
+  cost.mean_candidates = cum.candidate_step_sum / steps;
+  cost.mean_interactions = cum.interaction_step_sum / steps;
+  cost.swap_steps = cum.swap_steps;
+
+  const wse::CostModel& model = md_.config().cost_model;
+  const wse::CostModel::Components& c = model.components();
+  const wse::CostModel::Factors& f = model.factors();
+  const double cand = cum.candidate_step_sum;
+  const double inter = cum.interaction_step_sum;
+  // Phase attribution of the Table V terms: multicast + miss filtering land
+  // in the density phase (candidate exchange / neighbor build), the
+  // per-interaction term in the force phase, the fixed term in the
+  // begin/commit bookkeeping.
+  cost.density_seconds = (c.mcast_per_candidate * f.mcast * cand +
+                          c.miss_per_reject * f.miss * (cand - inter)) *
+                         1e-9;
+  cost.force_seconds = c.per_interaction * f.interaction * inter * 1e-9;
+  cost.fixed_seconds = c.fixed * f.fixed * steps * 1e-9;
+  // A swap step costs roughly one extra timestep (paper Sec. V-E): charge
+  // the run-average modeled step time once per swap step.
+  cost.total_seconds = md_.elapsed_seconds();
+  const double mean_step_seconds =
+      cost.total_seconds /
+      (steps + static_cast<double>(cost.swap_steps));
+  cost.swap_seconds = mean_step_seconds * static_cast<double>(cost.swap_steps);
+  return cost;
+}
+
 Thermo WaferEngine::thermo() const {
   Thermo t;
   t.step = md_.step_count();

@@ -25,6 +25,10 @@ class WaferEngine : public Engine {
   const core::WseStepStats& last_step_stats() const { return last_; }
 
   const char* backend_name() const override { return "wafer-serial"; }
+  /// Cost-model phase breakdown from the run's cumulative candidate /
+  /// interaction counts (wse::CostModel Table V basis). ShardedWafer
+  /// extends it with the modeled halo-exchange cost.
+  ModeledPhaseCost modeled_phase_cost() const override;
   std::size_t atom_count() const override { return md_.atom_count(); }
   long step_count() const override { return md_.step_count(); }
   std::vector<Vec3d> positions() const override { return md_.positions(); }

@@ -1,6 +1,7 @@
 #include "io/series.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -31,7 +32,21 @@ SeriesWriter::SeriesWriter(const std::string& path, ThermoFormat format,
   }
 }
 
-SeriesWriter::~SeriesWriter() = default;
+SeriesWriter::~SeriesWriter() {
+  // Last-chance flush for callers that never called finish(); failures are
+  // warned about but must not throw from a destructor.
+  if (!finished_) finish();
+}
+
+void SeriesWriter::note_failure(const char* what) {
+  if (!failed_) {
+    std::fprintf(stderr,
+                 "wsmd: warning: series %s failed for '%s' — output is "
+                 "incomplete (disk full or stream closed?)\n",
+                 what, path_.c_str());
+  }
+  failed_ = true;
+}
 
 void SeriesWriter::write_row(const std::vector<double>& values) {
   WSMD_REQUIRE(values.size() == columns_.size(),
@@ -56,13 +71,27 @@ void SeriesWriter::write_row(const std::vector<double>& values) {
     }
     *os_ << obj.encode() << '\n';
   }
-  WSMD_REQUIRE(os_->good(), "series write failed (" << path_ << ")");
+  if (!os_->good()) {
+    note_failure("write");
+    return;  // count only rows that reached the stream intact
+  }
   ++rows_;
 }
 
 void SeriesWriter::flush() {
+  if (finished_) return;
   os_->flush();
-  WSMD_REQUIRE(os_->good(), "series flush failed (" << path_ << ")");
+  if (!os_->good()) note_failure("flush");
+}
+
+bool SeriesWriter::finish() {
+  if (!finished_) {
+    flush();
+    finished_ = true;
+    os_->close();
+    if (os_->fail()) note_failure("close");
+  }
+  return !failed_;
 }
 
 std::size_t Series::column_index(const std::string& name) const {

@@ -23,32 +23,56 @@ namespace wsmd::io {
 /// Streaming writer: fixed column schema, rows of doubles. CSV emits the
 /// header on construction; JSONL emits one object per row keyed by the
 /// column names.
+///
+/// Error model: caller bugs (bad schema, wrong arity, non-finite values)
+/// throw — a NaN observable must never poison a golden file. Environment
+/// failures of the underlying stream (ENOSPC, closed descriptor) do NOT
+/// throw mid-run: the first one prints a warning to stderr and latches
+/// `ok() == false`; subsequent rows are dropped. Callers check the stream
+/// with `finish()` (or `ok()`) and surface the nonzero status — the old
+/// behavior silently dropped flush failures on destruction.
 class SeriesWriter {
  public:
   SeriesWriter(const std::string& path, ThermoFormat format,
                std::vector<std::string> columns);
+  /// Flushes pending rows; a failure here warns (once) but never throws.
   ~SeriesWriter();
 
   SeriesWriter(const SeriesWriter&) = delete;
   SeriesWriter& operator=(const SeriesWriter&) = delete;
 
-  /// Append one row; `values` must match the column count and be finite.
+  /// Append one row; `values` must match the column count and be finite
+  /// (throws otherwise). Stream failures latch ok() instead of throwing.
   void write_row(const std::vector<double>& values);
 
   /// Flush buffered rows to disk (probes call this from finish() so the
-  /// file is complete while the probe object is still alive).
+  /// file is complete while the probe object is still alive). A flush
+  /// failure latches ok() == false.
   void flush();
+
+  /// Flush and close the stream; returns the final health of the output
+  /// (false when any write or flush failed). Idempotent — later calls
+  /// return the same status without touching the closed stream.
+  bool finish();
+
+  /// False once any stream write/flush has failed; the file is incomplete.
+  bool ok() const { return !failed_; }
 
   std::size_t rows_written() const { return rows_; }
   const std::string& path() const { return path_; }
   const std::vector<std::string>& columns() const { return columns_; }
 
  private:
+  /// Latch the failure and warn on the first occurrence.
+  void note_failure(const char* what);
+
   std::string path_;
   std::vector<std::string> columns_;
   std::unique_ptr<std::ofstream> os_;
   ThermoFormat format_;
   std::size_t rows_ = 0;
+  bool failed_ = false;
+  bool finished_ = false;
 };
 
 /// A fully parsed numeric series (the reader counterpart, used by the

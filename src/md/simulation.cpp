@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -18,7 +19,13 @@ Simulation::Simulation(AtomSystem system, SimulationConfig config)
 }
 
 double Simulation::compute_forces() {
-  neighbors_.ensure_current(system_.box(), system_.positions());
+  {
+    telemetry::ScopedSpan span("md.neighbor");
+    if (neighbors_.ensure_current(system_.box(), system_.positions())) {
+      telemetry::count("md.neighbor_rebuilds");
+    }
+  }
+  telemetry::ScopedSpan span("md.force");
   last_pe_ = kernel_.compute(system_, neighbors_, profile_.get());
   forces_current_ = true;
   return last_pe_;
@@ -29,7 +36,10 @@ ThermoState Simulation::run(
   WSMD_REQUIRE(n >= 0, "negative step count");
   if (!forces_current_) compute_forces();
   for (long k = 0; k < n; ++k) {
-    LeapfrogIntegrator(config_.dt).step(system_);
+    {
+      telemetry::ScopedSpan span("md.integrate");
+      LeapfrogIntegrator(config_.dt).step(system_);
+    }
     ++step_;
     compute_forces();
     if (config_.rescale_temperature_K &&

@@ -89,7 +89,7 @@ void DefectProbe::sample(const Frame& frame) {
   ++samples_;
 }
 
-void DefectProbe::finish() { writer_.flush(); }
+void DefectProbe::finish() { writer_.finish(); }
 
 void DefectProbe::save_state(io::BinaryWriter& w) const {
   Probe::save_state(w);

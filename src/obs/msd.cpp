@@ -68,7 +68,7 @@ void MsdProbe::sample(const Frame& frame) {
   ++samples_;
 }
 
-void MsdProbe::finish() { writer_.flush(); }
+void MsdProbe::finish() { writer_.finish(); }
 
 void MsdProbe::summarize(JsonObject& meta) const {
   meta.set("obs_msd_samples", samples_)

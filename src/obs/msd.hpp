@@ -45,6 +45,7 @@ class MsdProbe final : public Probe {
   const std::string& output_path() const override { return path_; }
   void sample(const Frame& frame) override;
   void finish() override;
+  bool output_ok() const override { return writer_.ok(); }
   void summarize(JsonObject& meta) const override;
   void save_state(io::BinaryWriter& w) const override;
   void restore_state(io::BinaryReader& r) override;

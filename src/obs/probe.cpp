@@ -1,11 +1,27 @@
 #include "obs/probe.hpp"
 
+#include <cstring>
 #include <sstream>
 
 #include "io/checkpoint.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace wsmd::obs {
+
+namespace {
+
+/// Telemetry span names must be static literals outliving the session, so
+/// a probe's kind tag maps onto a fixed table.
+const char* probe_span_name(const char* kind) {
+  if (std::strcmp(kind, "rdf") == 0) return "obs.rdf";
+  if (std::strcmp(kind, "msd") == 0) return "obs.msd";
+  if (std::strcmp(kind, "vacf") == 0) return "obs.vacf";
+  if (std::strcmp(kind, "defects") == 0) return "obs.defects";
+  return "obs.probe";
+}
+
+}  // namespace
 
 void Probe::save_state(io::BinaryWriter& w) const { w.u64(samples_); }
 
@@ -54,6 +70,7 @@ void ObserverBus::observe(const Frame& frame) {
   WSMD_REQUIRE(!finished_, "observe() after finish()");
   for (auto& s : slots_) {
     if (!s.fires_at(frame.step)) continue;
+    telemetry::ScopedSpan span(probe_span_name(s.probe->kind()));
     s.probe->sample(frame);
     s.last_step = frame.step;
   }
@@ -63,6 +80,7 @@ void ObserverBus::observe_all(const Frame& frame) {
   WSMD_REQUIRE(!finished_, "observe_all() after finish()");
   for (auto& s : slots_) {
     if (!s.pending_at(frame.step)) continue;  // already saw this state
+    telemetry::ScopedSpan span(probe_span_name(s.probe->kind()));
     s.probe->sample(frame);
     s.last_step = frame.step;
   }
@@ -72,6 +90,14 @@ void ObserverBus::finish() {
   WSMD_REQUIRE(!finished_, "finish() called twice");
   for (auto& s : slots_) s.probe->finish();
   finished_ = true;
+}
+
+std::size_t ObserverBus::failed_outputs() const {
+  std::size_t failed = 0;
+  for (const auto& s : slots_) {
+    if (!s.probe->output_ok()) ++failed;
+  }
+  return failed;
 }
 
 void ObserverBus::summarize(JsonObject& meta) const {

@@ -75,6 +75,11 @@ class Probe {
   /// Valid only after finish().
   virtual void summarize(JsonObject& meta) const = 0;
 
+  /// Health of the probe's output stream: false once a write/flush failed
+  /// (io::SeriesWriter latched a failure) — the output file is incomplete.
+  /// Meaningful any time; drivers report it after finish().
+  virtual bool output_ok() const { return true; }
+
   /// Serialize / restore the probe's accumulators (checkpoint/restart).
   /// A restored probe continues its series and finish-time summary as if
   /// the run had never stopped; only the *output file* restarts at the
@@ -130,6 +135,9 @@ class ObserverBus {
   /// Finish every probe; valid once. Summaries are available afterwards via
   /// summarize().
   void finish();
+
+  /// Number of probes whose output stream failed (output_ok() == false).
+  std::size_t failed_outputs() const;
 
   /// Fold every probe's summary into `meta`.
   void summarize(JsonObject& meta) const;

@@ -67,7 +67,7 @@ void RdfProbe::finish() {
     }
     writer_.write_row({r_lo + 0.5 * dr, g_of_r[k]});
   }
-  writer_.flush();
+  writer_.finish();
   rows_written_ = writer_.rows_written();
 
   // First *local* maximum above the ideal-gas baseline, not the global

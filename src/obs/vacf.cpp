@@ -49,7 +49,7 @@ void VacfProbe::sample(const Frame& frame) {
   ++samples_;
 }
 
-void VacfProbe::finish() { writer_.flush(); }
+void VacfProbe::finish() { writer_.finish(); }
 
 void VacfProbe::save_state(io::BinaryWriter& w) const {
   Probe::save_state(w);

@@ -9,6 +9,7 @@
 #include "io/checkpoint.hpp"
 #include "io/thermo_log.hpp"
 #include "io/trajectory.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/bench_json.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
@@ -109,6 +110,19 @@ std::string stage_label(const Stage& st) {
       return format("run %ld steps (NVE)", st.steps);
   }
   return "?";
+}
+
+/// Static-literal span name per stage kind (telemetry span names must
+/// outlive the session, so no format()-built strings).
+const char* stage_span_name(Stage::Kind kind) {
+  switch (kind) {
+    case Stage::Kind::kThermalize: return "stage.thermalize";
+    case Stage::Kind::kEquilibrate: return "stage.equilibrate";
+    case Stage::Kind::kRamp: return "stage.ramp";
+    case Stage::Kind::kQuench: return "stage.quench";
+    case Stage::Kind::kRun: return "stage.run";
+  }
+  return "stage.unknown";
 }
 
 /// Expand the `*` placeholder in a checkpoint path with the step number
@@ -272,6 +286,23 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
   result.xyz_path = resolve_output_path(sc.xyz_path, opt.output_dir);
   result.thermo_path = resolve_output_path(sc.thermo_path, opt.output_dir);
   result.summary_path = resolve_output_path(sc.summary_path, opt.output_dir);
+
+  // Telemetry session: armed when the scenario exports a trace/metrics
+  // file or the caller wants the measured span totals (`wsmd report`).
+  // Individual trace events are only captured when a trace file is
+  // requested; aggregates/counters are always collected while armed.
+  result.trace_path =
+      resolve_output_path(sc.telemetry_trace_path, opt.output_dir);
+  result.metrics_path =
+      resolve_output_path(sc.telemetry_metrics_path, opt.output_dir);
+  const bool telemetry_on = opt.collect_telemetry ||
+                            !result.trace_path.empty() ||
+                            !result.metrics_path.empty();
+  if (telemetry_on) {
+    telemetry::SessionConfig tcfg;
+    tcfg.capture_trace = !result.trace_path.empty();
+    telemetry::begin_session(tcfg);
+  }
   std::unique_ptr<io::XyzTrajectoryWriter> trajectory;
   if (!result.xyz_path.empty()) {
     trajectory = std::make_unique<io::XyzTrajectoryWriter>(
@@ -324,6 +355,7 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
 
   const auto emit_frame = [&](const engine::Thermo& t,
                               const std::vector<Vec3d>& positions) {
+    telemetry::ScopedSpan span("io.xyz");
     trajectory->append(structure.box, positions, structure.types,
                        format("step=%ld E=%.8g T=%.6g", t.step,
                               t.total_energy, t.temperature));
@@ -331,6 +363,7 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
   };
   const auto emit_sample = [&](const engine::Thermo& t) {
     if (!thermo_log) return;
+    telemetry::ScopedSpan span("io.thermo");
     thermo_log->write(to_sample(t));
     last_sample_step = t.step;
   };
@@ -408,7 +441,10 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
     if (bus) ck.probes = bus->save_probe_states();
     const std::string file =
         checkpoint_file_for(result.checkpoint_path, t.step);
-    io::write_checkpoint_file(file, ck);
+    {
+      telemetry::ScopedSpan span("io.checkpoint");
+      io::write_checkpoint_file(file, ck);
+    }
     ++result.checkpoints_written;
     say(format("  checkpoint -> %s (step %ld)", file.c_str(), t.step));
   };
@@ -431,8 +467,34 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
   const std::size_t start_stage = resume ? resume->stage_index : 0;
   const long start_steps = resume ? resume->stage_steps_done : 0;
   const auto wall_start = std::chrono::steady_clock::now();
+
+  // --progress heartbeat: fired at thermo cadence plus once at the end.
+  const long total_steps_all = sc.total_steps();
+  const long progress_start_step = resume != nullptr ? resume->engine.step : 0;
+  const auto report_progress = [&](long step, bool final_report) {
+    if (!opt.progress) return;
+    ProgressInfo p;
+    p.step = step;
+    p.total_steps = total_steps_all;
+    p.final = final_report;
+    p.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+    const long executed = step - progress_start_step;
+    if (p.wall_seconds > 0.0 && executed > 0) {
+      const double steps_per_s =
+          static_cast<double>(executed) / p.wall_seconds;
+      // dt is in ps; 1000 ps per ns, 86400 s per day.
+      p.ns_per_day = steps_per_s * sc.dt * 1e-3 * 86400.0;
+      p.eta_seconds =
+          static_cast<double>(total_steps_all - step) / steps_per_s;
+    }
+    opt.progress(p);
+  };
+
   for (std::size_t si = start_stage; si < sc.schedule.size(); ++si) {
     const auto& st = sc.schedule[si];
+    telemetry::ScopedSpan stage_span(stage_span_name(st.kind));
     StageResult sr;
     sr.label = stage_label(st);
     sr.kind = st.name();
@@ -469,7 +531,10 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
       // thermostat action included — so the log's last row, the final
       // trajectory frame, and the summary all describe the same state.
       if (rescaled) t = eng->thermo();
-      if (t.step % sc.thermo_every == 0) emit_sample(t);
+      if (t.step % sc.thermo_every == 0) {
+        emit_sample(t);
+        report_progress(t.step, /*final_report=*/false);
+      }
       stream_state(t, /*final_state=*/false);
       maybe_checkpoint(si, k + 1, t);
     }
@@ -483,6 +548,7 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
   const long steps_executed =
       result.total_steps - (resume != nullptr ? resume->engine.step : 0);
   result.final_thermo = eng->thermo();
+  report_progress(result.final_thermo.step, /*final_report=*/true);
 
   // Close every output at the final step, unless that exact step was
   // already written (the step loop on a multiple of the interval, a
@@ -498,6 +564,28 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
   if (bus) {
     bus->finish();
     result.observables = collect_probe_outputs(*bus, opt.log);
+    result.probe_output_failures = bus->failed_outputs();
+    if (result.probe_output_failures > 0) {
+      say(format("  warning: %zu probe output stream(s) reported write "
+                 "failures — observable files are incomplete",
+                 result.probe_output_failures));
+    }
+  }
+
+  // Disarm telemetry and export before the summary: the collected data
+  // stays readable (span_stats / counters) for `wsmd report` after the
+  // run returns, and the exports must not record their own writes.
+  result.modeled = eng->modeled_phase_cost();
+  if (telemetry_on) {
+    telemetry::end_session();
+    if (!result.trace_path.empty()) {
+      telemetry::write_trace_json(result.trace_path);
+      say("  trace -> " + result.trace_path);
+    }
+    if (!result.metrics_path.empty()) {
+      telemetry::write_metrics_jsonl(result.metrics_path);
+      say("  metrics -> " + result.metrics_path);
+    }
   }
 
   if (!result.summary_path.empty()) {
@@ -535,6 +623,12 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
     if (result.resumed_from_step >= 0) {
       summary.meta().set("resumed_from_step",
                          static_cast<long long>(result.resumed_from_step));
+    }
+    if (!result.trace_path.empty()) {
+      summary.meta().set("trace", result.trace_path);
+    }
+    if (!result.metrics_path.empty()) {
+      summary.meta().set("metrics", result.metrics_path);
     }
     // Observable summaries (first peaks, diffusion, GB mobility, ...) ride
     // in the same BENCH envelope so trend tooling sees physics and

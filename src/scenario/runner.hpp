@@ -24,6 +24,17 @@ struct CheckpointData;
 
 namespace wsmd::scenario {
 
+/// Periodic progress snapshot delivered at thermo cadence while the step
+/// loop runs (RunOptions::progress) — the `wsmd --progress` heartbeat.
+struct ProgressInfo {
+  long step = 0;           ///< engine step just completed
+  long total_steps = 0;    ///< schedule total
+  double wall_seconds = 0.0;
+  double ns_per_day = 0.0; ///< simulated time throughput at the current rate
+  double eta_seconds = 0.0;
+  bool final = false;      ///< last report of the run
+};
+
 struct RunOptions {
   /// Non-empty: run on this backend instead of the deck's
   /// (reference|wafer|sharded|sharded:N).
@@ -32,6 +43,12 @@ struct RunOptions {
   std::string output_dir;
   /// Progress sink (one human-readable line per event); empty = silent.
   std::function<void(const std::string&)> log;
+  /// Progress heartbeat, fired at thermo cadence plus once at the end.
+  std::function<void(const ProgressInfo&)> progress;
+  /// Arm a telemetry session (aggregates only) even when the scenario
+  /// writes no trace/metrics file — `wsmd report` needs the measured span
+  /// totals without forcing an export path.
+  bool collect_telemetry = false;
 };
 
 struct StageResult {
@@ -67,6 +84,14 @@ struct ScenarioResult {
   std::string checkpoint_path;           ///< resolved pattern ("" = off)
   std::size_t checkpoints_written = 0;
   long resumed_from_step = -1;           ///< -1 = fresh run
+  // Telemetry exports ("" = not written) and the engine's cost-model
+  // breakdown of the run (valid only on wafer backends).
+  std::string trace_path;
+  std::string metrics_path;
+  engine::ModeledPhaseCost modeled;
+  /// Probes whose output stream failed mid-run (io::SeriesWriter surfaced
+  /// a write/flush failure instead of silently dropping rows).
+  std::size_t probe_output_failures = 0;
 };
 
 /// Run the scenario: build structure + engine, execute the schedule, stream

@@ -322,6 +322,15 @@ Scenario scenario_from_deck(const Deck& deck) {
       }
       checkpoint_path_entry = &e;
       sc.checkpoint_path = e.value;
+    } else if (e.key == "telemetry.trace" || e.key == "telemetry.metrics") {
+      // `auto` resolves to a name-derived default after the loop (the name
+      // key may appear later in the deck); `off` is the explicit disable
+      // for resume-time overrides.
+      if (e.value.empty()) bad_entry(deck, e, "want PATH|auto|off");
+      std::string& path = e.key == "telemetry.trace"
+                              ? sc.telemetry_trace_path
+                              : sc.telemetry_metrics_path;
+      path = e.value == "off" ? "" : e.value;
     } else {
       bad_entry(deck, e, "unknown key");
     }
@@ -394,6 +403,12 @@ Scenario scenario_from_deck(const Deck& deck) {
   }
   if (sc.checkpoint_every > 0 && sc.checkpoint_path.empty()) {
     sc.checkpoint_path = sc.name + ".ckpt";
+  }
+  if (sc.telemetry_trace_path == "auto") {
+    sc.telemetry_trace_path = sc.name + ".trace.json";
+  }
+  if (sc.telemetry_metrics_path == "auto") {
+    sc.telemetry_metrics_path = sc.name + ".metrics.jsonl";
   }
 
   // observe.* cross-key validation. Each rule blames the deck line that
@@ -571,6 +586,12 @@ Deck deck_from_scenario(const Scenario& sc) {
   if (sc.checkpoint_every > 0) {
     add("checkpoint.every", std::to_string(sc.checkpoint_every));
     add("checkpoint.path", sc.checkpoint_path);
+  }
+  if (!sc.telemetry_trace_path.empty()) {
+    add("telemetry.trace", sc.telemetry_trace_path);
+  }
+  if (!sc.telemetry_metrics_path.empty()) {
+    add("telemetry.metrics", sc.telemetry_metrics_path);
   }
   return deck_from_entries(entries, "<scenario>");
 }

@@ -54,6 +54,12 @@
 ///                                    <name>.ckpt); a `*` is replaced by
 ///                                    the step number (keeps every
 ///                                    checkpoint instead of overwriting)
+///   telemetry.trace = PATH|auto|off — chrome://tracing timeline of the
+///                                    run (src/telemetry); `auto` writes
+///                                    <name>.trace.json, `off` disables
+///                                    (for resume overrides)
+///   telemetry.metrics = PATH|auto|off — span/counter aggregates as JSON
+///                                    lines; `auto` = <name>.metrics.jsonl
 
 #include <array>
 #include <cstdint>
@@ -130,6 +136,12 @@ struct Scenario {
   /// every checkpoint is kept instead of overwritten).
   std::string checkpoint_path;
   long checkpoint_every = 0;
+
+  /// Telemetry exports (src/telemetry); empty = not written. The runner
+  /// arms a collection session whenever either is set (trace-event capture
+  /// only when `telemetry_trace_path` is).
+  std::string telemetry_trace_path;
+  std::string telemetry_metrics_path;
 
   long total_steps() const;
 };

@@ -1,0 +1,65 @@
+#include "telemetry/report.hpp"
+
+#include <sstream>
+
+#include "telemetry/telemetry.hpp"
+#include "util/string_util.hpp"
+
+namespace wsmd::telemetry {
+
+namespace {
+
+PhaseRow make_row(std::string phase, double measured, bool has_modeled,
+                  double modeled) {
+  PhaseRow row;
+  row.phase = std::move(phase);
+  row.measured_seconds = measured;
+  row.has_modeled = has_modeled;
+  row.modeled_seconds = modeled;
+  if (has_modeled && modeled > 0.0) row.ratio = measured / modeled;
+  return row;
+}
+
+}  // namespace
+
+std::vector<PhaseRow> build_cost_report(
+    const engine::ModeledPhaseCost& modeled) {
+  const bool m = modeled.valid;
+  const double density = span_total_seconds("wse.density");
+  const double force = span_total_seconds("wse.force");
+  const double commit =
+      span_total_seconds("wse.begin") + span_total_seconds("wse.commit");
+  const double swap = span_total_seconds("wse.swap_select") +
+                      span_total_seconds("wse.swap_commit");
+  const double barrier = span_total_seconds("shard.barrier_wait");
+
+  std::vector<PhaseRow> rows;
+  rows.push_back(make_row("density", density, m, modeled.density_seconds));
+  rows.push_back(make_row("force", force, m, modeled.force_seconds));
+  rows.push_back(make_row("commit", commit, m, modeled.fixed_seconds));
+  rows.push_back(make_row("swap", swap, m, modeled.swap_seconds));
+  rows.push_back(make_row("barrier", barrier, m, modeled.halo_seconds));
+  rows.push_back(make_row("total", density + force + commit + swap + barrier,
+                          m, modeled.total_seconds));
+  return rows;
+}
+
+std::string format_cost_report(const std::vector<PhaseRow>& rows) {
+  std::ostringstream os;
+  os << format("%-10s %14s %14s %10s\n", "phase", "measured (s)",
+               "modeled (s)", "ratio");
+  os << format("%-10s %14s %14s %10s\n", "----------", "------------",
+               "-----------", "-----");
+  for (const PhaseRow& r : rows) {
+    if (r.has_modeled) {
+      os << format("%-10s %14.6f %14.6f %10.2f\n", r.phase.c_str(),
+                   r.measured_seconds, r.modeled_seconds, r.ratio);
+    } else {
+      os << format("%-10s %14.6f %14s %10s\n", r.phase.c_str(),
+                   r.measured_seconds, "-", "-");
+    }
+  }
+  return os.str();
+}
+
+}  // namespace wsmd::telemetry

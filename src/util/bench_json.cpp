@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "util/error.hpp"
+#include "util/string_util.hpp"
 
 namespace wsmd {
 
@@ -65,6 +67,12 @@ JsonObject& JsonObject::set(const std::string& key, const std::string& value) {
   return *this;
 }
 
+JsonObject& JsonObject::set_raw(const std::string& key,
+                                const std::string& json) {
+  fields_.emplace_back(key, json);
+  return *this;
+}
+
 std::string JsonObject::encode() const {
   std::ostringstream os;
   os << '{';
@@ -89,6 +97,32 @@ BenchJson::BenchJson(std::string bench_name) : name_(std::move(bench_name)) {
   WSMD_REQUIRE(!name_.empty(), "bench name must be non-empty");
 }
 
+JsonObject BenchJson::provenance() {
+  JsonObject o;
+#ifdef WSMD_GIT_SHA
+  o.set("git_sha", WSMD_GIT_SHA);
+#else
+  o.set("git_sha", "unknown");
+#endif
+#if defined(__clang__)
+  o.set("compiler", format("clang %d.%d.%d", __clang_major__,
+                           __clang_minor__, __clang_patchlevel__));
+#elif defined(__GNUC__)
+  o.set("compiler",
+        format("gcc %d.%d.%d", __GNUC__, __GNUC_MINOR__, __GNUC_PATCHLEVEL__));
+#else
+  o.set("compiler", "unknown");
+#endif
+#ifdef WSMD_BUILD_TYPE
+  o.set("build_type", WSMD_BUILD_TYPE);
+#else
+  o.set("build_type", "unknown");
+#endif
+  o.set("threads",
+        static_cast<long long>(std::thread::hardware_concurrency()));
+  return o;
+}
+
 JsonObject& BenchJson::add_row() {
   rows_.emplace_back();
   return rows_.back();
@@ -100,6 +134,7 @@ std::string BenchJson::encode() const {
   if (!meta_.empty()) {
     os << ",\n" << meta_.encode_members("  ");
   }
+  os << ",\n  \"meta\": " << provenance().encode();
   os << ",\n  \"rows\": [";
   for (std::size_t r = 0; r < rows_.size(); ++r) {
     os << (r == 0 ? "\n" : ",\n") << "    " << rows_[r].encode();

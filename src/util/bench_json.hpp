@@ -43,6 +43,10 @@ class JsonObject {
     return set(key, std::string(value));
   }
 
+  /// Set a pre-encoded JSON value (a nested object or array). The caller
+  /// guarantees `json` is valid JSON; it is spliced verbatim.
+  JsonObject& set_raw(const std::string& key, const std::string& json);
+
   bool empty() const { return fields_.empty(); }
 
   /// Compact single-line encoding: {"k": v, ...}.
@@ -57,13 +61,23 @@ class JsonObject {
 };
 
 /// One benchmark's machine-readable output: metadata + result rows,
-/// serialized to `BENCH_<name>.json`.
+/// serialized to `BENCH_<name>.json`. Every document carries a nested
+/// "meta" provenance block (git SHA, compiler id/version, build type,
+/// hardware thread count) so BENCH_*.json trajectories are attributable
+/// across machines; trend tooling that only reads "rows" ignores it.
 class BenchJson {
  public:
   explicit BenchJson(std::string bench_name);
 
   /// Top-level metadata (workload sizes, configuration).
   JsonObject& meta() { return meta_; }
+
+  /// Build-provenance facts baked into every document's "meta" block.
+  /// The git SHA and build type are captured at CMake configure time
+  /// (WSMD_GIT_SHA / WSMD_BUILD_TYPE definitions on this translation
+  /// unit; "unknown" outside a configured build), the compiler from
+  /// predefined macros, the thread count from the running host.
+  static JsonObject provenance();
 
   /// Append a result row.
   JsonObject& add_row();

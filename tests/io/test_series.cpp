@@ -72,6 +72,26 @@ TEST(Series, JsonlEmitsOneObjectPerRow) {
   std::remove(path.c_str());
 }
 
+// A full device (/dev/full) makes every flush fail with ENOSPC: the writer
+// must warn and latch ok() == false instead of throwing or silently
+// dropping the failure (the old behavior lost it in the destructor).
+TEST(Series, FlushFailureSurfacedNotThrown) {
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "/dev/full not available";
+  SeriesWriter w("/dev/full", ThermoFormat::kCsv, {"a", "b"});
+  for (int i = 0; i < 100000 && w.ok(); ++i) {
+    w.write_row({static_cast<double>(i), 0.5});  // must never throw
+    w.flush();
+  }
+  EXPECT_FALSE(w.ok());
+  EXPECT_FALSE(w.finish());
+  EXPECT_FALSE(w.finish());  // idempotent, still reports the failure
+  // Later rows on a failed stream are dropped, not counted.
+  const std::size_t rows = w.rows_written();
+  w.write_row({1.0, 2.0});
+  EXPECT_EQ(w.rows_written(), rows);
+}
+
 TEST(Series, ReaderRejectsMalformedFiles) {
   {
     std::istringstream empty("");

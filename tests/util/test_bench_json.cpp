@@ -31,11 +31,14 @@ TEST(BenchJson, EncodesMetaAndRows) {
   b.meta().set("atoms", 128).set("element", "Ta");
   b.add_row().set("threads", 1).set("steps_per_s", 10.0);
   b.add_row().set("threads", 2).set("steps_per_s", 19.5);
+  // The provenance meta block is environment-dependent (git SHA, compiler),
+  // so the expectation embeds whatever this build reports.
   const std::string expected =
       "{\n"
       "  \"bench\": \"unit_test\",\n"
       "  \"atoms\": 128,\n"
       "  \"element\": \"Ta\",\n"
+      "  \"meta\": " + BenchJson::provenance().encode() + ",\n"
       "  \"rows\": [\n"
       "    {\"threads\": 1, \"steps_per_s\": 10},\n"
       "    {\"threads\": 2, \"steps_per_s\": 19.5}\n"
@@ -46,7 +49,17 @@ TEST(BenchJson, EncodesMetaAndRows) {
 
 TEST(BenchJson, NoRowsStillValid) {
   BenchJson b("empty");
-  EXPECT_EQ(b.encode(), "{\n  \"bench\": \"empty\",\n  \"rows\": [\n  ]\n}\n");
+  EXPECT_EQ(b.encode(), "{\n  \"bench\": \"empty\",\n  \"meta\": " +
+                            BenchJson::provenance().encode() +
+                            ",\n  \"rows\": [\n  ]\n}\n");
+}
+
+TEST(BenchJson, ProvenanceHasRequiredKeys) {
+  const std::string meta = BenchJson::provenance().encode();
+  EXPECT_NE(meta.find("\"git_sha\""), std::string::npos) << meta;
+  EXPECT_NE(meta.find("\"compiler\""), std::string::npos) << meta;
+  EXPECT_NE(meta.find("\"build_type\""), std::string::npos) << meta;
+  EXPECT_NE(meta.find("\"threads\""), std::string::npos) << meta;
 }
 
 TEST(BenchJson, WritesFile) {

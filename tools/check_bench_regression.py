@@ -3,7 +3,10 @@
 
 The smoke benches emit machine-readable BENCH_<name>.json (util/bench_json).
 This gate compares the *modeled* throughput metrics against the checked-in
-bench/baseline.json:
+bench/baseline.json. Only the "rows" array is gated; the envelope's "meta"
+provenance block (git SHA, compiler, build type, thread count) is
+informational and ignored here, so provenance churn can never fail the
+gate:
 
   * Structural mismatches FAIL (exit 1): a baseline bench whose BENCH file
     is missing, a baseline row with no matching emitted row, or a row

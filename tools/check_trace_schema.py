@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Validate a telemetry trace JSON (telemetry::write_trace_json output).
+
+The exporter writes the chrome://tracing / Perfetto "trace event" format:
+a top-level object with "traceEvents" holding "M" thread-name metadata
+events followed by "X" complete events. This checker pins that schema in
+CI so a formatting regression (unquoted string, missing field, wrong
+phase letter) fails fast instead of silently producing a trace Perfetto
+cannot load:
+
+  * the document parses as JSON with a "traceEvents" list,
+  * every event is an object with string "ph" of "M" or "X",
+  * "M" events are thread_name metadata with an args.name string,
+  * "X" events carry name/cat/pid/tid plus numeric ts/dur >= 0,
+  * every "X" event's tid was declared by an "M" metadata event.
+
+Usage: check_trace_schema.py TRACE.json [TRACE.json ...]
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"FAIL {path}: {msg}")
+    return False
+
+
+def check_trace(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as ex:
+        return fail(path, f"cannot parse: {ex}")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(path, '"traceEvents" missing or not a list')
+
+    declared_tids = set()
+    n_meta = n_complete = 0
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            return fail(path, f"{where} is not an object")
+        ph = ev.get("ph")
+        if ph == "M":
+            n_meta += 1
+            if ev.get("name") != "thread_name":
+                return fail(path, f"{where}: M event is not thread_name")
+            args = ev.get("args")
+            if not isinstance(args, dict) or not isinstance(
+                args.get("name"), str
+            ):
+                return fail(path, f"{where}: M event lacks args.name string")
+            if not isinstance(ev.get("tid"), int):
+                return fail(path, f"{where}: M event lacks integer tid")
+            declared_tids.add(ev["tid"])
+        elif ph == "X":
+            n_complete += 1
+            for key, kind in (
+                ("name", str),
+                ("cat", str),
+                ("pid", int),
+                ("tid", int),
+            ):
+                if not isinstance(ev.get(key), kind):
+                    return fail(
+                        path, f"{where}: X event '{key}' missing or not "
+                        f"{kind.__name__}"
+                    )
+            for key in ("ts", "dur"):
+                value = ev.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    return fail(
+                        path, f"{where}: X event '{key}' not a number >= 0"
+                    )
+            if ev["tid"] not in declared_tids:
+                return fail(
+                    path, f"{where}: tid {ev['tid']} has no thread_name "
+                    "metadata"
+                )
+        else:
+            return fail(path, f"{where}: unexpected ph {ph!r}")
+
+    print(
+        f"OK   {path}: {n_meta} thread(s), {n_complete} complete event(s)"
+    )
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 1
+    ok = True
+    for path in argv[1:]:
+        ok &= check_trace(path)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
