@@ -40,7 +40,7 @@ int main() {
   md::AtomSystem system(crystal, potential);
   Rng rng(2024);
   system.thermalize(290.0, rng);
-  const auto velocities = system.velocities();  // reuse for the WSE run
+  const auto velocities = system.velocities().to_aos();  // reuse for the WSE run
 
   md::Simulation reference(std::move(system));
   reference.compute_forces();
@@ -66,7 +66,7 @@ int main() {
 
   // 5. Compare trajectories (FP32 wafer vs FP64 reference).
   double max_err = 0.0;
-  const auto& ref_pos = reference.system().positions();
+  const auto ref_pos = reference.system().positions().to_aos();
   const auto wse_pos = wafer.positions();
   for (std::size_t i = 0; i < ref_pos.size(); ++i) {
     max_err = std::max(max_err, norm(ref_pos[i] - wse_pos[i]));

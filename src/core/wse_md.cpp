@@ -28,6 +28,8 @@ WseMd::WseMd(const lattice::Structure& s, eam::EamPotentialPtr potential,
   for (std::size_t a = 0; a < 3; ++a) {
     box_periodic_[a] = box_.periodic[a];
     box_inv_len_f_[a] = 1.0f / box_len_f_[a];
+    sbox_.len[a] = box_len_f_[a];
+    sbox_.inv_len[a] = box_periodic_[a] ? box_inv_len_f_[a] : 0.0f;
   }
 
   positions_.resize(s.size());
@@ -36,10 +38,10 @@ WseMd::WseMd(const lattice::Structure& s, eam::EamPotentialPtr potential,
   fprime_.assign(s.size(), 0.0f);
   initial_positions_.resize(s.size());
   for (std::size_t i = 0; i < s.size(); ++i) {
-    positions_[i] = Vec3f(s.positions[i]);
+    positions_.set(i, Vec3f(s.positions[i]));
     // Displacement diagnostics are measured against the FP32-rounded
     // state the workers actually hold.
-    initial_positions_[i] = Vec3d(positions_[i]);
+    initial_positions_[i] = Vec3d(positions_.get(i));
   }
 
   if (config_.b_override > 0) {
@@ -100,7 +102,7 @@ double WseMd::reduce_potential_energy(const StepWorkspace& ws) const {
 std::vector<Vec3d> WseMd::positions() const {
   std::vector<Vec3d> out(positions_.size());
   for (std::size_t i = 0; i < positions_.size(); ++i) {
-    out[i] = Vec3d(positions_[i]);
+    out[i] = Vec3d(positions_.get(i));
   }
   return out;
 }
@@ -108,24 +110,26 @@ std::vector<Vec3d> WseMd::positions() const {
 std::vector<Vec3d> WseMd::velocities() const {
   std::vector<Vec3d> out(velocities_.size());
   for (std::size_t i = 0; i < velocities_.size(); ++i) {
-    out[i] = Vec3d(velocities_[i]);
+    out[i] = Vec3d(velocities_.get(i));
   }
   return out;
 }
 
 void WseMd::set_velocities(const std::vector<Vec3d>& v) {
   WSMD_REQUIRE(v.size() == velocities_.size(), "velocity count mismatch");
-  for (std::size_t i = 0; i < v.size(); ++i) velocities_[i] = Vec3f(v[i]);
+  for (std::size_t i = 0; i < v.size(); ++i) velocities_.set(i, Vec3f(v[i]));
 }
 
 void WseMd::set_positions(const std::vector<Vec3d>& r) {
   WSMD_REQUIRE(r.size() == positions_.size(), "position count mismatch");
-  for (std::size_t i = 0; i < r.size(); ++i) positions_[i] = Vec3f(r[i]);
+  for (std::size_t i = 0; i < r.size(); ++i) positions_.set(i, Vec3f(r[i]));
   pe_current_ = false;
   // A bare position overwrite (cross-backend transfer, tests) may exceed
   // what the constructed mapping planned for; never shrink b, only widen.
   std::vector<Vec3d> wide(positions_.size());
-  for (std::size_t i = 0; i < wide.size(); ++i) wide[i] = Vec3d(positions_[i]);
+  for (std::size_t i = 0; i < wide.size(); ++i) {
+    wide[i] = Vec3d(positions_.get(i));
+  }
   b_ = std::max(b_, mapping_.required_b(wide, rcut_) + 1);
 }
 
@@ -162,8 +166,8 @@ void WseMd::restore_state(const SavedState& state) {
                "restore_state: displacement baseline size mismatch");
   mapping_.restore_assignment(state.core_atoms);
   for (std::size_t i = 0; i < positions_.size(); ++i) {
-    positions_[i] = Vec3f(state.positions[i]);
-    velocities_[i] = Vec3f(state.velocities[i]);
+    positions_.set(i, Vec3f(state.positions[i]));
+    velocities_.set(i, Vec3f(state.velocities[i]));
   }
   initial_positions_ = state.initial_positions;
   b_ = state.b;
@@ -195,7 +199,7 @@ void WseMd::thermalize(double temperature_K, Rng& rng) {
 }
 
 void WseMd::gather_neighborhood(int cx, int cy,
-                                std::vector<std::size_t>& out) const {
+                                std::vector<std::uint32_t>& out) const {
   out.clear();
   const int w = mapping_.grid_width();
   const int h = mapping_.grid_height();
@@ -205,7 +209,7 @@ void WseMd::gather_neighborhood(int cx, int cy,
     for (int x = std::max(0, cx - b_); x <= std::min(w - 1, cx + b_); ++x) {
       if (x == cx && y == cy) continue;
       const long a = mapping_.atom_at(x, y);
-      if (a >= 0) out.push_back(static_cast<std::size_t>(a));
+      if (a >= 0) out.push_back(static_cast<std::uint32_t>(a));
     }
   }
 }
@@ -229,7 +233,12 @@ ShardRect WseMd::full_grid() const {
 void WseMd::begin_step(StepWorkspace& ws) const {
   telemetry::ScopedSpan span("wse.begin");
   const std::size_t n = positions_.size();
-  ws.neighbors.resize(n);
+  // Row capacity: every cell in the (2b+1)² neighborhood square except the
+  // center can hold an atom, plus the sieve's vector-store overshoot pad.
+  const auto span_cells = static_cast<std::size_t>(2 * b_ + 1);
+  ws.neighbor_stride = span_cells * span_cells - 1 + simd::kPadF32;
+  ws.neighbor_idx.resize(n * ws.neighbor_stride);
+  ws.neighbor_count.assign(n, 0);
   ws.candidates.assign(n, 0);
   ws.pe_embed.assign(n, 0.0);
   ws.pair_half.assign(n, 0.0f);
@@ -244,7 +253,17 @@ void WseMd::density_phase(const ShardRect& shard, StepWorkspace& ws) {
   const auto rc2 = static_cast<float>(rcut_ * rcut_);
   const eam::ProfileF32* prof = profile_.get();
   const bool pairwise_only = potential_->is_pairwise_only();
-  std::vector<std::size_t> gathered;
+  const simd::KernelTable& kern = simd::kernels();
+  eam::ProfileF32::Raw raw{};
+  if (prof != nullptr) raw = prof->raw();
+  const float* px = positions_.x();
+  const float* py = positions_.y();
+  const float* pz = positions_.z();
+  // Function-local scratch (one per phase call) keeps sharded workers from
+  // racing: r2 is only needed transiently between the sieve and the density
+  // row — persisting it per atom would not fit at paper scale.
+  std::vector<std::uint32_t> gathered;
+  std::vector<float> r2_scratch(ws.neighbor_stride);
   for (int cy = shard.y0; cy < shard.y1; ++cy) {
     for (int cx = shard.x0; cx < shard.x1; ++cx) {
       const long ai = mapping_.atom_at(cx, cy);
@@ -252,23 +271,34 @@ void WseMd::density_phase(const ShardRect& shard, StepWorkspace& ws) {
       const auto i = static_cast<std::size_t>(ai);
       gather_neighborhood(cx, cy, gathered);
       ws.candidates[i] = static_cast<std::uint32_t>(gathered.size());
-      auto& neighbors = ws.neighbors[i];
-      neighbors.clear();
-      const Vec3f ri = positions_[i];
+      std::uint32_t* row = ws.neighbor_idx.data() + i * ws.neighbor_stride;
+      const Vec3f ri = positions_.get(i);
       float rho = 0.0f;
-      for (std::size_t j : gathered) {
-        // The accept test costs one FP32 subtract + dot per candidate;
-        // everything heavier (table lookup or sqrt + potential call) runs
-        // only for accepted candidates.
-        const Vec3f d = minimum_image_f(ri, positions_[j]);
-        const float r2 = dot(d, d);
-        if (r2 >= rc2) continue;
-        neighbors.push_back(j);
-        if (pairwise_only) continue;  // phase 3 skipped for pure pair styles
-        rho += prof != nullptr
-                   ? prof->density(types_[j], r2)
-                   : static_cast<float>(potential_->density(
-                         types_[j], std::sqrt(static_cast<double>(r2))));
+      if (prof != nullptr) {
+        // Batched sieve: 8-wide accept test, accepted indices compacted
+        // into the row; then one 8-wide table sweep over the survivors.
+        const std::size_t m =
+            kern.sieve_f32(px, py, pz, ri.x, ri.y, ri.z, gathered.data(),
+                           gathered.size(), sbox_, rc2, row,
+                           r2_scratch.data());
+        ws.neighbor_count[i] = static_cast<std::uint32_t>(m);
+        if (!pairwise_only) {
+          rho = kern.rho_row_f32(raw, types_.data(), row, r2_scratch.data(),
+                                 m);
+        }
+      } else {
+        // Analytic path: per-candidate accept + direct potential calls.
+        std::uint32_t m = 0;
+        for (std::uint32_t j : gathered) {
+          const Vec3f d = minimum_image_f(ri, positions_.get(j));
+          const float r2 = dot(d, d);
+          if (r2 >= rc2) continue;
+          row[m++] = j;
+          if (pairwise_only) continue;  // phase 3 skipped for pair styles
+          rho += static_cast<float>(potential_->density(
+              types_[j], std::sqrt(static_cast<double>(r2))));
+        }
+        ws.neighbor_count[i] = m;
       }
       if (pairwise_only) {
         ws.pe_embed[i] = 0.0;
@@ -294,31 +324,38 @@ void WseMd::force_phase(const ShardRect& shard, StepWorkspace& ws) const {
   const auto dt = static_cast<float>(config_.dt);
   const eam::ProfileF32* prof = profile_.get();
   const bool pairwise_only = potential_->is_pairwise_only();
+  const simd::KernelTable& kern = simd::kernels();
+  eam::ProfileF32::Raw raw{};
+  if (prof != nullptr) raw = prof->raw();
+  const float* px = positions_.x();
+  const float* py = positions_.y();
+  const float* pz = positions_.z();
   for (int cy = shard.y0; cy < shard.y1; ++cy) {
     for (int cx = shard.x0; cx < shard.x1; ++cx) {
       const long ai = mapping_.atom_at(cx, cy);
       if (ai < 0) continue;
       const auto i = static_cast<std::size_t>(ai);
-      const Vec3f ri = positions_[i];
+      const Vec3f ri = positions_.get(i);
       const float fprime_i = fprime_[i];
       const int ti = types_[i];
+      const std::uint32_t* row =
+          ws.neighbor_idx.data() + i * ws.neighbor_stride;
+      const std::uint32_t m = ws.neighbor_count[i];
       Vec3f force{0, 0, 0};
       float pair_acc = 0.0f;
-      for (std::size_t j : ws.neighbors[i]) {
-        const Vec3f d = minimum_image_f(ri, positions_[j]);
-        const float r2 = dot(d, d);
-        float fmag_over_r;
-        if (prof != nullptr) {
-          // Tables carry phi'(r)/r and rho'(r)/r: no sqrt, no division.
-          float phi, phi_force;
-          prof->pair(ti, types_[j], r2, phi, phi_force);
-          pair_acc += phi;
-          fmag_over_r = phi_force;
-          if (!pairwise_only) {
-            fmag_over_r += fprime_i * prof->density_force(types_[j], r2) +
-                           fprime_[j] * prof->density_force(ti, r2);
-          }
-        } else {
+      if (prof != nullptr) {
+        // Batched force row: re-gathers neighbor positions and recomputes
+        // the sieve's displacement bitwise, then 8-wide table sweeps.
+        const simd::PairAccumF32 acc = kern.force_row_f32(
+            raw, px, py, pz, ri.x, ri.y, ri.z, sbox_, types_.data(),
+            fprime_.data(), fprime_i, ti, row, m, pairwise_only);
+        force = Vec3f{acc.fx, acc.fy, acc.fz};
+        pair_acc = acc.phi;
+      } else {
+        for (std::uint32_t k = 0; k < m; ++k) {
+          const std::uint32_t j = row[k];
+          const Vec3f d = minimum_image_f(ri, positions_.get(j));
+          const float r2 = dot(d, d);
           const double rd = std::sqrt(static_cast<double>(r2));
           pair_acc += static_cast<float>(potential_->pair(ti, types_[j], rd));
           float fmag =
@@ -329,23 +366,21 @@ void WseMd::force_phase(const ShardRect& shard, StepWorkspace& ws) const {
                     fprime_[j] * static_cast<float>(
                                      potential_->density_deriv(ti, rd));
           }
-          fmag_over_r = fmag / static_cast<float>(rd);
+          force += d * (fmag / static_cast<float>(rd));
         }
-        force += d * fmag_over_r;
       }
       ws.pair_half[i] = pair_acc;
 
       const auto inv_m = static_cast<float>(
           1.0 / potential_->mass(types_[i]) * units::kForceToAccel);
       const Vec3f a = force * inv_m;
-      ws.new_velocities[i] = velocities_[i] + a * dt;
-      ws.new_positions[i] =
-          Vec3f(box_.wrap(Vec3d(ri + ws.new_velocities[i] * dt)));
+      const Vec3f v_new = velocities_.get(i) + a * dt;
+      ws.new_velocities.set(i, v_new);
+      ws.new_positions.set(i, Vec3f(box_.wrap(Vec3d(ri + v_new * dt))));
 
       // Cycle accounting for this worker's timestep.
       ws.cycles[i] = config_.cost_model.timestep_cycles(
-          static_cast<double>(ws.candidates[i]),
-          static_cast<double>(ws.neighbors[i].size()));
+          static_cast<double>(ws.candidates[i]), static_cast<double>(m));
     }
   }
 }
@@ -382,8 +417,8 @@ void WseMd::swap_select(const ShardRect& shard,
   auto disp = [&](long atom, const CoreCoord& c) {
     if (atom < 0) return 0.0;
     const Vec3d nom = mapping_.nominal_position(c);
-    const Vec3d lg =
-        mapping_.logical_xy(Vec3d(positions_[static_cast<std::size_t>(atom)]));
+    const Vec3d lg = mapping_.logical_xy(
+        Vec3d(positions_.get(static_cast<std::size_t>(atom))));
     return std::max(std::fabs(lg.x - nom.x), std::fabs(lg.y - nom.y));
   };
 
@@ -452,7 +487,7 @@ WseStepStats WseMd::reduce_region(const ShardRect& shard,
       const auto i = static_cast<std::size_t>(ai);
       cycles.add(ws.cycles[i]);
       cand_total += static_cast<double>(ws.candidates[i]);
-      inter_total += static_cast<double>(ws.neighbors[i].size());
+      inter_total += static_cast<double>(ws.neighbor_count[i]);
       ++occupied;
     }
   }
@@ -510,7 +545,7 @@ WseStepStats WseMd::do_timestep() {
 double WseMd::kinetic_energy() const {
   double mv2 = 0.0;
   for (std::size_t i = 0; i < velocities_.size(); ++i) {
-    mv2 += potential_->mass(types_[i]) * norm2(Vec3d(velocities_[i]));
+    mv2 += potential_->mass(types_[i]) * norm2(Vec3d(velocities_.get(i)));
   }
   return 0.5 * mv2 * units::kMv2ToEnergy;
 }
@@ -530,7 +565,8 @@ void WseMd::scramble_mapping(Rng& rng, int count) {
 double WseMd::assignment_cost() const {
   double worst = 0.0;
   for (std::size_t i = 0; i < positions_.size(); ++i) {
-    worst = std::max(worst, mapping_.displacement(i, Vec3d(positions_[i])));
+    worst =
+        std::max(worst, mapping_.displacement(i, Vec3d(positions_.get(i))));
   }
   return worst;
 }
@@ -538,7 +574,7 @@ double WseMd::assignment_cost() const {
 double WseMd::max_inplane_displacement() const {
   double worst = 0.0;
   for (std::size_t i = 0; i < positions_.size(); ++i) {
-    const Vec3d d = Vec3d(positions_[i]) - initial_positions_[i];
+    const Vec3d d = Vec3d(positions_.get(i)) - initial_positions_[i];
     worst = std::max(worst, std::max(std::fabs(d.x), std::fabs(d.y)));
   }
   return worst;

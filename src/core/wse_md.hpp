@@ -34,7 +34,9 @@
 #include "eam/potential.hpp"
 #include "eam/profile.hpp"
 #include "lattice/lattice.hpp"
+#include "md/simd.hpp"
 #include "util/random.hpp"
+#include "util/soa.hpp"
 #include "util/stats.hpp"
 #include "wse/cost_model.hpp"
 
@@ -92,15 +94,22 @@ struct ShardRect {
 /// disjoint shards never write the same slot — the workspace is safe to
 /// share across threads within one step.
 struct StepWorkspace {
-  // Phase 1-3 outputs.
-  std::vector<std::vector<std::size_t>> neighbors;  ///< accepted candidates
-  std::vector<std::uint32_t> candidates;            ///< gathered per worker
-  std::vector<double> pe_embed;                     ///< F(rho_i) per atom
+  // Phase 1-3 outputs. The accepted-neighbor lists live in one flat
+  // fixed-stride buffer (row i at neighbor_idx[i * neighbor_stride], length
+  // neighbor_count[i]): the SIMD sieve compacts straight into the row, and
+  // the per-step allocation churn of nested vectors is gone. Only indices
+  // are stored — at paper scale (800k atoms) caching per-neighbor
+  // displacements would cost gigabytes, so the force phase re-gathers.
+  std::vector<std::uint32_t> neighbor_idx;    ///< accepted candidates, flat
+  std::vector<std::uint32_t> neighbor_count;  ///< accepted per atom
+  std::size_t neighbor_stride = 0;            ///< row capacity (incl. pad)
+  std::vector<std::uint32_t> candidates;      ///< gathered per worker
+  std::vector<double> pe_embed;               ///< F(rho_i) per atom
   // Phase 4 outputs.
   std::vector<float> pair_half;   ///< sum_j phi_ij before the 1/2 factor
   std::vector<double> cycles;     ///< cost-model cycles per worker
-  std::vector<Vec3f> new_positions;
-  std::vector<Vec3f> new_velocities;
+  Vec3fPlanes new_positions;
+  Vec3fPlanes new_velocities;
   // Phase 5 (atom swap) scratch: chosen partner core id or -1, per core.
   std::vector<int> partner;
   // Full-grid accounting reduced by commit_step (before any swap perturbs
@@ -272,18 +281,19 @@ class WseMd {
 
  private:
   void gather_neighborhood(int cx, int cy,
-                           std::vector<std::size_t>& out) const;
+                           std::vector<std::uint32_t>& out) const;
   WseStepStats do_timestep();
 
-  /// FP32 minimum-image displacement rj - ri. The candidate loops run this
-  /// for every gathered candidate, so it stays entirely in FP32 — the
-  /// FP64-widened round trip the hot path used to pay per candidate is
-  /// gone (rejected candidates now cost one subtract + dot).
+  /// FP32 minimum-image displacement rj - ri (analytic path; the tabulated
+  /// path runs the batched sieve instead). The candidate loops run this for
+  /// every gathered candidate, so it stays entirely in FP32. nearbyint —
+  /// not round — so the correction matches the SIMD kernels' round-half-
+  /// even `_mm256_round_ps` convention.
   Vec3f minimum_image_f(const Vec3f& ri, const Vec3f& rj) const {
     Vec3f d = rj - ri;
     for (std::size_t a = 0; a < 3; ++a) {
       if (!box_periodic_[a]) continue;
-      d[a] -= std::round(d[a] * box_inv_len_f_[a]) * box_len_f_[a];
+      d[a] -= std::nearbyint(d[a] * box_inv_len_f_[a]) * box_len_f_[a];
     }
     return d;
   }
@@ -299,13 +309,15 @@ class WseMd {
   Vec3f box_len_f_{0, 0, 0};
   Vec3f box_inv_len_f_{0, 0, 0};
   std::array<bool, 3> box_periodic_{false, false, false};
+  /// Branch-free box view for the SIMD sieve (inv_len = 0 on open axes).
+  simd::BoxF32 sbox_{{0, 0, 0}, {0, 0, 0}};
   AtomMapping mapping_;
   int b_ = 1;
   double rcut_ = 0.0;
 
-  // FP32 per-atom state (SoA).
-  std::vector<Vec3f> positions_;
-  std::vector<Vec3f> velocities_;
+  // FP32 per-atom state, split into x/y/z planes for the batched kernels.
+  Vec3fPlanes positions_;
+  Vec3fPlanes velocities_;
   std::vector<int> types_;
   // Embedding derivative, exchanged per step. Mutable: the lazy initial
   // potential_energy() evaluation republishes it from a const context

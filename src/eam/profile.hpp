@@ -33,6 +33,7 @@
 /// profile undistorted at its knots.
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -108,6 +109,36 @@ class PotentialProfile {
         embed_.data() + (static_cast<std::size_t>(type) * nrho_ + k) * 4;
     f = c[0] + c[1] * frac;
     fprime = c[2] + c[3] * frac;
+  }
+
+  /// Raw table view for the batched SIMD kernels (md/simd.hpp): flat
+  /// coefficient pointers plus the index scales, so a kernel can gather
+  /// bundle elements directly instead of calling the accessors per pair.
+  /// Counts are int32 because the vector paths compute table indices in
+  /// 32-bit lanes (nt² · nr · 4 stays far below 2³¹ for every real
+  /// potential). The view borrows the profile's storage — keep the profile
+  /// alive while using it.
+  struct Raw {
+    const T* rho;        ///< 2-wide bundles {value, delta}
+    const T* rho_force;  ///< 2-wide bundles {rho'/r, delta}
+    const T* pair;       ///< 4-wide bundles {phi, dphi, phi'/r, dphi'/r}
+    const T* embed;      ///< 4-wide bundles {F, dF, F', dF'}
+    std::int32_t nr;
+    std::int32_t nrho;
+    std::int32_t nt;
+    T inv_dr2;
+    T inv_drho;
+  };
+  Raw raw() const {
+    return {rho_.data(),
+            rho_force_.data(),
+            pair_.data(),
+            embed_.data(),
+            static_cast<std::int32_t>(nr_),
+            static_cast<std::int32_t>(nrho_),
+            nt_,
+            inv_dr2_,
+            inv_drho_};
   }
 
   /// --- Introspection (tests, memory accounting) ------------------------

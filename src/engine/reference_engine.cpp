@@ -30,21 +30,21 @@ ReferenceEngine::ReferenceEngine(md::Simulation sim) : sim_(std::move(sim)) {
 }
 
 std::vector<Vec3d> ReferenceEngine::positions() const {
-  return sim_.system().positions();
+  return sim_.system().positions().to_aos();
 }
 
 std::vector<Vec3d> ReferenceEngine::velocities() const {
-  return sim_.system().velocities();
+  return sim_.system().velocities().to_aos();
 }
 
 void ReferenceEngine::set_velocities(const std::vector<Vec3d>& v) {
   WSMD_REQUIRE(v.size() == sim_.system().size(), "velocity count mismatch");
-  sim_.system().velocities() = v;
+  sim_.system().velocities().from_aos(v);
 }
 
 void ReferenceEngine::set_positions(const std::vector<Vec3d>& r) {
   WSMD_REQUIRE(r.size() == sim_.system().size(), "position count mismatch");
-  sim_.system().positions() = r;
+  sim_.system().positions().from_aos(r);
   sim_.compute_forces();  // keep the thermo()-valid-always contract
 }
 

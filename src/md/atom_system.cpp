@@ -65,7 +65,7 @@ void AtomSystem::scale_to_temperature(double temperature_K) {
   const double t_now = temperature();
   WSMD_REQUIRE(t_now > 0.0, "cannot rescale a zero-temperature system");
   const double s = std::sqrt(temperature_K / t_now);
-  for (auto& v : velocities_) v *= s;
+  for (auto v : velocities_) v *= s;
 }
 
 void AtomSystem::zero_momentum() {
@@ -73,7 +73,7 @@ void AtomSystem::zero_momentum() {
   double total_mass = 0.0;
   for (std::size_t i = 0; i < size(); ++i) total_mass += mass(i);
   const Vec3d v_cm = p / total_mass;
-  for (auto& v : velocities_) v -= v_cm;
+  for (auto v : velocities_) v -= v_cm;
 }
 
 }  // namespace wsmd::md

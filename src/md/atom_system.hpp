@@ -5,7 +5,10 @@
 ///
 /// Plays the role of LAMMPS's Atom class in the paper's baseline runs:
 /// positions/velocities/forces in FP64, per-type masses from the potential.
-/// The wafer-scale path (src/core) keeps per-core FP32 state instead; tests
+/// State lives in Vec3dPlanes (contiguous x/y/z planes) so the batched
+/// force kernels (md/simd.hpp) load and gather dense scalar lanes; element
+/// access keeps the Vec3 API via the planes' reference proxy. The
+/// wafer-scale path (src/core) keeps per-core FP32 state instead; tests
 /// cross-validate the two.
 
 #include <vector>
@@ -14,6 +17,7 @@
 #include "lattice/lattice.hpp"
 #include "util/box.hpp"
 #include "util/random.hpp"
+#include "util/soa.hpp"
 #include "util/vec3.hpp"
 
 namespace wsmd::md {
@@ -29,12 +33,12 @@ class AtomSystem {
   const eam::EamPotential& potential() const { return *potential_; }
   eam::EamPotentialPtr potential_ptr() const { return potential_; }
 
-  std::vector<Vec3d>& positions() { return positions_; }
-  const std::vector<Vec3d>& positions() const { return positions_; }
-  std::vector<Vec3d>& velocities() { return velocities_; }
-  const std::vector<Vec3d>& velocities() const { return velocities_; }
-  std::vector<Vec3d>& forces() { return forces_; }
-  const std::vector<Vec3d>& forces() const { return forces_; }
+  Vec3dPlanes& positions() { return positions_; }
+  const Vec3dPlanes& positions() const { return positions_; }
+  Vec3dPlanes& velocities() { return velocities_; }
+  const Vec3dPlanes& velocities() const { return velocities_; }
+  Vec3dPlanes& forces() { return forces_; }
+  const Vec3dPlanes& forces() const { return forces_; }
   const std::vector<int>& types() const { return types_; }
 
   /// Mass of atom i (amu).
@@ -65,9 +69,9 @@ class AtomSystem {
  private:
   Box box_;
   eam::EamPotentialPtr potential_;
-  std::vector<Vec3d> positions_;
-  std::vector<Vec3d> velocities_;
-  std::vector<Vec3d> forces_;
+  Vec3dPlanes positions_;
+  Vec3dPlanes velocities_;
+  Vec3dPlanes forces_;
   std::vector<int> types_;
   std::vector<double> masses_by_type_;
 };

@@ -16,10 +16,10 @@ void LeapfrogIntegrator::step(AtomSystem& system) const {
   const Box& box = system.box();
   for (std::size_t i = 0; i < system.size(); ++i) {
     const double inv_m = 1.0 / system.mass(i);
-    const Vec3d a = frc[i] * (inv_m * units::kForceToAccel);
-    vel[i] += a * dt_;
-    pos[i] += vel[i] * dt_;
-    pos[i] = box.wrap(pos[i]);
+    const Vec3d a = frc.get(i) * (inv_m * units::kForceToAccel);
+    const Vec3d v = vel.get(i) + a * dt_;
+    vel.set(i, v);
+    pos.set(i, box.wrap(pos.get(i) + v * dt_));
   }
 }
 
@@ -28,8 +28,8 @@ void LeapfrogIntegrator::half_kick(AtomSystem& system) const {
   const auto& frc = system.forces();
   for (std::size_t i = 0; i < system.size(); ++i) {
     const double inv_m = 1.0 / system.mass(i);
-    const Vec3d a = frc[i] * (inv_m * units::kForceToAccel);
-    vel[i] += a * (0.5 * dt_);
+    const Vec3d a = frc.get(i) * (inv_m * units::kForceToAccel);
+    vel.set(i, vel.get(i) + a * (0.5 * dt_));
   }
 }
 

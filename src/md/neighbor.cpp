@@ -27,12 +27,12 @@ void NeighborList::build(const Box& box, const std::vector<Vec3d>& positions) {
 
   offsets_.assign(n + 1, 0);
   indices_.clear();
-  std::vector<std::size_t> scratch;
+  std::vector<std::uint32_t> scratch;
   scratch.reserve(128);
   for (std::size_t i = 0; i < n; ++i) {
     scratch.clear();
     cl.for_each_neighbor(i, [&](std::size_t j, const Vec3d&, double) {
-      scratch.push_back(j);
+      scratch.push_back(static_cast<std::uint32_t>(j));
     });
     // Ascending order keeps the CSR layout — and therefore the FP summation
     // order of every force/density loop over it — independent of the cell
@@ -57,6 +57,31 @@ bool NeighborList::ensure_current(const Box& box,
   for (std::size_t i = 0; i < positions.size(); ++i) {
     const Vec3d d =
         box.minimum_image(reference_positions_[i], positions[i]);
+    if (norm2(d) > trigger2) {
+      build(box, positions);
+      return true;
+    }
+  }
+  return false;
+}
+
+void NeighborList::build(const Box& box, const Vec3dPlanes& positions) {
+  // Rebuilds are rare (every ~10-100 steps with a sane skin); one AoS copy
+  // here is noise next to the cell-list walk and keeps CellList unchanged.
+  build(box, positions.to_aos());
+}
+
+bool NeighborList::ensure_current(const Box& box,
+                                  const Vec3dPlanes& positions) {
+  if (reference_positions_.size() != positions.size()) {
+    build(box, positions);
+    return true;
+  }
+  const double trigger = 0.5 * skin_;
+  const double trigger2 = trigger * trigger;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Vec3d d =
+        box.minimum_image(reference_positions_[i], positions.get(i));
     if (norm2(d) > trigger2) {
       build(box, positions);
       return true;

@@ -11,9 +11,11 @@
 /// has moved half the skin.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/box.hpp"
+#include "util/soa.hpp"
 #include "util/vec3.hpp"
 
 namespace wsmd::md {
@@ -30,22 +32,30 @@ class NeighborList {
 
   /// Rebuild unconditionally from the given positions.
   void build(const Box& box, const std::vector<Vec3d>& positions);
+  void build(const Box& box, const Vec3dPlanes& positions);
 
   /// Rebuild only if some atom moved more than skin/2 since the last build.
   /// Returns true when a rebuild happened.
   bool ensure_current(const Box& box, const std::vector<Vec3d>& positions);
+  bool ensure_current(const Box& box, const Vec3dPlanes& positions);
 
   /// Neighbors of atom i (indices within list_radius at build time).
+  /// Indices are 32-bit: the SIMD sieve gathers them as i32 lanes (and a
+  /// 4-billion-atom CSR list would not fit host memory anyway).
   struct Range {
-    const std::size_t* begin_;
-    const std::size_t* end_;
-    const std::size_t* begin() const { return begin_; }
-    const std::size_t* end() const { return end_; }
+    const std::uint32_t* begin_;
+    const std::uint32_t* end_;
+    const std::uint32_t* begin() const { return begin_; }
+    const std::uint32_t* end() const { return end_; }
     std::size_t size() const { return static_cast<std::size_t>(end_ - begin_); }
   };
   Range neighbors(std::size_t i) const {
     return {indices_.data() + offsets_[i], indices_.data() + offsets_[i + 1]};
   }
+
+  /// Row offset of atom i in the CSR index array (the batched force path
+  /// indexes its own per-pair scratch with these).
+  std::size_t row_offset(std::size_t i) const { return offsets_[i]; }
 
   std::size_t atom_count() const {
     return offsets_.empty() ? 0 : offsets_.size() - 1;
@@ -69,7 +79,7 @@ class NeighborList {
   double cutoff_;
   double skin_;
   std::vector<std::size_t> offsets_;
-  std::vector<std::size_t> indices_;
+  std::vector<std::uint32_t> indices_;
   std::vector<Vec3d> reference_positions_;
   std::size_t rebuilds_ = 0;
 };

@@ -1,7 +1,9 @@
 #include "md/simulation.hpp"
 
 #include <cmath>
+#include <thread>
 
+#include "engine/shard_pool.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
@@ -13,10 +15,23 @@ Simulation::Simulation(AtomSystem system, SimulationConfig config)
       config_(config),
       neighbors_(system_.potential().cutoff(), config.skin) {
   WSMD_REQUIRE(config_.dt > 0.0, "timestep must be positive");
+  WSMD_REQUIRE(config_.threads >= 0, "threads must be >= 0 (0 = auto)");
   if (config_.tabulated) {
     profile_ = std::make_shared<eam::ProfileF64>(system_.potential());
   }
+  int workers = config_.threads;
+  if (workers == 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers < 1) workers = 1;
+  }
+  if (workers > 1) {
+    pool_ = std::make_unique<engine::ShardPool>(workers);
+  }
 }
+
+Simulation::~Simulation() = default;
+Simulation::Simulation(Simulation&&) noexcept = default;
+Simulation& Simulation::operator=(Simulation&&) noexcept = default;
 
 double Simulation::compute_forces() {
   {
@@ -26,7 +41,7 @@ double Simulation::compute_forces() {
     }
   }
   telemetry::ScopedSpan span("md.force");
-  last_pe_ = kernel_.compute(system_, neighbors_, profile_.get());
+  last_pe_ = kernel_.compute(system_, neighbors_, profile_.get(), pool_.get());
   forces_current_ = true;
   return last_pe_;
 }
@@ -62,8 +77,8 @@ void Simulation::equilibrate(double temperature_K, long steps, Rng& rng) {
 SimulationState Simulation::save_state() const {
   SimulationState st;
   st.step = step_;
-  st.positions = system_.positions();
-  st.velocities = system_.velocities();
+  st.positions = system_.positions().to_aos();
+  st.velocities = system_.velocities().to_aos();
   st.neighbor_anchor = neighbors_.reference_positions();
   return st;
 }
@@ -79,8 +94,8 @@ void Simulation::restore_state(const SimulationState& state) {
   WSMD_REQUIRE(state.neighbor_anchor.empty() ||
                    state.neighbor_anchor.size() == system_.size(),
                "restore_state: neighbor anchor size mismatch");
-  system_.positions() = state.positions;
-  system_.velocities() = state.velocities;
+  system_.positions().from_aos(state.positions);
+  system_.velocities().from_aos(state.velocities);
   step_ = state.step;
   // Rebuild the Verlet list from the saved anchor so contents, pair order,
   // and the next displacement-triggered rebuild all match the run that
@@ -90,7 +105,7 @@ void Simulation::restore_state(const SimulationState& state) {
   neighbors_.build(system_.box(), state.neighbor_anchor.empty()
                                       ? state.positions
                                       : state.neighbor_anchor);
-  last_pe_ = kernel_.compute(system_, neighbors_, profile_.get());
+  last_pe_ = kernel_.compute(system_, neighbors_, profile_.get(), pool_.get());
   forces_current_ = true;
 }
 

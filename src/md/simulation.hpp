@@ -9,12 +9,17 @@
 /// cost the platform models (src/baseline) are calibrated against.
 
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "md/atom_system.hpp"
 #include "md/force_eam.hpp"
 #include "md/integrator.hpp"
 #include "md/neighbor.hpp"
+
+namespace wsmd::engine {
+class ShardPool;
+}
 
 namespace wsmd::md {
 
@@ -31,6 +36,11 @@ struct SimulationConfig {
   /// potential calls — the production hot path. `false` keeps the analytic
   /// functional form in the loop (scenario key `potential = analytic`).
   bool tabulated = true;
+  /// Worker threads for the force sweep (scenario backend `reference:N`).
+  /// 1 = serial (no pool), 0 = hardware concurrency. Any value produces
+  /// bitwise-identical trajectories: the sweep tiles atoms at a fixed width
+  /// with a deterministic reduction order (see md/force_eam.hpp).
+  int threads = 1;
 };
 
 /// Thermodynamic snapshot after a step.
@@ -58,6 +68,9 @@ struct SimulationState {
 class Simulation {
  public:
   Simulation(AtomSystem system, SimulationConfig config = {});
+  ~Simulation();
+  Simulation(Simulation&&) noexcept;
+  Simulation& operator=(Simulation&&) noexcept;
 
   AtomSystem& system() { return system_; }
   const AtomSystem& system() const { return system_; }
@@ -102,6 +115,8 @@ class Simulation {
   NeighborList neighbors_;
   EamForceKernel kernel_;
   eam::ProfileF64Ptr profile_;  ///< set when config_.tabulated
+  /// Force-sweep worker pool (null when config_.threads resolves to 1).
+  std::unique_ptr<engine::ShardPool> pool_;
   long step_ = 0;
   double last_pe_ = 0.0;
   bool forces_current_ = false;

@@ -37,7 +37,7 @@ struct ProgressInfo {
 
 struct RunOptions {
   /// Non-empty: run on this backend instead of the deck's
-  /// (reference|wafer|sharded|sharded:N).
+  /// (reference|reference:N|wafer|sharded|sharded:N).
   std::string backend_override;
   /// Directory prefixed to relative output paths ("" = current directory).
   std::string output_dir;

@@ -86,8 +86,16 @@ const char* Stage::name() const {
 
 BackendSpec parse_backend(const std::string& spec) {
   BackendSpec bs;
-  if (spec == "reference") {
+  if (spec == "reference" || starts_with(spec, "reference:")) {
     bs.backend = engine::Backend::kReference;
+    if (starts_with(spec, "reference:")) {
+      const std::string n = spec.substr(10);
+      char* end = nullptr;
+      const long threads = std::strtol(n.c_str(), &end, 10);
+      WSMD_REQUIRE(end && *end == '\0' && threads > 0,
+                   "bad reference thread count '" << n << "'");
+      bs.threads = static_cast<int>(threads);
+    }
     return bs;
   }
   if (spec == "wafer") {
@@ -107,9 +115,10 @@ BackendSpec parse_backend(const std::string& spec) {
     }
     return bs;
   }
-  WSMD_REQUIRE(false, "unknown backend '"
-                          << spec
-                          << "' (want reference|wafer|sharded|sharded:N)");
+  WSMD_REQUIRE(
+      false, "unknown backend '"
+                 << spec
+                 << "' (want reference|reference:N|wafer|sharded|sharded:N)");
   return bs;  // unreachable
 }
 
@@ -671,6 +680,9 @@ std::unique_ptr<engine::Engine> build_engine(
   const bool tabulated = sc.potential == "tabulated";
   config.reference.dt = sc.dt;
   config.reference.tabulated = tabulated;
+  // `reference:N` spins up the deterministic threaded force sweep; the
+  // trajectory is bitwise-identical at any N (see md/force_eam.hpp).
+  config.reference.threads = bs.threads;
   config.wafer.dt = sc.dt;
   config.wafer.tabulated = tabulated;
   config.wafer.swap_interval = sc.swap_interval;

@@ -26,7 +26,7 @@
 ///   replicate = NX NY NZ           — explicit unit-cell replication
 ///   vacancy_fraction = F           — random vacancies (slab/bulk)
 ///   tilt_angle_deg = D, gb_atoms = N — bicrystal controls (grain_boundary)
-///   backend  = reference|wafer|sharded|sharded:N
+///   backend  = reference|reference:N|wafer|sharded|sharded:N
 ///   dt, swap_interval, rescale_interval, seed
 ///   thermalize = T                 — schedule stages, in deck order:
 ///   equilibrate = T STEPS            one-shot MB velocities; velocity-
@@ -91,10 +91,10 @@ struct Stage {
   const char* name() const;
 };
 
-/// Parsed backend selector ("reference" | "wafer" | "sharded[:N]").
+/// Parsed backend selector ("reference[:N]" | "wafer" | "sharded[:N]").
 struct BackendSpec {
   engine::Backend backend = engine::Backend::kReference;
-  int threads = 1;  ///< sharded worker count (0 = auto)
+  int threads = 1;  ///< worker count (reference/sharded; 0 = auto)
 
   bool is_wafer() const { return backend != engine::Backend::kReference; }
 };

@@ -1,0 +1,156 @@
+#pragma once
+
+/// \file soa.hpp
+/// Structure-of-arrays storage for Vec3 quantities: three contiguous
+/// scalar planes (x, y, z).
+///
+/// The force hot loops gather neighbor coordinates; with AoS Vec3 arrays a
+/// 4-lane FP64 gather touches 4 interleaved 24-byte records, while planes
+/// turn it into three dense gathers the SIMD kernels (md/simd.hpp) issue
+/// directly against x()/y()/z(). This is the CPU-side analogue of the
+/// paper's per-core register layout: each wafer worker holds its atom's
+/// coordinates as independent scalars, never as a packed struct.
+///
+/// Element access keeps the Vec3 API alive for the cold paths:
+///   planes[i]        -> Vec3<T> by value (const) or a reference proxy
+///                       (mutable) whose x/y/z alias the planes, so
+///                       `p[i].x`, `p[i] = v`, `p[i] += v` all work.
+///   planes.get/set   -> explicit value transfer (preferred in new code).
+/// Mutable iteration yields proxies by value (the vector<bool> idiom):
+/// write `for (auto r : planes)` — not `auto&` — when mutating.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace wsmd {
+
+template <typename T>
+class Vec3Planes {
+ public:
+  /// Mutable element proxy: three scalar references into the planes.
+  struct Ref {
+    T& x;
+    T& y;
+    T& z;
+    operator Vec3<T>() const { return {x, y, z}; }
+    Ref& operator=(const Vec3<T>& v) {
+      x = v.x;
+      y = v.y;
+      z = v.z;
+      return *this;
+    }
+    Ref& operator=(const Ref& o) { return *this = Vec3<T>(o); }
+    Ref& operator+=(const Vec3<T>& v) {
+      x += v.x;
+      y += v.y;
+      z += v.z;
+      return *this;
+    }
+    Ref& operator-=(const Vec3<T>& v) {
+      x -= v.x;
+      y -= v.y;
+      z -= v.z;
+      return *this;
+    }
+    Ref& operator*=(T s) {
+      x *= s;
+      y *= s;
+      z *= s;
+      return *this;
+    }
+    T& operator[](std::size_t a) { return a == 0 ? x : (a == 1 ? y : z); }
+    T operator[](std::size_t a) const { return a == 0 ? x : (a == 1 ? y : z); }
+  };
+
+  Vec3Planes() = default;
+  explicit Vec3Planes(std::size_t n) { resize(n); }
+  explicit Vec3Planes(const std::vector<Vec3<T>>& aos) { from_aos(aos); }
+
+  std::size_t size() const { return x_.size(); }
+  bool empty() const { return x_.empty(); }
+  void resize(std::size_t n) {
+    x_.resize(n);
+    y_.resize(n);
+    z_.resize(n);
+  }
+  void assign(std::size_t n, const Vec3<T>& v) {
+    x_.assign(n, v.x);
+    y_.assign(n, v.y);
+    z_.assign(n, v.z);
+  }
+  void swap(Vec3Planes& o) {
+    x_.swap(o.x_);
+    y_.swap(o.y_);
+    z_.swap(o.z_);
+  }
+
+  Vec3<T> get(std::size_t i) const { return {x_[i], y_[i], z_[i]}; }
+  void set(std::size_t i, const Vec3<T>& v) {
+    x_[i] = v.x;
+    y_[i] = v.y;
+    z_[i] = v.z;
+  }
+  void add(std::size_t i, const Vec3<T>& v) {
+    x_[i] += v.x;
+    y_[i] += v.y;
+    z_[i] += v.z;
+  }
+
+  Vec3<T> operator[](std::size_t i) const { return get(i); }
+  Ref operator[](std::size_t i) { return {x_[i], y_[i], z_[i]}; }
+
+  /// Raw plane access — what the SIMD kernels load/gather from.
+  const T* x() const { return x_.data(); }
+  const T* y() const { return y_.data(); }
+  const T* z() const { return z_.data(); }
+  T* x() { return x_.data(); }
+  T* y() { return y_.data(); }
+  T* z() { return z_.data(); }
+
+  /// AoS bridging for the cold boundaries (checkpoint state, Engine
+  /// surface, lattice structures). Never called from hot loops.
+  std::vector<Vec3<T>> to_aos() const {
+    std::vector<Vec3<T>> out(size());
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = get(i);
+    return out;
+  }
+  void from_aos(const std::vector<Vec3<T>>& aos) {
+    resize(aos.size());
+    for (std::size_t i = 0; i < aos.size(); ++i) set(i, aos[i]);
+  }
+
+  struct const_iterator {
+    const Vec3Planes* p;
+    std::size_t i;
+    Vec3<T> operator*() const { return p->get(i); }
+    const_iterator& operator++() {
+      ++i;
+      return *this;
+    }
+    bool operator!=(const const_iterator& o) const { return i != o.i; }
+  };
+  struct iterator {
+    Vec3Planes* p;
+    std::size_t i;
+    Ref operator*() const { return (*p)[i]; }
+    iterator& operator++() {
+      ++i;
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return i != o.i; }
+  };
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size()}; }
+  iterator begin() { return {this, 0}; }
+  iterator end() { return {this, size()}; }
+
+ private:
+  std::vector<T> x_, y_, z_;
+};
+
+using Vec3dPlanes = Vec3Planes<double>;
+using Vec3fPlanes = Vec3Planes<float>;
+
+}  // namespace wsmd

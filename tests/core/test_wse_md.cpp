@@ -68,7 +68,7 @@ TEST(WseMd, MatchesReferenceEngineTrajectory) {
   md::AtomSystem ref_sys(f.structure, f.potential);
   Rng rng(2024);
   ref_sys.thermalize(290.0, rng);
-  const auto v0 = ref_sys.velocities();
+  const auto v0 = ref_sys.velocities().to_aos();
 
   md::Simulation ref(std::move(ref_sys));
   WseMd wse(f.structure, f.potential, f.config());
@@ -78,7 +78,7 @@ TEST(WseMd, MatchesReferenceEngineTrajectory) {
   ref.run(steps);
   wse.run(steps);
 
-  const auto& rp = ref.system().positions();
+  const auto rp = ref.system().positions().to_aos();
   const auto wp = wse.positions();
   double max_err = 0.0;
   for (std::size_t i = 0; i < rp.size(); ++i) {

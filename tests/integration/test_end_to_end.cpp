@@ -76,7 +76,7 @@ TEST_P(ElementEquivalence, WseTrajectoryTracksReference) {
   md::AtomSystem ref_sys(crystal, analytic);
   Rng rng(99);
   ref_sys.thermalize(290.0, rng);
-  const auto v0 = ref_sys.velocities();
+  const auto v0 = ref_sys.velocities().to_aos();
   md::Simulation ref(std::move(ref_sys));
 
   core::WseMdConfig cfg;
@@ -87,7 +87,7 @@ TEST_P(ElementEquivalence, WseTrajectoryTracksReference) {
   ref.run(15);
   wse.run(15);
 
-  const auto& rp = ref.system().positions();
+  const auto rp = ref.system().positions().to_aos();
   const auto wp = wse.positions();
   double max_err = 0.0;
   for (std::size_t i = 0; i < rp.size(); ++i) {

@@ -104,7 +104,7 @@ TEST(EamForces, PerfectLatticeHasZeroForce) {
   nl.build(sys.box(), sys.positions());
   EamForceKernel k;
   k.compute(sys, nl);
-  for (const auto& f : sys.forces()) {
+  for (const Vec3d f : sys.forces()) {
     EXPECT_NEAR(norm(f), 0.0, 1e-8);
   }
 }
@@ -118,7 +118,7 @@ TEST(EamForces, NewtonsThirdLawNetForceZero) {
   EamForceKernel k;
   k.compute(sys, nl);
   Vec3d net{0, 0, 0};
-  for (const auto& f : sys.forces()) net += f;
+  for (const Vec3d f : sys.forces()) net += f;
   EXPECT_NEAR(norm(net), 0.0, 1e-7 * static_cast<double>(sys.size()));
 }
 
@@ -197,7 +197,7 @@ TEST(EamForces, EnergyInvariantUnderRigidTranslation) {
   auto s = jittered_crystal("Cu", 3, 0.05, 53);
   auto sys = make_system(s, pot);
   const double e0 = energy_of(sys);
-  for (auto& r : sys.positions()) r += Vec3d{1.7, -0.3, 0.9};
+  for (auto r : sys.positions()) r += Vec3d{1.7, -0.3, 0.9};
   const double e1 = energy_of(sys);
   EXPECT_NEAR(e0, e1, 1e-8 * std::fabs(e0));
 }

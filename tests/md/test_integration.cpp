@@ -117,16 +117,16 @@ TEST(Leapfrog, TimeReversibility) {
   // (bringing v to +1/2 ahead) before negating.
   auto sim = small_ta_simulation(290.0, 104);
   sim.compute_forces();
-  const auto r0 = sim.system().positions();
+  const auto r0 = sim.system().positions().to_aos();
   sim.run(50);
 
   const LeapfrogIntegrator integ(sim.config().dt);
   integ.half_kick(sim.system());
   integ.half_kick(sim.system());  // full kick: v now at +1/2 of r_50
-  for (auto& v : sim.system().velocities()) v = -v;
+  for (auto v : sim.system().velocities()) v *= -1.0;
   sim.run(50);
 
-  const auto& r1 = sim.system().positions();
+  const auto r1 = sim.system().positions().to_aos();
   double max_err = 0.0;
   for (std::size_t i = 0; i < r0.size(); ++i) {
     max_err = std::max(
@@ -150,7 +150,7 @@ TEST(Leapfrog, HalfKickTwiceEqualsFullKick) {
   const auto v_before = sys.velocities();
   integ.step(sys);
   for (std::size_t i = 0; i < sys.size(); ++i) {
-    EXPECT_NEAR(norm(sys.velocities()[i] - sys_copy.velocities()[i]), 0.0,
+    EXPECT_NEAR(norm(sys.velocities().get(i) - sys_copy.velocities().get(i)), 0.0,
                 1e-12)
         << "half+half != full kick for atom " << i;
     (void)v_before;

@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -157,12 +158,21 @@ TEST_P(ScenarioGolden, ReplayMatchesGoldenOnReferenceAndSharded) {
   const auto golden = io::read_thermo_csv_file(golden_path);
   ASSERT_FALSE(golden.empty());
 
+  // WSMD_GOLDEN_REF_THREADS=N replays the reference leg on the threaded
+  // force sweep (backend reference:N). The trajectory is bitwise-identical
+  // at any thread count, so the same goldens and tight tolerances apply —
+  // CI's thread-determinism leg runs this at 1/2/8 workers.
+  std::string ref_backend = "reference";
+  if (const char* t = std::getenv("WSMD_GOLDEN_REF_THREADS")) {
+    ref_backend += ":";
+    ref_backend += t;
+  }
   struct BackendCase {
-    const char* backend;
+    std::string backend;
     const Tolerance* tol;
   };
   for (const auto& bc : std::vector<BackendCase>{
-           {"reference", &kReferenceTol}, {"sharded:3", &kWaferTol}}) {
+           {ref_backend, &kReferenceTol}, {"sharded:3", &kWaferTol}}) {
     Deck deck = parse_deck_file(deck_path);
     const std::string tmp_base = ::testing::TempDir() + "wsmd_golden_" +
                                  deck_name + "_" + bc.backend;
@@ -195,7 +205,7 @@ TEST_P(ScenarioGolden, ReplayMatchesGoldenOnReferenceAndSharded) {
     // Observable streams replay against their own goldens — this is the
     // acceptance bar for the obs subsystem: RDF/MSD/VACF/GB-defect series
     // must be stable on the reference *and* wafer backends.
-    const bool tight = std::string(bc.backend) == "reference";
+    const bool tight = bc.backend == ref_backend;
     for (const auto& probe : result.observables) {
       const std::string golden_series_path =
           scenarios_dir() + "/golden/" + deck_name + "." + probe.kind +

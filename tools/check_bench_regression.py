@@ -33,7 +33,13 @@ Baseline format (bench/baseline.json):
        "metric": "pairs_per_s",
        "num": {"kernel": "reference", "path": "profile"},
        "den": {"kernel": "reference", "path": "analytic"},
-       "min": 2.0}
+       "min": 2.0},
+      {"label": "fp64 avx2 over scalar batch", "bench": "kernels",
+       "metric": "pairs_per_s",
+       "when_meta": {"simd_tier": "avx2"},
+       "num": {"kernel": "reference", "path": "soa"},
+       "den": {"kernel": "reference", "path": "soa_scalar"},
+       "min": 1.2}
     ]
   }
 
@@ -42,6 +48,11 @@ the machine and the load, so unlike absolute throughput they are stable on
 shared runners. A ratio below its "min" therefore FAILS even in non-strict
 mode: it means a structural performance property (e.g. the profiled hot
 path beating virtual dispatch) was lost, not that the runner was slow.
+
+A ratio with "when_meta" applies only when every listed key matches the
+emitted BENCH file's top-level metadata; otherwise it is skipped (and says
+so). This gates ISA-dependent floors — e.g. the AVX2-over-scalar speedup is
+only meaningful when the run actually dispatched the avx2 tier.
 
 Usage: check_bench_regression.py [--build-dir build]
                                  [--baseline bench/baseline.json] [--strict]
@@ -83,6 +94,7 @@ def main():
     warnings = []
     checked = 0
     emitted_rows = {}  # bench name -> rows (for the ratio checks below)
+    emitted_meta = {}  # bench name -> envelope (for when_meta gating)
     for name, spec in benches.items():
         path = os.path.join(args.build_dir, f"BENCH_{name}.json")
         if not os.path.exists(path):
@@ -95,6 +107,7 @@ def main():
             failures.append(f"{name}: emitted JSON has no 'rows' array")
             continue
         emitted_rows[name] = rows
+        emitted_meta[name] = emitted
         metric = spec["metric"]
         key_fields = spec["key"]
         emitted_by_key = {row_key(r, key_fields): r for r in rows}
@@ -142,6 +155,7 @@ def main():
         bench = ratio["bench"]
         metric = ratio["metric"]
         rows = emitted_rows.get(bench)
+        envelope = emitted_meta.get(bench)
         if rows is None:
             # Bench not row-gated above (or its file failed to load there):
             # read the BENCH file directly so a ratio is never skipped
@@ -151,7 +165,16 @@ def main():
                 if bench not in benches:  # otherwise already failed above
                     failures.append(f"{label}: {path} not emitted")
                 continue
-            rows = load_json(path).get("rows") or []
+            envelope = load_json(path)
+            rows = envelope.get("rows") or []
+        when = ratio.get("when_meta")
+        if when:
+            missed = {k: v for k, v in when.items()
+                      if (envelope or {}).get(k) != v}
+            if missed:
+                print(f"  [skip] {label}: requires {when}, emitted "
+                      f"{ {k: (envelope or {}).get(k) for k in when} }")
+                continue
         num_row = match_row(rows, ratio["num"])
         den_row = match_row(rows, ratio["den"])
         if num_row is None or den_row is None:
