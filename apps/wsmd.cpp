@@ -27,12 +27,17 @@
 /// measured-vs-modeled per-phase cost table (src/telemetry/report):
 ///
 ///   $ wsmd report scenarios/cu_gb_mobility.deck
+///   $ wsmd report --html scenarios/cu_gb_mobility.deck
 ///
 /// Exit status: 0 on success, 1 on any error (bad deck, unknown key,
-/// engine failure, I/O failure).
+/// engine failure, I/O failure), 2 when an abort-configured health
+/// detector tripped (the diagnostic bundle was written first; a stall
+/// abort exits 3 from the watchdog thread), 130 on SIGINT/SIGTERM (the
+/// telemetry exports are finalized before exiting).
 
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -45,6 +50,8 @@
 #include "scenario/deck.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
+#include "telemetry/dashboard.hpp"
+#include "telemetry/health.hpp"
 #include "telemetry/report.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
@@ -92,9 +99,16 @@ void print_usage(std::FILE* out) {
                "                    (default <name>.metrics.jsonl); same\n"
                "                    as telemetry.metrics=auto|PATH\n"
                "  --progress        stderr heartbeat (step/total, ns/day,\n"
-               "                    ETA) at thermo cadence; only when\n"
-               "                    stderr is a TTY (--progress=force\n"
+               "                    ETA) on a wall-clock interval; only\n"
+               "                    when stderr is a TTY (--progress=force\n"
                "                    overrides)\n"
+               "  --progress-interval=S\n"
+               "                    seconds between heartbeats (default 1;\n"
+               "                    0 reports after every step)\n"
+               "  --html[=PATH]     (report) also render a self-contained\n"
+               "                    HTML dashboard — snapshot time series,\n"
+               "                    cost table, shard-load histogram\n"
+               "                    (default <name>.dashboard.html)\n"
                "  --list-elements   show available Zhou parameter sets\n"
                "  --help            this text\n"
                "\n"
@@ -105,6 +119,12 @@ void print_usage(std::FILE* out) {
                "  equilibrate ramp quench run xyz xyz_every thermo\n"
                "  thermo_every thermo_format summary checkpoint.every\n"
                "  checkpoint.path telemetry.trace telemetry.metrics\n"
+               "  telemetry.snapshot\n"
+               "health keys (run-health watchdog; warn|abort|off):\n"
+               "  health.nan health.energy_drift health.energy_band\n"
+               "  health.temperature health.temperature_band health.stall\n"
+               "  health.stall_timeout health.thermo_tail health.bundle\n"
+               "  health.inject_nan\n"
                "observable keys: observe.probes (rdf msd vacf defects)\n"
                "  observe.every observe.<probe>_every observe.format\n"
                "  observe.prefix observe.rdf_rcut observe.rdf_bins\n"
@@ -208,16 +228,37 @@ std::function<void(const wsmd::scenario::ProgressInfo&)> progress_printer() {
   };
 }
 
-/// Parse --progress / --progress=force into RunOptions::progress. The
-/// heartbeat is only armed when stderr is a TTY (a redirected run must
-/// not fill its log with \r lines) unless forced.
+/// Parse --progress / --progress=force / --progress-interval=S into
+/// RunOptions. The heartbeat is only armed when stderr is a TTY (a
+/// redirected run must not fill its log with \r lines) unless forced;
+/// the interval is wall-clock seconds between reports.
 bool parse_progress_flag(const std::string& arg,
                          wsmd::scenario::RunOptions& opt) {
+  if (wsmd::starts_with(arg, "--progress-interval=")) {
+    const std::string value = arg.substr(20);
+    double seconds = 0.0;
+    WSMD_REQUIRE(wsmd::parse_double_strict(value, seconds) && seconds >= 0.0,
+                 "bad --progress-interval '" << value
+                                             << "' (want seconds >= 0)");
+    opt.progress_interval_s = seconds;
+    return true;
+  }
   if (arg != "--progress" && arg != "--progress=force") return false;
   if (arg == "--progress=force" || isatty(fileno(stderr)) != 0) {
     opt.progress = progress_printer();
   }
   return true;
+}
+
+/// SIGINT/SIGTERM request a cooperative stop: the step loop unwinds at
+/// the next step boundary after finalizing the telemetry exports
+/// (request_interrupt is a relaxed atomic store — async-signal-safe).
+/// Re-registering keeps System-V-style signal() semantics from resetting
+/// the disposition after the first delivery; a wedged run that never
+/// reaches a step boundary is the stall watchdog's job, not the signal's.
+extern "C" void handle_stop_signal(int sig) {
+  wsmd::scenario::request_interrupt();
+  std::signal(sig, handle_stop_signal);
 }
 
 /// Parse --trace[=PATH] / --metrics[=PATH] into a telemetry.* deck
@@ -247,6 +288,8 @@ int run_report(int argc, char** argv) {
   scenario::RunOptions opt;
   opt.collect_telemetry = true;  // the report needs measured span totals
   bool quiet = false;
+  bool html = false;
+  std::string html_path;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -254,6 +297,12 @@ int run_report(int argc, char** argv) {
       return 0;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--html") {
+      html = true;
+    } else if (starts_with(arg, "--html=")) {
+      html = true;
+      html_path = arg.substr(7);
+      WSMD_REQUIRE(!html_path.empty(), "--html= needs a file path");
     } else if (arg == "--set") {
       WSMD_REQUIRE(i + 1 < argc, "--set needs a key=value argument");
       overrides.push_back(scenario::parse_override(argv[++i]));
@@ -293,6 +342,11 @@ int run_report(int argc, char** argv) {
                               ? scenario::Deck{"<cli>", {}, }
                               : scenario::parse_deck_file(path);
     for (const auto& o : overrides) deck.set(o.key, o.value);
+    if (html && !deck.has("telemetry.snapshot")) {
+      // The dashboard's time series come from interval snapshots; arm a
+      // tight cadence so even short report runs chart a few points.
+      deck.set("telemetry.snapshot", "0.02");
+    }
     const auto sc = scenario::scenario_from_deck(deck);
     scenario::RunOptions run_opt = opt;
     if (run_opt.backend_override.empty() && sc.backend == "reference") {
@@ -312,6 +366,24 @@ int run_report(int argc, char** argv) {
     std::printf("\n%s", telemetry::format_cost_report(
                             telemetry::build_cost_report(result.modeled))
                             .c_str());
+    if (html) {
+      telemetry::DashboardInput din;
+      din.title = result.scenario;
+      din.backend = result.backend_name;
+      din.atoms = result.structure.atoms;
+      din.total_steps = result.total_steps;
+      din.wall_seconds = result.wall_seconds;
+      din.dt_ps = sc.dt;
+      din.snapshots = result.snapshots;
+      din.cost = telemetry::build_cost_report(result.modeled);
+      const std::string out = scenario::resolve_output_path(
+          html_path.empty() ? sc.name + ".dashboard.html" : html_path,
+          run_opt.output_dir);
+      telemetry::write_dashboard_html(out, din);
+      std::printf("dashboard -> %s (%zu snapshot%s)\n", out.c_str(),
+                  result.snapshots.size(),
+                  result.snapshots.size() == 1 ? "" : "s");
+    }
   }
   return 0;
 }
@@ -408,34 +480,42 @@ int run_resume(int argc, char** argv) {
   return 0;
 }
 
+/// Shared subcommand guard, mapping the runner's structured failures to
+/// distinct exit codes: 2 = health abort (bundle already on disk),
+/// 130 = interrupted by SIGINT/SIGTERM (exports finalized), 1 = any
+/// other error.
+template <typename Fn>
+int guarded(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const wsmd::telemetry::HealthAbortError& ex) {
+    std::fprintf(stderr, "wsmd: %s\n", ex.what());
+    return 2;
+  } catch (const wsmd::scenario::InterruptedError& ex) {
+    std::fprintf(stderr, "wsmd: %s\n", ex.what());
+    return 130;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "wsmd: error: %s\n", ex.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace wsmd;
 
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
   if (argc > 1 && std::strcmp(argv[1], "analyze") == 0) {
-    try {
-      return run_analyze(argc - 2, argv + 2);
-    } catch (const std::exception& ex) {
-      std::fprintf(stderr, "wsmd: error: %s\n", ex.what());
-      return 1;
-    }
+    return guarded([&] { return run_analyze(argc - 2, argv + 2); });
   }
   if (argc > 1 && std::strcmp(argv[1], "resume") == 0) {
-    try {
-      return run_resume(argc - 2, argv + 2);
-    } catch (const std::exception& ex) {
-      std::fprintf(stderr, "wsmd: error: %s\n", ex.what());
-      return 1;
-    }
+    return guarded([&] { return run_resume(argc - 2, argv + 2); });
   }
   if (argc > 1 && std::strcmp(argv[1], "report") == 0) {
-    try {
-      return run_report(argc - 2, argv + 2);
-    } catch (const std::exception& ex) {
-      std::fprintf(stderr, "wsmd: error: %s\n", ex.what());
-      return 1;
-    }
+    return guarded([&] { return run_report(argc - 2, argv + 2); });
   }
 
   std::vector<std::string> decks;
@@ -444,7 +524,7 @@ int main(int argc, char** argv) {
   bool print_only = false;
   bool quiet = false;
 
-  try {
+  return guarded([&] {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--help" || arg == "-h") {
@@ -517,9 +597,6 @@ int main(int argc, char** argv) {
       }
       scenario::run_scenario(sc, opt);
     }
-  } catch (const std::exception& ex) {
-    std::fprintf(stderr, "wsmd: error: %s\n", ex.what());
-    return 1;
-  }
-  return 0;
+    return 0;
+  });
 }

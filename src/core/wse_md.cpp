@@ -525,6 +525,16 @@ WseStepStats WseMd::finish_step(const StepWorkspace& ws,
     telemetry::count("wse.swaps_applied", stats.swaps_applied);
   }
   telemetry::count("wse.steps");
+  if (telemetry::enabled()) {
+    // Totals across all occupied cores (the reductions report per-core
+    // means): the counters the snapshot stream differentiates into
+    // pairs/sec and candidates/sec throughput series.
+    const double n = static_cast<double>(atom_count());
+    telemetry::count("wse.interactions", static_cast<std::uint64_t>(
+                                             stats.mean_interactions * n + 0.5));
+    telemetry::count("wse.candidates", static_cast<std::uint64_t>(
+                                           stats.mean_candidates * n + 0.5));
+  }
   return stats;
 }
 

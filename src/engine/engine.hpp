@@ -108,6 +108,17 @@ struct ModeledPhaseCost {
   double total_seconds = 0.0;    ///< modeled clock (max-cycles basis)
 };
 
+/// Cumulative wall-clock accounting of one shard worker: time spent inside
+/// the phase kernels (busy) vs waiting at the inter-phase barriers for the
+/// slowest worker of each round (wait). Only accumulated while a telemetry
+/// session is armed — the disabled path takes no clock reads — so deltas
+/// between two reads give the per-interval load-imbalance picture the
+/// snapshot stream exports.
+struct ShardLoad {
+  double busy_seconds = 0.0;
+  double wait_seconds = 0.0;
+};
+
 class Engine {
  public:
   virtual ~Engine() = default;
@@ -117,6 +128,10 @@ class Engine {
   /// Cost-model breakdown of the run so far. Default: invalid (backends
   /// without modeled accounting, i.e. the FP64 reference).
   virtual ModeledPhaseCost modeled_phase_cost() const { return {}; }
+
+  /// Per-worker cumulative busy/wait accounting (see ShardLoad). Default:
+  /// empty (backends without a worker pool, or telemetry never armed).
+  virtual std::vector<ShardLoad> shard_load() const { return {}; }
   virtual std::size_t atom_count() const = 0;
   virtual long step_count() const = 0;
 

@@ -47,6 +47,7 @@ ShardedWafer::ShardedWafer(const lattice::Structure& s,
   shards_ = make_row_shards(md_.mapping().grid_width(),
                             md_.mapping().grid_height(), pool_.size());
   shard_stats_.resize(shards_.size());
+  cum_load_.resize(shards_.size());
 }
 
 void ShardedWafer::run_sharded(const std::function<void(int)>& task) {
@@ -65,8 +66,12 @@ void ShardedWafer::run_sharded(const std::function<void(int)>& task) {
   // Each worker waits from the end of its own work until the slowest one
   // finishes the round (the implicit barrier between pool_.run calls).
   double wait = 0.0;
-  for (const double busy : busy_seconds_) {
-    wait += std::max(0.0, round - busy);
+  for (std::size_t t = 0; t < busy_seconds_.size(); ++t) {
+    const double busy = busy_seconds_[t];
+    const double worker_wait = std::max(0.0, round - busy);
+    cum_load_[t].busy_seconds += busy;
+    cum_load_[t].wait_seconds += worker_wait;
+    wait += worker_wait;
   }
   telemetry::add_span_time("shard.barrier_wait", wait,
                            static_cast<std::uint64_t>(pool_.size()));

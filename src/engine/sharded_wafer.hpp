@@ -67,6 +67,11 @@ class ShardedWafer final : public WaferEngine {
   /// shard — the whole grid has no internal boundary.
   double halo_cycles_per_step() const;
 
+  /// Cumulative per-worker busy/wait seconds, accumulated by run_sharded
+  /// while telemetry is armed (zeros otherwise) — the raw series behind the
+  /// snapshot stream's imbalance rows.
+  std::vector<ShardLoad> shard_load() const override { return cum_load_; }
+
  private:
   /// pool_.run with telemetry: times each worker's busy span and folds the
   /// round's aggregate barrier wait (round wall time minus per-worker busy
@@ -77,6 +82,7 @@ class ShardedWafer final : public WaferEngine {
   std::vector<core::ShardRect> shards_;
   std::vector<core::WseStepStats> shard_stats_;
   std::vector<double> busy_seconds_;  ///< run_sharded scratch, per worker
+  std::vector<ShardLoad> cum_load_;   ///< cumulative busy/wait, per worker
   core::StepWorkspace ws_;
   ShardPool pool_;
 };

@@ -1,8 +1,11 @@
 #include "scenario/runner.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <filesystem>
+#include <limits>
 #include <memory>
 #include <optional>
 
@@ -15,6 +18,26 @@
 #include "util/string_util.hpp"
 
 namespace wsmd::scenario {
+
+namespace {
+std::atomic<bool> g_interrupt{false};
+}  // namespace
+
+InterruptedError::InterruptedError(long step)
+    : Error(format("run interrupted at step %ld (telemetry exports "
+                   "finalized)",
+                   step)),
+      step_(step) {}
+
+void request_interrupt() {
+  g_interrupt.store(true, std::memory_order_relaxed);
+}
+
+bool interrupt_requested() {
+  return g_interrupt.load(std::memory_order_relaxed);
+}
+
+void reset_interrupt() { g_interrupt.store(false, std::memory_order_relaxed); }
 
 std::string join_output_path(const std::string& path,
                              const std::string& dir) {
@@ -260,7 +283,10 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
 
   const auto structure = build_structure(sc, &result.structure);
   if (resume != nullptr) validate_resume(sc, structure, *resume);
-  auto eng = build_engine(sc, structure, opt.backend_override);
+  auto eng = opt.engine_factory
+                 ? opt.engine_factory(sc, structure)
+                 : build_engine(sc, structure, opt.backend_override);
+  WSMD_REQUIRE(eng != nullptr, "engine factory returned no engine");
   result.backend_name = eng->backend_name();
   say(format("%s: %zu atoms (%s %s), backend %s", sc.name.c_str(),
              result.structure.atoms, sc.element.c_str(), sc.geometry.c_str(),
@@ -295,13 +321,74 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
       resolve_output_path(sc.telemetry_trace_path, opt.output_dir);
   result.metrics_path =
       resolve_output_path(sc.telemetry_metrics_path, opt.output_dir);
+  // An abort-configured health detector also arms the session (with trace
+  // capture): its diagnostic bundle includes a trace, and arming must be
+  // decided up front, not when the detector trips. Decks without health
+  // overrides keep the default warn-only config, so the telemetry-off
+  // byte-identical goldens are unaffected.
   const bool telemetry_on = opt.collect_telemetry ||
                             !result.trace_path.empty() ||
-                            !result.metrics_path.empty();
+                            !result.metrics_path.empty() ||
+                            sc.health.any_abort();
   if (telemetry_on) {
     telemetry::SessionConfig tcfg;
-    tcfg.capture_trace = !result.trace_path.empty();
+    tcfg.capture_trace =
+        !result.trace_path.empty() || sc.health.any_abort();
     telemetry::begin_session(tcfg);
+  }
+  // The metrics file is written through a SnapshotStream: interval rows
+  // while the run is live (cadence > 0), the PR 6 aggregate rows on
+  // finalize — which the unwind path below reaches even when the run
+  // aborts, so partial runs still leave artifacts.
+  std::unique_ptr<telemetry::SnapshotStream> metrics_stream;
+  if (!result.metrics_path.empty()) {
+    metrics_stream = std::make_unique<telemetry::SnapshotStream>(
+        result.metrics_path, sc.telemetry_snapshot_s, sc.dt);
+  }
+
+  // Run-health watchdog (telemetry/health.hpp). The bundle directory is
+  // resolved now — the stall handler on the watchdog thread must not
+  // touch the filesystem layout lazily.
+  const std::string bundle_dir = join_output_path(
+      sc.health.bundle_dir.empty() ? sc.name + ".health"
+                                   : sc.health.bundle_dir,
+      opt.output_dir);
+  std::unique_ptr<telemetry::HealthMonitor> health;
+  if (sc.health.any_enabled()) {
+    health = std::make_unique<telemetry::HealthMonitor>(
+        sc.health, [&say](const telemetry::HealthEvent& ev) {
+          say("  health: WARNING: " + ev.detector + " — " + ev.message);
+        });
+  }
+  if (health && sc.health.stall == telemetry::HealthAction::kAbort) {
+    health->set_stall_handler(
+        opt.stall_handler
+            ? opt.stall_handler
+            : telemetry::HealthMonitor::EventSink(
+                  [&](const telemetry::HealthEvent& ev) {
+                    // The runner thread is wedged mid-step, so the engine
+                    // state is unreachable: the bundle carries what the
+                    // watchdog can safely write, then the process exits.
+                    namespace fs = std::filesystem;
+                    try {
+                      fs::create_directories(bundle_dir);
+                      telemetry::HealthArtifacts art;
+                      art.dir = bundle_dir;
+                      art.metrics = result.metrics_path;
+                      art.thermo_tail =
+                          (fs::path(bundle_dir) / "thermo_tail.csv").string();
+                      telemetry::write_thermo_tail_csv(art.thermo_tail,
+                                                       health->tail());
+                      telemetry::write_health_json(
+                          (fs::path(bundle_dir) / "health.json").string(),
+                          sc.name, result.backend_name, health->events(),
+                          &ev, art);
+                      say("  health: ABORT (stall) — bundle -> " +
+                          bundle_dir);
+                    } catch (...) {
+                    }
+                    std::_Exit(3);
+                  }));
   }
   std::unique_ptr<io::XyzTrajectoryWriter> trajectory;
   if (!result.xyz_path.empty()) {
@@ -363,6 +450,14 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
   };
   const auto emit_sample = [&](const engine::Thermo& t) {
     if (!thermo_log) return;
+    // The logger rejects non-finite rows by design; after a blow-up the
+    // health monitor's thermo tail is the record of the bad rows, and a
+    // warn-configured run must keep running rather than die on its log.
+    if (!std::isfinite(t.total_energy) || !std::isfinite(t.temperature) ||
+        !std::isfinite(t.potential_energy) ||
+        !std::isfinite(t.kinetic_energy)) {
+      return;
+    }
     telemetry::ScopedSpan span("io.thermo");
     thermo_log->write(to_sample(t));
     last_sample_step = t.step;
@@ -411,11 +506,8 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
   // expanded file's parent per write instead.
   result.checkpoint_path =
       join_output_path(sc.checkpoint_path, opt.output_dir);
-  const auto maybe_checkpoint = [&](std::size_t stage_index, long steps_done,
-                                    const engine::Thermo& t) {
-    if (sc.checkpoint_every <= 0 || t.step % sc.checkpoint_every != 0) {
-      return;
-    }
+  const auto make_checkpoint_data = [&](std::size_t stage_index,
+                                        long steps_done) {
     io::CheckpointData ck;
     ck.element = sc.element;
     ck.backend = result.backend_name;
@@ -439,6 +531,14 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
     ck.last_frame_step = last_frame_step;
     ck.last_sample_step = last_sample_step;
     if (bus) ck.probes = bus->save_probe_states();
+    return ck;
+  };
+  const auto maybe_checkpoint = [&](std::size_t stage_index, long steps_done,
+                                    const engine::Thermo& t) {
+    if (sc.checkpoint_every <= 0 || t.step % sc.checkpoint_every != 0) {
+      return;
+    }
+    const io::CheckpointData ck = make_checkpoint_data(stage_index, steps_done);
     const std::string file =
         checkpoint_file_for(result.checkpoint_path, t.step);
     {
@@ -447,6 +547,58 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
     }
     ++result.checkpoints_written;
     say(format("  checkpoint -> %s (step %ld)", file.c_str(), t.step));
+  };
+
+  // Diagnostic bundle for an abort-action detector that trips on the
+  // runner thread: checkpoint (PR 4 format — a healthy earlier state can
+  // be resumed from it even when the final velocities are NaN), the
+  // last-K thermo rows around the trip, the trace so far, and the
+  // health.json verdict.
+  const auto write_bundle = [&](const telemetry::HealthEvent& ev,
+                                std::size_t stage_index, long steps_done) {
+    namespace fs = std::filesystem;
+    fs::create_directories(bundle_dir);
+    telemetry::HealthArtifacts art;
+    art.dir = bundle_dir;
+    art.metrics = result.metrics_path;
+    art.checkpoint = (fs::path(bundle_dir) / "checkpoint.ckpt").string();
+    io::write_checkpoint_file(art.checkpoint,
+                              make_checkpoint_data(stage_index, steps_done));
+    if (health) {
+      art.thermo_tail = (fs::path(bundle_dir) / "thermo_tail.csv").string();
+      telemetry::write_thermo_tail_csv(art.thermo_tail, health->tail());
+    }
+    if (telemetry_on) {
+      art.trace = (fs::path(bundle_dir) / "trace.json").string();
+      telemetry::write_trace_json(art.trace);
+    }
+    telemetry::write_health_json(
+        (fs::path(bundle_dir) / "health.json").string(), sc.name,
+        result.backend_name, health ? health->events()
+                                    : std::vector<telemetry::HealthEvent>{},
+        &ev, art);
+    say("  health: ABORT (" + ev.detector + ") — bundle -> " + bundle_dir);
+  };
+
+  // Feed one thermo row through the watchdog; throws HealthAbortError
+  // (bundle written first) when an abort-action detector trips.
+  const auto check_health = [&](const engine::Thermo& t,
+                                std::size_t stage_index, long steps_done,
+                                double target_K, bool has_target) {
+    if (!health) return;
+    telemetry::HealthSample hs;
+    hs.step = t.step;
+    hs.pe = t.potential_energy;
+    hs.ke = t.kinetic_energy;
+    hs.total = t.total_energy;
+    hs.temperature = t.temperature;
+    hs.target_K = target_K;
+    hs.has_target = has_target;
+    health->record(hs);
+    if (auto fatal = health->check(hs)) {
+      write_bundle(*fatal, stage_index, steps_done);
+      throw telemetry::HealthAbortError(*fatal, bundle_dir);
+    }
   };
 
   if (resume == nullptr) {
@@ -467,19 +619,25 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
   const std::size_t start_stage = resume ? resume->stage_index : 0;
   const long start_steps = resume ? resume->stage_steps_done : 0;
   const auto wall_start = std::chrono::steady_clock::now();
+  const auto wall_now = [&wall_start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wall_start)
+        .count();
+  };
 
-  // --progress heartbeat: fired at thermo cadence plus once at the end.
+  // --progress heartbeat: fired on a wall-clock interval (long-gap stages
+  // still show a live ETA) plus once at the end.
   const long total_steps_all = sc.total_steps();
   const long progress_start_step = resume != nullptr ? resume->engine.step : 0;
+  double last_progress_s = 0.0;
   const auto report_progress = [&](long step, bool final_report) {
     if (!opt.progress) return;
     ProgressInfo p;
     p.step = step;
     p.total_steps = total_steps_all;
     p.final = final_report;
-    p.wall_seconds = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - wall_start)
-                         .count();
+    p.wall_seconds = wall_now();
+    last_progress_s = p.wall_seconds;
     const long executed = step - progress_start_step;
     if (p.wall_seconds > 0.0 && executed > 0) {
       const double steps_per_s =
@@ -492,54 +650,127 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
     opt.progress(p);
   };
 
-  for (std::size_t si = start_stage; si < sc.schedule.size(); ++si) {
-    const auto& st = sc.schedule[si];
-    telemetry::ScopedSpan stage_span(stage_span_name(st.kind));
-    StageResult sr;
-    sr.label = stage_label(st);
-    sr.kind = st.name();
-    sr.steps = st.steps;
-    const long k0 = si == start_stage ? start_steps : 0;
-    say("  stage: " + sr.label +
-        (k0 > 0 ? format(" (resuming after %ld step(s))", k0) : ""));
-
-    if (st.kind == Stage::Kind::kThermalize) {
-      eng->thermalize(st.t0, rng);
-      sr.end = eng->thermo();
-      emit_sample(sr.end);
-      result.stages.push_back(std::move(sr));
-      continue;
+  // Finalize the telemetry exports: disarm the session, write the trace,
+  // and close out the metrics stream (snapshot rows -> aggregate rows).
+  // Idempotent, and reached from the unwind path too — a health abort or
+  // an interrupt still leaves the artifacts of the partial run.
+  bool exports_finalized = false;
+  const auto finalize_exports = [&] {
+    if (exports_finalized) return;
+    exports_finalized = true;
+    if (!telemetry_on) return;
+    telemetry::end_session();
+    if (!result.trace_path.empty()) {
+      telemetry::write_trace_json(result.trace_path);
+      say("  trace -> " + result.trace_path);
     }
+    if (metrics_stream) {
+      metrics_stream->finalize();
+      result.snapshots = metrics_stream->rows();
+      say("  metrics -> " + result.metrics_path);
+    }
+  };
 
-    for (long k = k0; k < st.steps; ++k) {
-      engine::Thermo t = eng->step();
-      // One shared rescale schedule for every thermostatted stage kind
-      // (stage_rescales_after — quench included, which historically
-      // rescaled every step while the others honored rescale_interval);
-      // ramp slides the target toward t1, the others hold t0.
-      const bool rescaled =
-          stage_rescales_after(st, k + 1, sc.rescale_interval);
-      if (rescaled) {
+  bool nan_injected = false;
+  try {
+    for (std::size_t si = start_stage; si < sc.schedule.size(); ++si) {
+      const auto& st = sc.schedule[si];
+      telemetry::ScopedSpan stage_span(stage_span_name(st.kind));
+      StageResult sr;
+      sr.label = stage_label(st);
+      sr.kind = st.name();
+      sr.steps = st.steps;
+      const long k0 = si == start_stage ? start_steps : 0;
+      say("  stage: " + sr.label +
+          (k0 > 0 ? format(" (resuming after %ld step(s))", k0) : ""));
+      const bool thermostatted = st.kind == Stage::Kind::kEquilibrate ||
+                                 st.kind == Stage::Kind::kRamp ||
+                                 st.kind == Stage::Kind::kQuench;
+      if (health) {
+        health->begin_stage(st.kind == Stage::Kind::kRun, thermostatted,
+                            st.t0);
+      }
+
+      if (st.kind == Stage::Kind::kThermalize) {
+        eng->thermalize(st.t0, rng);
+        sr.end = eng->thermo();
+        check_health(sr.end, si, 0, st.t0, /*has_target=*/false);
+        emit_sample(sr.end);
+        result.stages.push_back(std::move(sr));
+        continue;
+      }
+
+      for (long k = k0; k < st.steps; ++k) {
+        // NaN fault drill (health.inject_nan): poison one velocity
+        // component right before the configured step so the nan detector
+        // path is rehearsable end-to-end from a plain deck.
+        if (sc.health.inject_nan_step > 0 && !nan_injected &&
+            eng->step_count() + 1 >= sc.health.inject_nan_step) {
+          nan_injected = true;
+          auto v = eng->velocities();
+          if (!v.empty()) {
+            v[0].x = std::numeric_limits<double>::quiet_NaN();
+            eng->set_velocities(v);
+          }
+          say(format("  health: fault drill — NaN injected before step %ld",
+                     eng->step_count() + 1));
+        }
+        engine::Thermo t = eng->step();
+        if (health) health->step_completed();
+        // Runner-level step counter: backends count their own work (wse.*,
+        // md.*) but only when it happens inside the session — this one
+        // guarantees every telemetry-on run exports at least one counter,
+        // which the metrics schema checker requires.
+        telemetry::count("run.steps");
+        // One shared rescale schedule for every thermostatted stage kind
+        // (stage_rescales_after — quench included, which historically
+        // rescaled every step while the others honored rescale_interval);
+        // ramp slides the target toward t1, the others hold t0.
+        const bool rescaled =
+            stage_rescales_after(st, k + 1, sc.rescale_interval);
         const double target =
             st.kind == Stage::Kind::kRamp
                 ? st.t0 + (st.t1 - st.t0) * static_cast<double>(k + 1) /
                               static_cast<double>(st.steps)
                 : st.t0;
-        rescale_to(*eng, target);
+        if (rescaled) rescale_to(*eng, target);
+        // Outputs record the state after the step's full processing —
+        // thermostat action included — so the log's last row, the final
+        // trajectory frame, and the summary all describe the same state.
+        if (rescaled) t = eng->thermo();
+        // The watchdog sees the row before any output consumes it: on an
+        // abort the bundle, not a half-written log, is the record.
+        check_health(t, si, k + 1, target, thermostatted);
+        if (t.step % sc.thermo_every == 0) emit_sample(t);
+        stream_state(t, /*final_state=*/false);
+        maybe_checkpoint(si, k + 1, t);
+        // Wall-clock-driven work, sharing one clock read per step:
+        // interval snapshots and the progress heartbeat.
+        if (opt.progress ||
+            (metrics_stream && metrics_stream->cadence_seconds() > 0.0)) {
+          const double wall = wall_now();
+          if (metrics_stream && metrics_stream->snapshot_due(wall)) {
+            std::vector<double> busy, wait;
+            for (const auto& load : eng->shard_load()) {
+              busy.push_back(load.busy_seconds);
+              wait.push_back(load.wait_seconds);
+            }
+            metrics_stream->take_snapshot(t.step, wall, busy, wait);
+          }
+          if (opt.progress &&
+              wall - last_progress_s >= opt.progress_interval_s) {
+            report_progress(t.step, /*final_report=*/false);
+          }
+        }
+        if (interrupt_requested()) throw InterruptedError(t.step);
       }
-      // Outputs record the state after the step's full processing —
-      // thermostat action included — so the log's last row, the final
-      // trajectory frame, and the summary all describe the same state.
-      if (rescaled) t = eng->thermo();
-      if (t.step % sc.thermo_every == 0) {
-        emit_sample(t);
-        report_progress(t.step, /*final_report=*/false);
-      }
-      stream_state(t, /*final_state=*/false);
-      maybe_checkpoint(si, k + 1, t);
+      sr.end = eng->thermo();
+      result.stages.push_back(std::move(sr));
     }
-    sr.end = eng->thermo();
-    result.stages.push_back(std::move(sr));
+  } catch (...) {
+    if (health) health->stop();
+    finalize_exports();
+    throw;
   }
   const auto wall_end = std::chrono::steady_clock::now();
   result.wall_seconds =
@@ -576,17 +807,15 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
   // stays readable (span_stats / counters) for `wsmd report` after the
   // run returns, and the exports must not record their own writes.
   result.modeled = eng->modeled_phase_cost();
-  if (telemetry_on) {
-    telemetry::end_session();
-    if (!result.trace_path.empty()) {
-      telemetry::write_trace_json(result.trace_path);
-      say("  trace -> " + result.trace_path);
-    }
-    if (!result.metrics_path.empty()) {
-      telemetry::write_metrics_jsonl(result.metrics_path);
-      say("  metrics -> " + result.metrics_path);
+  if (health) {
+    health->stop();
+    result.health_events = health->events().size();
+    if (result.health_events > 0) {
+      say(format("  health: %zu warning event(s) — see the summary",
+                 result.health_events));
     }
   }
+  finalize_exports();
 
   if (!result.summary_path.empty()) {
     BenchJson summary("scenario_" + sc.name);
@@ -629,6 +858,12 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
     }
     if (!result.metrics_path.empty()) {
       summary.meta().set("metrics", result.metrics_path);
+      if (!result.snapshots.empty()) {
+        summary.meta().set("snapshots", result.snapshots.size());
+      }
+    }
+    if (result.health_events > 0) {
+      summary.meta().set("health_events", result.health_events);
     }
     // Observable summaries (first peaks, diffusion, GB mobility, ...) ride
     // in the same BENCH envelope so trend tooling sees physics and

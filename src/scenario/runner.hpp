@@ -12,11 +12,15 @@
 /// summary in the BENCH_*.json envelope (util/bench_json).
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "lattice/lattice.hpp"
 #include "scenario/scenario.hpp"
+#include "telemetry/health.hpp"
+#include "telemetry/snapshot.hpp"
 
 namespace wsmd::io {
 struct CheckpointData;
@@ -24,8 +28,10 @@ struct CheckpointData;
 
 namespace wsmd::scenario {
 
-/// Periodic progress snapshot delivered at thermo cadence while the step
-/// loop runs (RunOptions::progress) — the `wsmd --progress` heartbeat.
+/// Periodic progress snapshot delivered on a wall-clock interval while the
+/// step loop runs (RunOptions::progress) — the `wsmd --progress`
+/// heartbeat. Decoupled from the thermo cadence so a stage with sparse
+/// thermo rows still shows a live ETA.
 struct ProgressInfo {
   long step = 0;           ///< engine step just completed
   long total_steps = 0;    ///< schedule total
@@ -42,13 +48,29 @@ struct RunOptions {
   /// Directory prefixed to relative output paths ("" = current directory).
   std::string output_dir;
   /// Progress sink (one human-readable line per event); empty = silent.
+  /// A stall-warn event is reported through this sink from the watchdog
+  /// thread — the sink must be thread-safe when health.stall is enabled.
   std::function<void(const std::string&)> log;
-  /// Progress heartbeat, fired at thermo cadence plus once at the end.
+  /// Progress heartbeat, fired every `progress_interval_s` of wall-clock
+  /// plus once at the end.
   std::function<void(const ProgressInfo&)> progress;
+  /// Wall-clock seconds between progress heartbeats (<= 0 fires after
+  /// every step).
+  double progress_interval_s = 1.0;
   /// Arm a telemetry session (aggregates only) even when the scenario
   /// writes no trace/metrics file — `wsmd report` needs the measured span
   /// totals without forcing an export path.
   bool collect_telemetry = false;
+  /// Non-empty: build the engine through this hook instead of
+  /// build_engine — the watchdog tests inject fault-wrapped engines here.
+  std::function<std::unique_ptr<engine::Engine>(const Scenario&,
+                                                const lattice::Structure&)>
+      engine_factory;
+  /// Override for the stall-abort path (called on the watchdog thread;
+  /// the runner thread is wedged). Default: write the partial diagnostic
+  /// bundle (thermo tail + health.json) and terminate the process with
+  /// exit code 3. Tests install a capture hook.
+  telemetry::HealthMonitor::EventSink stall_handler;
 };
 
 struct StageResult {
@@ -92,10 +114,40 @@ struct ScenarioResult {
   /// Probes whose output stream failed mid-run (io::SeriesWriter surfaced
   /// a write/flush failure instead of silently dropping rows).
   std::size_t probe_output_failures = 0;
+  /// Interval snapshots streamed into the metrics file (empty unless
+  /// telemetry.snapshot > 0) — the dashboard's time series.
+  std::vector<telemetry::SnapshotRow> snapshots;
+  /// Health-watchdog events that fired during the run (warns; an abort
+  /// raises HealthAbortError instead of returning).
+  std::size_t health_events = 0;
 };
 
+/// Thrown when the run is interrupted via request_interrupt() (the SIGINT/
+/// SIGTERM path): the step loop stops at a step boundary after finalizing
+/// the telemetry exports, so a killed run still leaves its artifacts.
+class InterruptedError : public Error {
+ public:
+  explicit InterruptedError(long step);
+  long step() const { return step_; }
+
+ private:
+  long step_ = 0;
+};
+
+/// Async-signal-safe interrupt request: the step loop checks the flag at
+/// every step boundary and unwinds with InterruptedError (after
+/// finalizing telemetry exports). The driver's signal handlers call this.
+void request_interrupt();
+bool interrupt_requested();
+/// Clear the flag (tests; a new run after a handled interrupt).
+void reset_interrupt();
+
 /// Run the scenario: build structure + engine, execute the schedule, stream
-/// outputs. Throws wsmd::Error on invalid configuration or I/O failure.
+/// outputs. Throws wsmd::Error on invalid configuration or I/O failure,
+/// telemetry::HealthAbortError when an abort-configured health detector
+/// trips (diagnostic bundle already written), and InterruptedError when
+/// request_interrupt() fired. On every one of those paths the telemetry
+/// exports (trace + metrics, snapshots included) are finalized first.
 ScenarioResult run_scenario(const Scenario& sc, const RunOptions& opt = {});
 
 /// Continue a checkpointed run: rebuild the structure, restore engine /

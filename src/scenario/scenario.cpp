@@ -138,6 +138,11 @@ Scenario scenario_from_deck(const Deck& deck) {
   // observe.* entries are remembered so cross-key validation below can
   // point at the offending deck line, not just the file.
   std::map<std::string, const DeckEntry*> observe_seen;
+  // health.* entries likewise, so band-without-detector errors blame the
+  // right line; snapshot/metrics interplay needs the same treatment.
+  std::map<std::string, const DeckEntry*> health_seen;
+  const DeckEntry* snapshot_entry = nullptr;
+  bool metrics_off = false;  ///< telemetry.metrics explicitly disabled
   const DeckEntry* checkpoint_path_entry = nullptr;
   // Schedule keys accumulate stages in deck order, so plain last-wins
   // cannot apply to them. Instead, whole-schedule replacement: if any
@@ -340,6 +345,56 @@ Scenario scenario_from_deck(const Deck& deck) {
                               ? sc.telemetry_trace_path
                               : sc.telemetry_metrics_path;
       path = e.value == "off" ? "" : e.value;
+      if (e.key == "telemetry.metrics") metrics_off = e.value == "off";
+    } else if (e.key == "telemetry.snapshot") {
+      if (e.value == "off") {
+        sc.telemetry_snapshot_s = 0.0;
+        snapshot_entry = nullptr;
+      } else {
+        const double v = one_double(deck, e);
+        if (v <= 0.0) {
+          bad_entry(deck, e, "snapshot cadence must be > 0 seconds (or off)");
+        }
+        sc.telemetry_snapshot_s = v;
+        snapshot_entry = &e;
+      }
+    } else if (e.key == "health.nan" || e.key == "health.energy_drift" ||
+               e.key == "health.temperature" || e.key == "health.stall") {
+      telemetry::HealthAction action = telemetry::HealthAction::kOff;
+      if (!telemetry::parse_health_action(e.value, &action)) {
+        bad_entry(deck, e, "want off|warn|abort");
+      }
+      if (e.key == "health.nan") sc.health.nan = action;
+      else if (e.key == "health.energy_drift") sc.health.energy_drift = action;
+      else if (e.key == "health.temperature") sc.health.temperature = action;
+      else sc.health.stall = action;
+    } else if (e.key == "health.energy_band") {
+      const double v = one_double(deck, e);
+      if (v <= 0.0) bad_entry(deck, e, "energy band must be > 0 (relative)");
+      sc.health.energy_band = v;
+      health_seen[e.key] = &e;
+    } else if (e.key == "health.temperature_band") {
+      const double v = one_double(deck, e);
+      if (v <= 0.0) bad_entry(deck, e, "temperature band must be > 0 K");
+      sc.health.temperature_band_K = v;
+      health_seen[e.key] = &e;
+    } else if (e.key == "health.stall_timeout") {
+      const double v = one_double(deck, e);
+      if (v <= 0.0) bad_entry(deck, e, "stall timeout must be > 0 seconds");
+      sc.health.stall_timeout_s = v;
+      health_seen[e.key] = &e;
+    } else if (e.key == "health.thermo_tail") {
+      const long v = one_long(deck, e);
+      if (v < 1 || v > 100000) bad_entry(deck, e, "want 1..100000 rows");
+      sc.health.thermo_tail = v;
+    } else if (e.key == "health.bundle") {
+      if (e.value.empty()) bad_entry(deck, e, "bundle path must not be empty");
+      sc.health.bundle_dir = e.value;
+    } else if (e.key == "health.inject_nan") {
+      const long v = one_long(deck, e);
+      if (v < 0) bad_entry(deck, e, "inject step must be >= 0 (0 = off)");
+      sc.health.inject_nan_step = v;
+      health_seen[e.key] = &e;
     } else {
       bad_entry(deck, e, "unknown key");
     }
@@ -418,6 +473,40 @@ Scenario scenario_from_deck(const Deck& deck) {
   }
   if (sc.telemetry_metrics_path == "auto") {
     sc.telemetry_metrics_path = sc.name + ".metrics.jsonl";
+  }
+  // Snapshots stream into the metrics file: a cadence with metrics
+  // explicitly off is a contradiction, and with metrics merely absent the
+  // metrics file is implied (same auto default as telemetry.metrics=auto).
+  if (sc.telemetry_snapshot_s > 0.0) {
+    if (metrics_off) {
+      bad_entry(deck, *snapshot_entry,
+                "telemetry.snapshot streams into the metrics file, but "
+                "telemetry.metrics is off");
+    }
+    if (sc.telemetry_metrics_path.empty()) {
+      sc.telemetry_metrics_path = sc.name + ".metrics.jsonl";
+    }
+  }
+  // health.* cross-key validation: a band/timeout for a disabled detector
+  // is dead configuration — reject it like the observe.* rules do.
+  const auto requires_detector = [&](const char* key,
+                                     telemetry::HealthAction action,
+                                     const char* detector_key) {
+    const auto it = health_seen.find(key);
+    if (it != health_seen.end() && action == telemetry::HealthAction::kOff) {
+      bad_entry(deck, *it->second,
+                std::string("requires ") + detector_key + " = warn|abort");
+    }
+  };
+  requires_detector("health.energy_band", sc.health.energy_drift,
+                    "health.energy_drift");
+  requires_detector("health.temperature_band", sc.health.temperature,
+                    "health.temperature");
+  requires_detector("health.stall_timeout", sc.health.stall, "health.stall");
+  if (sc.health.inject_nan_step > 0 &&
+      sc.health.nan == telemetry::HealthAction::kOff) {
+    bad_entry(deck, *health_seen.at("health.inject_nan"),
+              "the NaN fault drill needs health.nan = warn|abort");
   }
 
   // observe.* cross-key validation. Each rule blames the deck line that
@@ -601,6 +690,48 @@ Deck deck_from_scenario(const Scenario& sc) {
   }
   if (!sc.telemetry_metrics_path.empty()) {
     add("telemetry.metrics", sc.telemetry_metrics_path);
+  }
+  if (sc.telemetry_snapshot_s > 0.0) {
+    add("telemetry.snapshot", num(sc.telemetry_snapshot_s));
+  }
+  // health.* keys: only non-default settings are emitted, and dependent
+  // band/timeout keys only when their detector is enabled (the parser
+  // rejects them otherwise, and round-tripping must stay clean).
+  {
+    const telemetry::HealthConfig def;
+    const auto act = [](telemetry::HealthAction a) {
+      return std::string(telemetry::health_action_name(a));
+    };
+    if (sc.health.nan != def.nan) add("health.nan", act(sc.health.nan));
+    if (sc.health.energy_drift != def.energy_drift) {
+      add("health.energy_drift", act(sc.health.energy_drift));
+    }
+    if (sc.health.energy_drift != telemetry::HealthAction::kOff &&
+        sc.health.energy_band != def.energy_band) {
+      add("health.energy_band", num(sc.health.energy_band));
+    }
+    if (sc.health.temperature != def.temperature) {
+      add("health.temperature", act(sc.health.temperature));
+    }
+    if (sc.health.temperature != telemetry::HealthAction::kOff &&
+        sc.health.temperature_band_K != def.temperature_band_K) {
+      add("health.temperature_band", num(sc.health.temperature_band_K));
+    }
+    if (sc.health.stall != def.stall) add("health.stall", act(sc.health.stall));
+    if (sc.health.stall != telemetry::HealthAction::kOff &&
+        sc.health.stall_timeout_s != def.stall_timeout_s) {
+      add("health.stall_timeout", num(sc.health.stall_timeout_s));
+    }
+    if (sc.health.thermo_tail != def.thermo_tail) {
+      add("health.thermo_tail", std::to_string(sc.health.thermo_tail));
+    }
+    if (!sc.health.bundle_dir.empty()) {
+      add("health.bundle", sc.health.bundle_dir);
+    }
+    if (sc.health.inject_nan_step > 0 &&
+        sc.health.nan != telemetry::HealthAction::kOff) {
+      add("health.inject_nan", std::to_string(sc.health.inject_nan_step));
+    }
   }
   return deck_from_entries(entries, "<scenario>");
 }

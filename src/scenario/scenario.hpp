@@ -60,6 +60,25 @@
 ///                                    (for resume overrides)
 ///   telemetry.metrics = PATH|auto|off — span/counter aggregates as JSON
 ///                                    lines; `auto` = <name>.metrics.jsonl
+///   telemetry.snapshot = S|off     — interval snapshots: every S seconds
+///                                    of wall-clock, stream a throughput +
+///                                    per-shard-load row into the metrics
+///                                    file (implies telemetry.metrics)
+///   health.nan = warn|abort|off    — run-health watchdog (telemetry/
+///   health.energy_drift = ...        health.hpp). Detectors: non-finite
+///   health.energy_band = F           thermo; relative |E-E0| > F during
+///   health.temperature = ...         `run` stages; |T-target| > K during
+///   health.temperature_band = K      thermostatted stages; no completed
+///   health.stall = ...               step within S seconds. `abort`
+///   health.stall_timeout = S         writes a diagnostic bundle
+///   health.thermo_tail = K           (checkpoint, last-K thermo rows,
+///   health.bundle = DIR              trace, health.json) into DIR
+///                                    (default <name>.health) and exits
+///                                    nonzero. Defaults: nan=warn, all
+///                                    other detectors off.
+///   health.inject_nan = STEP       — fault drill: poison one velocity
+///                                    component before this 1-based step
+///                                    of the first stepped stage
 
 #include <array>
 #include <cstdint>
@@ -71,6 +90,7 @@
 #include "lattice/lattice.hpp"
 #include "obs/factory.hpp"
 #include "scenario/deck.hpp"
+#include "telemetry/health.hpp"
 
 namespace wsmd::scenario {
 
@@ -142,6 +162,15 @@ struct Scenario {
   /// only when `telemetry_trace_path` is).
   std::string telemetry_trace_path;
   std::string telemetry_metrics_path;
+
+  /// Interval-snapshot cadence in wall-clock seconds (0 = end-of-run
+  /// aggregates only). A positive cadence implies telemetry.metrics — the
+  /// snapshots stream into the metrics file (telemetry/snapshot.hpp).
+  double telemetry_snapshot_s = 0.0;
+
+  /// Run-health watchdog configuration (telemetry/health.hpp). Default:
+  /// NaN detection warns, every other detector off.
+  telemetry::HealthConfig health;
 
   long total_steps() const;
 };

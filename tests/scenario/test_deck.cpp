@@ -8,6 +8,7 @@
 
 #include "scenario/deck.hpp"
 #include "scenario/scenario.hpp"
+#include "telemetry/health.hpp"
 #include "util/error.hpp"
 
 namespace wsmd::scenario {
@@ -406,6 +407,178 @@ TEST(Scenario, ObserveRejectsCrossKeyAndGeometryMismatches) {
                    "element = Cu\ngeometry = bulk\nreplicate = 2 2 2\n"
                    "observe.probes = defects\n")),
                Error);
+}
+
+TEST(Scenario, HealthKeysParseIntoTheWatchdogConfig) {
+  // Defaults: NaN detection warns, everything else off.
+  const auto base = scenario_from_deck(parse_deck_string(""));
+  EXPECT_EQ(base.health.nan, telemetry::HealthAction::kWarn);
+  EXPECT_EQ(base.health.energy_drift, telemetry::HealthAction::kOff);
+  EXPECT_EQ(base.health.temperature, telemetry::HealthAction::kOff);
+  EXPECT_EQ(base.health.stall, telemetry::HealthAction::kOff);
+  EXPECT_FALSE(base.health.any_abort());
+
+  const auto sc = scenario_from_deck(parse_deck_string(
+      "health.nan = abort\n"
+      "health.energy_drift = warn\n"
+      "health.energy_band = 0.01\n"
+      "health.temperature = abort\n"
+      "health.temperature_band = 75\n"
+      "health.stall = warn\n"
+      "health.stall_timeout = 5\n"
+      "health.thermo_tail = 32\n"
+      "health.bundle = triage\n"
+      "health.inject_nan = 4\n"));
+  EXPECT_EQ(sc.health.nan, telemetry::HealthAction::kAbort);
+  EXPECT_EQ(sc.health.energy_drift, telemetry::HealthAction::kWarn);
+  EXPECT_DOUBLE_EQ(sc.health.energy_band, 0.01);
+  EXPECT_EQ(sc.health.temperature, telemetry::HealthAction::kAbort);
+  EXPECT_DOUBLE_EQ(sc.health.temperature_band_K, 75.0);
+  EXPECT_EQ(sc.health.stall, telemetry::HealthAction::kWarn);
+  EXPECT_DOUBLE_EQ(sc.health.stall_timeout_s, 5.0);
+  EXPECT_EQ(sc.health.thermo_tail, 32);
+  EXPECT_EQ(sc.health.bundle_dir, "triage");
+  EXPECT_EQ(sc.health.inject_nan_step, 4);
+  EXPECT_TRUE(sc.health.any_enabled());
+  EXPECT_TRUE(sc.health.any_abort());
+
+  // The default NaN detector can be switched off explicitly.
+  const auto off =
+      scenario_from_deck(parse_deck_string("health.nan = off\n"));
+  EXPECT_EQ(off.health.nan, telemetry::HealthAction::kOff);
+  EXPECT_FALSE(off.health.any_enabled());
+}
+
+TEST(Scenario, HealthKeysValidateEagerly) {
+  // Action tokens are a closed set with file:line blame.
+  try {
+    scenario_from_deck(parse_deck_string("health.nan = on\n", "h.deck"));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("h.deck:1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("off|warn|abort"),
+              std::string::npos);
+  }
+  EXPECT_THROW(scenario_from_deck(parse_deck_string("health.stall = true\n")),
+               Error);
+  // Bands and timeouts must be positive numbers.
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "health.energy_drift = warn\nhealth.energy_band = 0\n")),
+               Error);
+  EXPECT_THROW(
+      scenario_from_deck(parse_deck_string(
+          "health.temperature = warn\nhealth.temperature_band = -5\n")),
+      Error);
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "health.stall = warn\nhealth.stall_timeout = soon\n")),
+               Error);
+  // A band/timeout for a disabled detector is dead configuration.
+  try {
+    scenario_from_deck(
+        parse_deck_string("health.energy_band = 0.01\n", "dead.deck"));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("dead.deck:1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("health.energy_drift"),
+              std::string::npos);
+  }
+  EXPECT_THROW(
+      scenario_from_deck(parse_deck_string("health.temperature_band = 50\n")),
+      Error);
+  EXPECT_THROW(
+      scenario_from_deck(parse_deck_string("health.stall_timeout = 10\n")),
+      Error);
+  // The NaN fault drill needs the NaN detector it exercises.
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "health.nan = off\nhealth.inject_nan = 3\n")),
+               Error);
+  EXPECT_THROW(
+      scenario_from_deck(parse_deck_string("health.inject_nan = -1\n")),
+      Error);
+  // The bundle's thermo tail keeps a bounded ring.
+  EXPECT_THROW(
+      scenario_from_deck(parse_deck_string("health.thermo_tail = 0\n")),
+      Error);
+  EXPECT_THROW(
+      scenario_from_deck(parse_deck_string("health.thermo_tail = 200000\n")),
+      Error);
+  EXPECT_THROW(scenario_from_deck(parse_deck_string("health.bundle =\n")),
+               Error);
+}
+
+TEST(Scenario, SnapshotCadenceImpliesTheMetricsFile) {
+  // No cadence by default; no metrics file implied.
+  EXPECT_DOUBLE_EQ(scenario_from_deck(parse_deck_string("")).
+                   telemetry_snapshot_s, 0.0);
+
+  const auto sc = scenario_from_deck(
+      parse_deck_string("name = snapdeck\ntelemetry.snapshot = 0.5\n"));
+  EXPECT_DOUBLE_EQ(sc.telemetry_snapshot_s, 0.5);
+  // Snapshots stream into the metrics file, so a cadence without an
+  // explicit path resolves the same auto default as telemetry.metrics=auto.
+  EXPECT_EQ(sc.telemetry_metrics_path, "snapdeck.metrics.jsonl");
+
+  // An explicit path wins over the implied default.
+  const auto named = scenario_from_deck(parse_deck_string(
+      "telemetry.snapshot = 0.5\ntelemetry.metrics = custom.jsonl\n"));
+  EXPECT_EQ(named.telemetry_metrics_path, "custom.jsonl");
+
+  // `off` clears an earlier cadence (resume-time CLI override path).
+  const auto off = scenario_from_deck(parse_deck_string(
+      "telemetry.snapshot = 0.5\ntelemetry.snapshot = off\n"));
+  EXPECT_DOUBLE_EQ(off.telemetry_snapshot_s, 0.0);
+
+  EXPECT_THROW(
+      scenario_from_deck(parse_deck_string("telemetry.snapshot = 0\n")),
+      Error);
+  EXPECT_THROW(
+      scenario_from_deck(parse_deck_string("telemetry.snapshot = -1\n")),
+      Error);
+  EXPECT_THROW(
+      scenario_from_deck(parse_deck_string("telemetry.snapshot = fast\n")),
+      Error);
+  // Streaming into an explicitly disabled metrics file is a contradiction.
+  try {
+    scenario_from_deck(parse_deck_string(
+        "telemetry.snapshot = 0.5\ntelemetry.metrics = off\n", "c.deck"));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("c.deck:1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("telemetry.metrics is off"),
+              std::string::npos);
+  }
+}
+
+TEST(Scenario, HealthAndSnapshotKeysRoundTripThroughDeckFromScenario) {
+  const auto sc = scenario_from_deck(parse_deck_string(
+      "name = rt\n"
+      "telemetry.snapshot = 0.25\n"
+      "health.nan = abort\n"
+      "health.energy_drift = warn\n"
+      "health.energy_band = 0.05\n"
+      "health.stall = abort\n"
+      "health.stall_timeout = 30\n"
+      "health.thermo_tail = 16\n"
+      "health.bundle = rt.triage\n"
+      "health.inject_nan = 2\n"));
+  const auto again = scenario_from_deck(deck_from_scenario(sc));
+  EXPECT_DOUBLE_EQ(again.telemetry_snapshot_s, 0.25);
+  EXPECT_EQ(again.health.nan, telemetry::HealthAction::kAbort);
+  EXPECT_EQ(again.health.energy_drift, telemetry::HealthAction::kWarn);
+  EXPECT_DOUBLE_EQ(again.health.energy_band, 0.05);
+  EXPECT_EQ(again.health.stall, telemetry::HealthAction::kAbort);
+  EXPECT_DOUBLE_EQ(again.health.stall_timeout_s, 30.0);
+  EXPECT_EQ(again.health.thermo_tail, 16);
+  EXPECT_EQ(again.health.bundle_dir, "rt.triage");
+  EXPECT_EQ(again.health.inject_nan_step, 2);
+  // Untouched defaults stay implicit: a default scenario round-trips to a
+  // deck with no health.* or telemetry.snapshot keys at all.
+  const auto plain = deck_from_scenario(scenario_from_deck(
+      parse_deck_string("")));
+  for (const auto& e : plain.entries) {
+    EXPECT_EQ(e.key.rfind("health.", 0), std::string::npos) << e.key;
+    EXPECT_NE(e.key, "telemetry.snapshot");
+  }
 }
 
 TEST(Scenario, BuildEngineHonorsBackendAndOverride) {

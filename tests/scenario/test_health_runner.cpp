@@ -1,0 +1,303 @@
+/// \file test_health_runner.cpp
+/// The run-health watchdog wired through the scenario runner: every
+/// detector exercised end-to-end (NaN injection, temperature runaway,
+/// energy drift, stalled engine via a fault-injecting engine wrapper),
+/// warn-vs-abort behavior, the diagnostic bundle's contents, interval
+/// snapshots on a sharded run, and telemetry finalization on the
+/// interrupt path.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/checkpoint.hpp"
+#include "scenario/deck.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "telemetry/health.hpp"
+
+namespace wsmd::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// A tiny Cu slab that steps in milliseconds.
+Deck small_deck(const std::string& name) {
+  Deck deck = parse_deck_string("element = Cu\n"
+                                "geometry = slab\n"
+                                "scale = 96\n"
+                                "backend = reference\n"
+                                "dt = 0.002\n"
+                                "seed = 7\n"
+                                "thermalize = 300\n"
+                                "run = 10\n",
+                                "<test>");
+  deck.set("name", name);
+  return deck;
+}
+
+/// Engine wrapper that runs a hook before every forwarded step — the
+/// injection point for stalls and interrupts (opt.engine_factory).
+class FaultEngine : public engine::Engine {
+ public:
+  FaultEngine(std::unique_ptr<engine::Engine> inner,
+              std::function<void(long)> before_step)
+      : inner_(std::move(inner)), before_step_(std::move(before_step)) {}
+
+  const char* backend_name() const override {
+    return inner_->backend_name();
+  }
+  engine::ModeledPhaseCost modeled_phase_cost() const override {
+    return inner_->modeled_phase_cost();
+  }
+  std::vector<engine::ShardLoad> shard_load() const override {
+    return inner_->shard_load();
+  }
+  std::size_t atom_count() const override { return inner_->atom_count(); }
+  long step_count() const override { return inner_->step_count(); }
+  std::vector<Vec3d> positions() const override {
+    return inner_->positions();
+  }
+  std::vector<Vec3d> velocities() const override {
+    return inner_->velocities();
+  }
+  void set_velocities(const std::vector<Vec3d>& v) override {
+    inner_->set_velocities(v);
+  }
+  void set_positions(const std::vector<Vec3d>& r) override {
+    inner_->set_positions(r);
+  }
+  engine::State snapshot() const override { return inner_->snapshot(); }
+  void restore(const engine::State& s) override { inner_->restore(s); }
+  void thermalize(double temperature_K, Rng& rng) override {
+    inner_->thermalize(temperature_K, rng);
+  }
+  engine::Thermo step() override {
+    if (before_step_) before_step_(inner_->step_count() + 1);
+    return inner_->step();
+  }
+  engine::Thermo thermo() const override { return inner_->thermo(); }
+
+ private:
+  std::unique_ptr<engine::Engine> inner_;
+  std::function<void(long)> before_step_;
+};
+
+RunOptions fault_options(std::function<void(long)> before_step) {
+  RunOptions opt;
+  opt.engine_factory = [before_step = std::move(before_step)](
+                           const Scenario& sc,
+                           const lattice::Structure& s) {
+    return std::make_unique<FaultEngine>(build_engine(sc, s), before_step);
+  };
+  return opt;
+}
+
+TEST(HealthRunner, NanInjectionWarnCompletesTheRun) {
+  const std::string base = ::testing::TempDir() + "wsmd_health_nanwarn";
+  Deck deck = small_deck("nanwarn");
+  deck.set("health.inject_nan", "3");  // health.nan defaults to warn
+  deck.set("thermo", base + ".thermo.csv");
+  const auto result = run_scenario(scenario_from_deck(deck));
+  EXPECT_EQ(result.health_events, 1u) << "nan warn, latched once";
+  EXPECT_EQ(result.total_steps, 10);
+  // The thermo logger rejects non-finite rows; the runner skips them
+  // instead of dying on its own log, so the file holds only the finite
+  // prefix (step 0 pre-run, thermalize, steps 1-2).
+  EXPECT_LT(result.thermo_samples, 10u);
+  EXPECT_GE(result.thermo_samples, 2u);
+  EXPECT_EQ(slurp(result.thermo_path).find("nan"), std::string::npos);
+}
+
+TEST(HealthRunner, NanInjectionAbortLeavesACompleteBundle) {
+  const std::string base = ::testing::TempDir() + "wsmd_health_nanabort";
+  const std::string bundle = base + ".bundle";
+  fs::remove_all(bundle);
+  Deck deck = small_deck("nanabort");
+  deck.set("health.nan", "abort");
+  deck.set("health.inject_nan", "4");
+  deck.set("health.thermo_tail", "8");
+  deck.set("health.bundle", bundle);
+  deck.set("telemetry.metrics", base + ".metrics.jsonl");
+
+  bool threw = false;
+  try {
+    run_scenario(scenario_from_deck(deck));
+  } catch (const telemetry::HealthAbortError& ex) {
+    threw = true;
+    EXPECT_EQ(ex.event().detector, "nan");
+    EXPECT_EQ(ex.event().step, 4);
+    EXPECT_EQ(ex.bundle_dir(), bundle);
+    EXPECT_NE(std::string(ex.what()).find(bundle), std::string::npos);
+  }
+  ASSERT_TRUE(threw);
+
+  // The bundle: a loadable checkpoint (PR 4 format; carries the poisoned
+  // state plus the schedule cursor of the aborted step)...
+  const auto ckpt =
+      io::read_checkpoint_file((fs::path(bundle) / "checkpoint.ckpt").string());
+  EXPECT_EQ(ckpt.engine.step, 4);
+  EXPECT_EQ(ckpt.element, "Cu");
+  // ...the last-K thermo ring including the blow-up row...
+  const std::string tail =
+      slurp((fs::path(bundle) / "thermo_tail.csv").string());
+  EXPECT_NE(tail.find("step,pe_eV"), std::string::npos);
+  EXPECT_NE(tail.find("nan"), std::string::npos) << tail;
+  // ...the trace (an abort-armed session always captures events)...
+  EXPECT_TRUE(fs::exists(fs::path(bundle) / "trace.json"));
+  // ...and the verdict document.
+  const std::string health =
+      slurp((fs::path(bundle) / "health.json").string());
+  EXPECT_NE(health.find("\"verdict\": \"abort\""), std::string::npos);
+  EXPECT_NE(health.find("\"detector\": \"nan\""), std::string::npos);
+  EXPECT_NE(health.find("\"scenario\": \"nanabort\""), std::string::npos);
+
+  // The metrics export is finalized on the unwind path: the aggregate
+  // rows are present even though the run died mid-schedule.
+  const std::string metrics = slurp(base + ".metrics.jsonl");
+  EXPECT_NE(metrics.find("\"kind\": \"counter\""), std::string::npos);
+}
+
+TEST(HealthRunner, TemperatureRunawayAbortsDuringThermostattedStage) {
+  Deck deck = small_deck("trunaway");
+  // Schedule overrides replace the file's schedule in set order; the
+  // thermostatted equilibrate stage needs a KE source before it.
+  deck.set("thermalize", "300");
+  deck.set("equilibrate", "300 10");
+  deck.set("health.temperature", "abort");
+  deck.set("health.temperature_band", "1e-9");  // any drift trips it
+  bool threw = false;
+  try {
+    run_scenario(scenario_from_deck(deck));
+  } catch (const telemetry::HealthAbortError& ex) {
+    threw = true;
+    EXPECT_EQ(ex.event().detector, "temperature");
+    EXPECT_EQ(ex.event().limit, 1e-9);
+  }
+  EXPECT_TRUE(threw);
+  fs::remove_all("trunaway.health");  // bundle dir defaulted to <name>.health
+}
+
+TEST(HealthRunner, TemperatureInsideTheBandStaysQuiet) {
+  Deck deck = small_deck("tquiet");
+  deck.set("thermalize", "300");
+  deck.set("equilibrate", "300 10");
+  deck.set("health.temperature", "warn");
+  deck.set("health.temperature_band", "1e6");
+  const auto result = run_scenario(scenario_from_deck(deck));
+  EXPECT_EQ(result.health_events, 0u);
+}
+
+TEST(HealthRunner, EnergyDriftWarnsDuringRunStages) {
+  Deck deck = small_deck("edrift");
+  deck.set("health.energy_drift", "warn");
+  deck.set("health.energy_band", "1e-12");  // FP integration noise trips it
+  const auto result = run_scenario(scenario_from_deck(deck));
+  EXPECT_GE(result.health_events, 1u);
+}
+
+TEST(HealthRunner, StallWarnFiresFromTheWatchdogThread) {
+  Deck deck = small_deck("stallwarn");
+  deck.set("run", "2");
+  deck.set("health.stall", "warn");
+  deck.set("health.stall_timeout", "0.05");
+  auto opt = fault_options([](long step) {
+    if (step == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+  });
+  const auto result = run_scenario(scenario_from_deck(deck), opt);
+  EXPECT_GE(result.health_events, 1u) << "the stalled step must be seen";
+}
+
+TEST(HealthRunner, StallAbortGoesToTheInstalledHandler) {
+  Deck deck = small_deck("stallabort");
+  deck.set("run", "2");
+  deck.set("health.stall", "abort");
+  deck.set("health.stall_timeout", "0.05");
+  std::vector<telemetry::HealthEvent> captured;
+  auto opt = fault_options([](long step) {
+    if (step == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+  });
+  // Without this hook the default handler writes the partial bundle and
+  // _Exit(3)s the process — tests must capture instead.
+  opt.stall_handler = [&captured](const telemetry::HealthEvent& ev) {
+    captured.push_back(ev);
+  };
+  run_scenario(scenario_from_deck(deck), opt);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].detector, "stall");
+  EXPECT_EQ(captured[0].action, telemetry::HealthAction::kAbort);
+  EXPECT_GE(captured[0].value, 0.05);
+}
+
+TEST(HealthRunner, ShardedRunStreamsPerShardSnapshots) {
+  const std::string base = ::testing::TempDir() + "wsmd_health_snap";
+  Deck deck = small_deck("shardsnap");
+  deck.set("scale", "32");
+  deck.set("backend", "sharded:2");
+  deck.set("run", "300");
+  deck.set("telemetry.metrics", base + ".metrics.jsonl");
+  deck.set("telemetry.snapshot", "0.0001");
+  const auto result = run_scenario(scenario_from_deck(deck));
+  ASSERT_GE(result.snapshots.size(), 3u)
+      << "a 300-step sharded run at 0.1 ms cadence must snapshot";
+  long long prev_seq = -1;
+  for (const auto& row : result.snapshots) {
+    EXPECT_EQ(row.seq, prev_seq + 1);
+    prev_seq = row.seq;
+    ASSERT_EQ(row.shard_busy_s.size(), 2u) << "per-shard busy time";
+    ASSERT_EQ(row.shard_wait_s.size(), 2u) << "per-shard wait time";
+    EXPECT_GT(row.ns_per_day, 0.0);
+    EXPECT_GT(row.imbalance, 0.0) << "shards did work every interval";
+  }
+  const std::string metrics = slurp(base + ".metrics.jsonl");
+  EXPECT_NE(metrics.find("\"kind\": \"snapshot\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"shard_busy_s\": ["), std::string::npos);
+  EXPECT_NE(metrics.find("\"kind\": \"span\""), std::string::npos)
+      << "finalized aggregates close the stream";
+}
+
+TEST(HealthRunner, InterruptFinalizesTelemetryExports) {
+  const std::string base = ::testing::TempDir() + "wsmd_health_intr";
+  reset_interrupt();
+  Deck deck = small_deck("interrupted");
+  deck.set("run", "50");
+  deck.set("telemetry.metrics", base + ".metrics.jsonl");
+  auto opt = fault_options([](long step) {
+    if (step == 3) request_interrupt();
+  });
+  bool threw = false;
+  try {
+    run_scenario(scenario_from_deck(deck), opt);
+  } catch (const InterruptedError& ex) {
+    threw = true;
+    EXPECT_EQ(ex.step(), 3);
+  }
+  reset_interrupt();
+  ASSERT_TRUE(threw);
+  // The exports were finalized before the unwind surfaced: the metrics
+  // file carries the aggregate tail of the partial run.
+  const std::string metrics = slurp(base + ".metrics.jsonl");
+  EXPECT_NE(metrics.find("\"kind\": \"counter\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsmd::scenario

@@ -1,0 +1,247 @@
+/// \file test_snapshot.cpp
+/// The interval-snapshot stream (src/telemetry/snapshot) and the HTML
+/// dashboard renderer (src/telemetry/dashboard): delta arithmetic against
+/// a live session, throughput derivation, imbalance, the JSONL row shape,
+/// finalize() appending the exact write_metrics_jsonl aggregates, and the
+/// dashboard's self-containment contract.
+
+#include "telemetry/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/dashboard.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace wsmd::telemetry {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::size_t count_lines_with(const std::string& text,
+                             const std::string& needle) {
+  std::size_t n = 0;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+class SnapshotStreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override { begin_session(); }
+  void TearDown() override { end_session(); }
+};
+
+TEST_F(SnapshotStreamTest, CadenceGate) {
+  const std::string path = ::testing::TempDir() + "wsmd_snap_cadence.jsonl";
+  SnapshotStream stream(path, 0.5, 0.002);
+  EXPECT_EQ(stream.cadence_seconds(), 0.5);
+  EXPECT_FALSE(stream.snapshot_due(0.0));
+  EXPECT_FALSE(stream.snapshot_due(0.49));
+  EXPECT_TRUE(stream.snapshot_due(0.5));
+  stream.take_snapshot(10, 0.5, {}, {});
+  EXPECT_FALSE(stream.snapshot_due(0.9));
+  EXPECT_TRUE(stream.snapshot_due(1.0));
+  // A zero cadence never fires (aggregates-only metrics file).
+  SnapshotStream off(::testing::TempDir() + "wsmd_snap_off.jsonl", 0.0,
+                     0.002);
+  EXPECT_FALSE(off.snapshot_due(1e9));
+}
+
+TEST_F(SnapshotStreamTest, DeltasThroughputAndImbalance) {
+  const std::string path = ::testing::TempDir() + "wsmd_snap_delta.jsonl";
+  SnapshotStream stream(path, 0.1, 0.002);
+
+  add_span_time("force", 2.0, 4);
+  count("wse.interactions", 1000);
+  count("wse.steps", 10);
+  const auto& r1 =
+      stream.take_snapshot(10, 1.0, {0.6, 0.2}, {0.05, 0.45});
+  EXPECT_EQ(r1.seq, 0);
+  EXPECT_EQ(r1.step, 10);
+  EXPECT_EQ(r1.steps_delta, 10);
+  EXPECT_DOUBLE_EQ(r1.wall_delta_s, 1.0);
+  // 10 steps * 0.002 ps * 1e-3 ns/ps over 1 s, per day.
+  EXPECT_NEAR(r1.ns_per_day, 10 * 0.002 * 1e-3 * 86400.0, 1e-9);
+  EXPECT_NEAR(r1.pairs_per_s, 1000.0, 1e-9);
+  ASSERT_EQ(r1.span_delta_s.size(), 1u);
+  EXPECT_EQ(r1.span_delta_s[0].first, "force");
+  EXPECT_DOUBLE_EQ(r1.span_delta_s[0].second, 2.0);
+  ASSERT_EQ(r1.shard_busy_s.size(), 2u);
+  EXPECT_DOUBLE_EQ(r1.shard_busy_s[0], 0.6);
+  // imbalance = max / mean = 0.6 / 0.4.
+  EXPECT_NEAR(r1.imbalance, 1.5, 1e-12);
+
+  // Second snapshot differences against the first's cumulative values.
+  add_span_time("force", 0.5, 1);
+  count("wse.interactions", 500);
+  const auto& r2 =
+      stream.take_snapshot(30, 1.5, {0.8, 0.6}, {0.1, 0.5});
+  EXPECT_EQ(r2.seq, 1);
+  EXPECT_EQ(r2.steps_delta, 20);
+  EXPECT_DOUBLE_EQ(r2.wall_delta_s, 0.5);
+  EXPECT_NEAR(r2.pairs_per_s, 1000.0, 1e-9);  // 500 pairs / 0.5 s
+  ASSERT_EQ(r2.span_delta_s.size(), 1u);
+  EXPECT_DOUBLE_EQ(r2.span_delta_s[0].second, 0.5);
+  ASSERT_EQ(r2.shard_busy_s.size(), 2u);
+  EXPECT_NEAR(r2.shard_busy_s[0], 0.2, 1e-12);
+  EXPECT_NEAR(r2.shard_busy_s[1], 0.4, 1e-12);
+  // Equalizing shards: max 0.4 / mean 0.3.
+  EXPECT_NEAR(r2.imbalance, 0.4 / 0.3, 1e-12);
+
+  // An interval with no new span/counter activity emits empty deltas
+  // (zero-delta names are omitted, not written as 0).
+  const auto& r3 = stream.take_snapshot(40, 2.0, {0.8, 0.6}, {0.1, 0.5});
+  EXPECT_TRUE(r3.span_delta_s.empty());
+  EXPECT_TRUE(r3.counter_delta.empty());
+  EXPECT_DOUBLE_EQ(r3.imbalance, 0.0) << "no busy time this interval";
+}
+
+TEST_F(SnapshotStreamTest, JsonlRowsAndFinalizedAggregates) {
+  const std::string path = ::testing::TempDir() + "wsmd_snap_file.jsonl";
+  {
+    SnapshotStream stream(path, 0.1, 0.002);
+    add_span_time("force", 1.0, 2);
+    count("wse.steps", 5);
+    stream.take_snapshot(5, 0.25, {0.5}, {0.0});
+    stream.take_snapshot(9, 0.5, {0.9}, {0.1});
+    stream.finalize();
+    EXPECT_EQ(stream.rows().size(), 2u);
+    stream.finalize();  // idempotent
+  }
+  const std::string text = slurp(path);
+  EXPECT_EQ(count_lines_with(text, "\"kind\": \"snapshot\""), 2u);
+  EXPECT_NE(text.find("\"seq\": 0"), std::string::npos);
+  EXPECT_NE(text.find("\"seq\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"shard_busy_s\": [0.5]"), std::string::npos);
+  EXPECT_NE(text.find("\"imbalance\": 1"), std::string::npos);
+
+  // The finalized tail must be byte-compatible with write_metrics_jsonl:
+  // same keys, same encoding, PR 6 consumers parse it unchanged.
+  const std::string ref_path = ::testing::TempDir() + "wsmd_snap_ref.jsonl";
+  write_metrics_jsonl(ref_path);
+  std::istringstream ref(slurp(ref_path));
+  std::string line;
+  while (std::getline(ref, line)) {
+    EXPECT_NE(text.find(line), std::string::npos)
+        << "aggregate row missing from finalized stream: " << line;
+  }
+  EXPECT_EQ(count_lines_with(text, "\"kind\": \"span\""),
+            count_lines_with(slurp(ref_path), "\"kind\": \"span\""));
+}
+
+TEST_F(SnapshotStreamTest, DestructorFinalizesBestEffort) {
+  const std::string path = ::testing::TempDir() + "wsmd_snap_dtor.jsonl";
+  {
+    SnapshotStream stream(path, 0.1, 0.002);
+    count("wse.steps", 3);
+    stream.take_snapshot(3, 0.2, {}, {});
+    // No finalize(): an unexpected unwind must still close the file with
+    // the aggregate tail.
+  }
+  const std::string text = slurp(path);
+  EXPECT_EQ(count_lines_with(text, "\"kind\": \"snapshot\""), 1u);
+  EXPECT_GE(count_lines_with(text, "\"kind\": \"counter\""), 1u);
+}
+
+TEST_F(SnapshotStreamTest, ShardCountChangeResetsTheBaseline) {
+  const std::string path = ::testing::TempDir() + "wsmd_snap_shards.jsonl";
+  SnapshotStream stream(path, 0.1, 0.002);
+  stream.take_snapshot(1, 0.2, {1.0, 1.0}, {0.0, 0.0});
+  // Different shard count: cumulative baselines reset to zero instead of
+  // differencing mismatched vectors.
+  const auto& row = stream.take_snapshot(2, 0.4, {2.0, 2.0, 2.0}, {0.0, 0.0, 0.0});
+  ASSERT_EQ(row.shard_busy_s.size(), 3u);
+  EXPECT_DOUBLE_EQ(row.shard_busy_s[0], 2.0);
+}
+
+DashboardInput dashboard_input(std::size_t snapshots) {
+  DashboardInput in;
+  in.title = "cu_gb_mobility";
+  in.backend = "sharded:2 (2 shards over wse-core)";
+  in.atoms = 1234;
+  in.total_steps = 300;
+  in.wall_seconds = 2.5;
+  in.dt_ps = 0.002;
+  for (std::size_t i = 0; i < snapshots; ++i) {
+    SnapshotRow row;
+    row.seq = static_cast<long long>(i);
+    row.t_s = 0.1 * static_cast<double>(i + 1);
+    row.step = static_cast<long>(10 * (i + 1));
+    row.steps_delta = 10;
+    row.wall_delta_s = 0.1;
+    row.ns_per_day = 1.5 + 0.1 * static_cast<double>(i);
+    row.pairs_per_s = 1e6;
+    row.span_delta_s = {{"force", 0.05}, {"halo", 0.01}};
+    row.shard_busy_s = {0.06, 0.04};
+    row.shard_wait_s = {0.0, 0.02};
+    row.imbalance = 1.2;
+    in.snapshots.push_back(row);
+  }
+  PhaseRow cost;
+  cost.phase = "force";
+  cost.measured_seconds = 1.9;
+  cost.has_modeled = true;
+  cost.modeled_seconds = 1.7;
+  cost.ratio = 1.9 / 1.7;
+  in.cost.push_back(cost);
+  return in;
+}
+
+TEST(Dashboard, SelfContainedWithChartsAndTables) {
+  const auto html = render_dashboard_html(dashboard_input(5));
+  // Document shape + the sections CI's checker requires.
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("<style>"), std::string::npos);
+  EXPECT_NE(html.find("Measured vs modeled"), std::string::npos);
+  EXPECT_NE(html.find("Shard load"), std::string::npos);
+  EXPECT_NE(html.find("cu_gb_mobility"), std::string::npos);
+  // Self-containment: nothing that reaches the network or filesystem.
+  for (const char* banned : {"http://", "https://", "src=", "<link",
+                             "<script", "@import", "url("}) {
+    EXPECT_EQ(html.find(banned), std::string::npos)
+        << "external reference '" << banned << "'";
+  }
+}
+
+TEST(Dashboard, FewSnapshotsDegradeGracefully) {
+  // 0 and 1 snapshots cannot chart a polyline; the dashboard must still
+  // render (placeholder text instead of an empty/degenerate SVG path).
+  for (const std::size_t n : {0u, 1u}) {
+    const auto html = render_dashboard_html(dashboard_input(n));
+    EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u) << n;
+    EXPECT_NE(html.find("Measured vs modeled"), std::string::npos) << n;
+  }
+}
+
+TEST(Dashboard, EscapesUserControlledStrings) {
+  auto in = dashboard_input(2);
+  in.title = "<script>alert(1)</script>";
+  const auto html = render_dashboard_html(in);
+  EXPECT_EQ(html.find("<script>"), std::string::npos);
+  EXPECT_NE(html.find("&lt;script&gt;"), std::string::npos);
+}
+
+TEST(Dashboard, WriteToFile) {
+  const std::string path = ::testing::TempDir() + "wsmd_dash.html";
+  write_dashboard_html(path, dashboard_input(3));
+  const auto text = slurp(path);
+  EXPECT_NE(text.find("<svg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsmd::telemetry

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Append a build's BENCH_*.json envelopes to a bench-history JSONL log.
+
+The smoke benches emit machine-readable BENCH_<name>.json envelopes
+(util/bench_json: {"bench", optional bench meta, "meta" provenance,
+"rows"}). check_bench_regression.py gates one build against the baseline;
+this tool keeps the longitudinal record — every CI run appends one JSONL
+line per envelope to bench/history.jsonl (cached across runs), so
+throughput trends can be charted without archaeology over CI logs.
+
+Each history line is:
+
+  {"run_id": ..., "recorded_at": ..., "bench": ..., "meta": {...},
+   "rows": [...], ...bench-level meta keys...}
+
+Appending is idempotent per (run_id, bench): re-running inside the same
+CI job (or a retried job) replaces nothing and adds nothing — existing
+lines for the run are detected and skipped, so a flaky retry cannot
+double-count a run.
+
+Usage: bench_history.py --build-dir DIR --history FILE
+                        --run-id ID [--recorded-at STAMP]
+Exit status: 0 on success (including "nothing new to append"),
+1 when an envelope cannot be read or the history file cannot be written.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_existing(path):
+    """(run_id, bench) pairs already logged, tolerating a missing file."""
+    seen = set()
+    if not os.path.exists(path):
+        return seen
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as ex:
+                raise SystemExit(
+                    f"bench_history: {path} line {lineno} is not JSON "
+                    f"({ex}) — refusing to append to a corrupt history")
+            seen.add((row.get("run_id"), row.get("bench")))
+    return seen
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", required=True,
+                    help="directory holding the emitted BENCH_*.json")
+    ap.add_argument("--history", required=True,
+                    help="JSONL history file to append to")
+    ap.add_argument("--run-id", required=True,
+                    help="CI run identifier (e.g. $GITHUB_RUN_ID)")
+    ap.add_argument("--recorded-at", default="",
+                    help="timestamp string to stamp each line with")
+    args = ap.parse_args()
+
+    paths = sorted(glob.glob(os.path.join(args.build_dir, "BENCH_*.json")))
+    if not paths:
+        print(f"bench_history: no BENCH_*.json under {args.build_dir}")
+        return 1
+
+    seen = load_existing(args.history)
+    os.makedirs(os.path.dirname(args.history) or ".", exist_ok=True)
+    appended = 0
+    with open(args.history, "a") as out:
+        for path in paths:
+            try:
+                with open(path) as f:
+                    envelope = json.load(f)
+            except (OSError, json.JSONDecodeError) as ex:
+                print(f"bench_history: cannot read {path}: {ex}")
+                return 1
+            bench = envelope.get("bench")
+            if not isinstance(bench, str) or "rows" not in envelope:
+                print(f"bench_history: {path} is not a BENCH envelope")
+                return 1
+            if (args.run_id, bench) in seen:
+                print(f"bench_history: skip {bench} "
+                      f"(run {args.run_id} already logged)")
+                continue
+            line = dict(envelope)
+            line["run_id"] = args.run_id
+            line["recorded_at"] = args.recorded_at
+            out.write(json.dumps(line, sort_keys=True) + "\n")
+            appended += 1
+    print(f"bench_history: appended {appended} envelope(s) to "
+          f"{args.history}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Validate that a `wsmd report --html` dashboard is self-contained.
+
+The dashboard's contract (src/telemetry/dashboard) is one file that renders
+offline: every chart is inline SVG, every style is an inline <style> block,
+and nothing references the network or the local filesystem. This checker
+pins that in CI so a refactor that sneaks in a CDN stylesheet, a <script>
+tag, or an external image breaks loudly:
+
+  * the file is non-empty, starts with <!DOCTYPE html>, and contains the
+    core sections (<svg charts, the cost table, the shard-load section),
+  * no external references: http://, https://, src=, <link, <script,
+    @import, and url( are all forbidden anywhere in the document.
+
+Usage: check_dashboard_html.py DASHBOARD.html [DASHBOARD.html ...]
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+import sys
+
+FORBIDDEN = ("http://", "https://", "src=", "<link", "<script", "@import",
+             "url(")
+REQUIRED = ("<!DOCTYPE html>", "<svg", "<style>", "Measured vs modeled",
+            "Shard load")
+
+
+def fail(path, msg):
+    print(f"FAIL {path}: {msg}")
+    return False
+
+
+def check(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = f.read()
+    except (OSError, UnicodeDecodeError) as ex:
+        return fail(path, f"cannot read: {ex}")
+    if not doc.strip():
+        return fail(path, "empty document")
+    if not doc.lstrip().startswith("<!DOCTYPE html>"):
+        return fail(path, "does not start with <!DOCTYPE html>")
+    for needle in REQUIRED:
+        if needle not in doc:
+            return fail(path, f"missing required content {needle!r}")
+    lowered = doc.lower()
+    for needle in FORBIDDEN:
+        pos = lowered.find(needle)
+        if pos >= 0:
+            line = doc.count("\n", 0, pos) + 1
+            return fail(path, f"external reference {needle!r} at line "
+                              f"{line} — the dashboard must be "
+                              "self-contained")
+    print(f"OK   {path}: self-contained ({len(doc)} bytes, "
+          f"{doc.count('<svg')} SVG chart(s))")
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 1
+    ok = True
+    for path in argv[1:]:
+        ok &= check(path)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Validate run-health artifacts: health.json and the metrics JSONL stream.
+
+The watchdog (src/telemetry/health) writes a diagnostic bundle whose
+health.json records the verdict, every event, and the bundle layout; the
+snapshot stream (src/telemetry/snapshot) appends interval rows to the
+metrics JSONL file before the end-of-run span/counter aggregates. This
+checker pins both schemas in CI so a formatting regression fails fast
+instead of silently producing artifacts the dashboard and triage tooling
+cannot read.
+
+health.json (--health PATH):
+  * parses as a JSON object with schema == 1, string scenario/backend,
+  * verdict is one of ok|warn|abort, consistent with fatal/events
+    (abort <=> fatal is an event object; ok <=> no events),
+  * every event (and fatal) carries detector/action/step/message,
+  * artifacts is an object of string paths including dir/thermo_tail,
+  * --expect-detector NAME additionally requires an event from NAME,
+  * --expect-verdict V additionally pins the verdict.
+
+metrics.jsonl (--metrics PATH):
+  * every line is a JSON object with kind snapshot|span|counter,
+  * snapshot rows carry seq/t_s/step/steps_delta/wall_delta_s/ns_per_day/
+    pairs_per_s numbers, spans/counters objects, shard_busy_s/shard_wait_s
+    equal-length number arrays, and a numeric imbalance,
+  * seq increases from 0 and snapshots precede the final aggregates,
+  * at least one span and one counter aggregate row closes the file,
+  * --min-snapshots N requires >= N snapshot rows,
+  * --expect-shards K requires every snapshot's shard arrays to have K
+    entries (and a positive imbalance once any shard was busy).
+
+Usage: check_health_schema.py [--health H.json [--expect-detector D]
+                               [--expect-verdict V]]
+                              [--metrics M.jsonl [--min-snapshots N]
+                               [--expect-shards K]]
+Exit status: 0 when every requested file validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+VERDICTS = ("ok", "warn", "abort")
+EVENT_FIELDS = ("detector", "action", "step", "message")
+
+
+def fail(path, msg):
+    print(f"FAIL {path}: {msg}")
+    return False
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_event(path, label, event):
+    if not isinstance(event, dict):
+        return fail(path, f"{label} is not an object")
+    for field in EVENT_FIELDS:
+        if field not in event:
+            return fail(path, f"{label} lacks '{field}'")
+    if event["action"] not in ("warn", "abort"):
+        return fail(path, f"{label} action '{event['action']}' is not "
+                          "warn|abort (off events must never be emitted)")
+    if not is_num(event["step"]):
+        return fail(path, f"{label} step is not a number")
+    return True
+
+
+def check_health(path, expect_detector, expect_verdict):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as ex:
+        return fail(path, f"cannot parse: {ex}")
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    if doc.get("schema") != 1:
+        return fail(path, f"schema is {doc.get('schema')!r}, want 1")
+    for key in ("scenario", "backend"):
+        if not isinstance(doc.get(key), str) or not doc[key]:
+            return fail(path, f"'{key}' is not a non-empty string")
+    verdict = doc.get("verdict")
+    if verdict not in VERDICTS:
+        return fail(path, f"verdict {verdict!r} not in {VERDICTS}")
+    events = doc.get("events")
+    if not isinstance(events, list):
+        return fail(path, "'events' is not a list")
+    for i, event in enumerate(events):
+        if not check_event(path, f"events[{i}]", event):
+            return False
+    fatal = doc.get("fatal")
+    if verdict == "abort":
+        if not check_event(path, "fatal", fatal):
+            return False
+    elif fatal is not None:
+        return fail(path, f"verdict '{verdict}' but fatal is set")
+    if verdict == "ok" and events:
+        return fail(path, "verdict 'ok' but events is non-empty")
+    if verdict != "ok" and not events:
+        return fail(path, f"verdict '{verdict}' but events is empty")
+    artifacts = doc.get("artifacts")
+    if not isinstance(artifacts, dict):
+        return fail(path, "'artifacts' is not an object")
+    for key in ("dir", "thermo_tail"):
+        if not isinstance(artifacts.get(key), str) or not artifacts[key]:
+            return fail(path, f"artifacts.{key} is not a non-empty string")
+    if expect_detector is not None:
+        hit = [e for e in events if e.get("detector") == expect_detector]
+        if not hit:
+            return fail(path, f"no event from detector '{expect_detector}' "
+                              f"(saw {[e.get('detector') for e in events]})")
+    if expect_verdict is not None and verdict != expect_verdict:
+        return fail(path, f"verdict '{verdict}', want '{expect_verdict}'")
+    print(f"OK   {path}: verdict={verdict}, {len(events)} event(s)")
+    return True
+
+
+SNAPSHOT_NUMBERS = ("t_s", "steps_delta", "wall_delta_s", "ns_per_day",
+                    "pairs_per_s", "imbalance")
+
+
+def check_snapshot(path, lineno, row, expect_shards):
+    label = f"line {lineno} (snapshot)"
+    for key in ("seq", "step"):
+        if not is_num(row.get(key)):
+            return fail(path, f"{label}: '{key}' is not a number")
+    for key in SNAPSHOT_NUMBERS:
+        if not is_num(row.get(key)):
+            return fail(path, f"{label}: '{key}' is not a number")
+    for key in ("spans", "counters"):
+        obj = row.get(key)
+        if not isinstance(obj, dict):
+            return fail(path, f"{label}: '{key}' is not an object")
+        for name, value in obj.items():
+            if not is_num(value):
+                return fail(path, f"{label}: {key}[{name!r}] not a number")
+    busy = row.get("shard_busy_s")
+    wait = row.get("shard_wait_s")
+    for key, arr in (("shard_busy_s", busy), ("shard_wait_s", wait)):
+        if not isinstance(arr, list) or not all(is_num(v) for v in arr):
+            return fail(path, f"{label}: '{key}' is not a number array")
+    if len(busy) != len(wait):
+        return fail(path, f"{label}: shard_busy_s has {len(busy)} entries "
+                          f"but shard_wait_s has {len(wait)}")
+    if expect_shards is not None and len(busy) != expect_shards:
+        return fail(path, f"{label}: {len(busy)} shard entries, want "
+                          f"{expect_shards}")
+    if sum(busy) > 0.0 and row["imbalance"] <= 0.0:
+        return fail(path, f"{label}: shards were busy but imbalance is "
+                          f"{row['imbalance']}")
+    return True
+
+
+def check_metrics(path, min_snapshots, expect_shards):
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as ex:
+        return fail(path, f"cannot read: {ex}")
+    snapshots = spans = counters = 0
+    seen_aggregate = False
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as ex:
+            return fail(path, f"line {lineno}: not JSON: {ex}")
+        if not isinstance(row, dict):
+            return fail(path, f"line {lineno}: not an object")
+        kind = row.get("kind")
+        if kind == "snapshot":
+            if seen_aggregate:
+                return fail(path, f"line {lineno}: snapshot after the "
+                                  "final span/counter aggregates")
+            if row.get("seq") != snapshots:
+                return fail(path, f"line {lineno}: seq {row.get('seq')!r}, "
+                                  f"want {snapshots}")
+            if not check_snapshot(path, lineno, row, expect_shards):
+                return False
+            snapshots += 1
+        elif kind in ("span", "counter"):
+            seen_aggregate = True
+            if not isinstance(row.get("name"), str) or not row["name"]:
+                return fail(path, f"line {lineno}: '{kind}' row lacks a "
+                                  "name")
+            value_keys = ("calls", "total_s", "mean_s",
+                          "max_s") if kind == "span" else ("value",)
+            for key in value_keys:
+                if not is_num(row.get(key)):
+                    return fail(path, f"line {lineno}: '{key}' is not a "
+                                      "number")
+            if kind == "span":
+                spans += 1
+            else:
+                counters += 1
+        else:
+            return fail(path, f"line {lineno}: unknown kind {kind!r}")
+    if spans == 0 or counters == 0:
+        return fail(path, f"missing final aggregates ({spans} span, "
+                          f"{counters} counter rows)")
+    if snapshots < min_snapshots:
+        return fail(path, f"{snapshots} snapshot row(s), want >= "
+                          f"{min_snapshots}")
+    print(f"OK   {path}: {snapshots} snapshot(s), {spans} span(s), "
+          f"{counters} counter(s)")
+    return True
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--health", help="health.json to validate")
+    ap.add_argument("--expect-detector",
+                    help="require an event from this detector")
+    ap.add_argument("--expect-verdict", choices=VERDICTS,
+                    help="require this verdict")
+    ap.add_argument("--metrics", help="metrics JSONL to validate")
+    ap.add_argument("--min-snapshots", type=int, default=0,
+                    help="minimum snapshot rows in --metrics")
+    ap.add_argument("--expect-shards", type=int,
+                    help="shard-array length every snapshot must have")
+    args = ap.parse_args()
+    if args.health is None and args.metrics is None:
+        ap.error("nothing to check: pass --health and/or --metrics")
+    ok = True
+    if args.health is not None:
+        ok &= check_health(args.health, args.expect_detector,
+                           args.expect_verdict)
+    if args.metrics is not None:
+        ok &= check_metrics(args.metrics, args.min_snapshots,
+                            args.expect_shards)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
