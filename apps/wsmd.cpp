@@ -87,7 +87,10 @@ void print_usage(std::FILE* out) {
                "  --set key=value   scenario override (same as a bare\n"
                "                    key=value argument)\n"
                "  --backend=B       backend override for every run\n"
-               "                    (reference|wafer|sharded|sharded:N)\n"
+               "                    (reference|wafer|sharded|sharded:N|\n"
+               "                    ranks:M|ranks:MxN — M forked rank\n"
+               "                    processes with ghost-halo exchange,\n"
+               "                    optionally N shard threads each)\n"
                "  --output-dir=DIR  prefix for relative output paths\n"
                "  --print           parse and show the effective scenario,\n"
                "                    do not run\n"
@@ -120,6 +123,8 @@ void print_usage(std::FILE* out) {
                "  thermo_every thermo_format summary checkpoint.every\n"
                "  checkpoint.path telemetry.trace telemetry.metrics\n"
                "  telemetry.snapshot\n"
+               "distributed keys (ranks: backends only):\n"
+               "  dist.timeout dist.kill_rank dist.kill_step\n"
                "health keys (run-health watchdog; warn|abort|off):\n"
                "  health.nan health.energy_drift health.energy_band\n"
                "  health.temperature health.temperature_band health.stall\n"
@@ -314,7 +319,7 @@ int run_report(int argc, char** argv) {
       WSMD_REQUIRE(opt.backend_override != "reference",
                    "wsmd report joins measured time against the wafer cost "
                    "model, which the reference backend does not have — use "
-                   "wafer or sharded[:N]");
+                   "wafer, sharded[:N], or ranks:M[xN]");
     } else if (starts_with(arg, "--output-dir=")) {
       opt.output_dir = arg.substr(13);
     } else if (parse_telemetry_flag(arg, overrides)) {

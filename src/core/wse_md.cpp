@@ -502,6 +502,95 @@ WseStepStats WseMd::reduce_region(const ShardRect& shard,
   return stats;
 }
 
+void WseMd::begin_step_region(StepWorkspace& ws) const {
+  telemetry::ScopedSpan span("wse.begin");
+  const std::size_t n = positions_.size();
+  const auto span_cells = static_cast<std::size_t>(2 * b_ + 1);
+  ws.neighbor_stride = span_cells * span_cells - 1 + simd::kPadF32;
+  // resize (not assign): slots outside the caller's regions keep stale
+  // values nobody reads; slots inside are written by the phases before any
+  // read. This keeps the per-rank begin cost O(region), not O(N).
+  ws.neighbor_idx.resize(n * ws.neighbor_stride);
+  ws.neighbor_count.resize(n);
+  ws.candidates.resize(n);
+  ws.pe_embed.resize(n);
+  ws.pair_half.resize(n);
+  ws.cycles.resize(n);
+  ws.new_positions.resize(n);
+  ws.new_velocities.resize(n);
+  ws.partner.resize(mapping_.core_count());
+}
+
+WseMd::RegionEnergy WseMd::reduce_region_energy(const ShardRect& shard,
+                                                const StepWorkspace& ws) const {
+  RegionEnergy pe;
+  for (int cy = shard.y0; cy < shard.y1; ++cy) {
+    for (int cx = shard.x0; cx < shard.x1; ++cx) {
+      const long ai = mapping_.atom_at(cx, cy);
+      if (ai < 0) continue;
+      pe.embed += ws.pe_embed[static_cast<std::size_t>(ai)];
+    }
+  }
+  for (int cy = shard.y0; cy < shard.y1; ++cy) {
+    for (int cx = shard.x0; cx < shard.x1; ++cx) {
+      const long ai = mapping_.atom_at(cx, cy);
+      if (ai < 0) continue;
+      pe.pair +=
+          0.5 * static_cast<double>(ws.pair_half[static_cast<std::size_t>(ai)]);
+    }
+  }
+  return pe;
+}
+
+WseMd::RegionAccounting WseMd::reduce_region_raw(const ShardRect& shard,
+                                                 const StepWorkspace& ws) const {
+  RegionAccounting acc;
+  for (int cy = shard.y0; cy < shard.y1; ++cy) {
+    for (int cx = shard.x0; cx < shard.x1; ++cx) {
+      const long ai = mapping_.atom_at(cx, cy);
+      if (ai < 0) continue;
+      const auto i = static_cast<std::size_t>(ai);
+      acc.candidate_total += static_cast<double>(ws.candidates[i]);
+      acc.interaction_total += static_cast<double>(ws.neighbor_count[i]);
+      acc.cycles_sum += ws.cycles[i];
+      acc.cycles_sq_sum += ws.cycles[i] * ws.cycles[i];
+      acc.cycles_max = std::max(acc.cycles_max, ws.cycles[i]);
+      ++acc.occupied;
+    }
+  }
+  return acc;
+}
+
+bool WseMd::commit_region(const ShardRect& shard, StepWorkspace& ws,
+                          RegionEnergy& pe) {
+  telemetry::ScopedSpan span("wse.commit");
+  for (int cy = shard.y0; cy < shard.y1; ++cy) {
+    for (int cx = shard.x0; cx < shard.x1; ++cx) {
+      const long ai = mapping_.atom_at(cx, cy);
+      if (ai < 0) continue;
+      const auto i = static_cast<std::size_t>(ai);
+      positions_.set(i, ws.new_positions.get(i));
+      velocities_.set(i, ws.new_velocities.get(i));
+    }
+  }
+  pe = reduce_region_energy(shard, ws);
+  ++step_count_;
+  return config_.swap_interval > 0 && step_count_ % config_.swap_interval == 0;
+}
+
+double WseMd::kinetic_energy_region(const ShardRect& shard) const {
+  double mv2 = 0.0;
+  for (int cy = shard.y0; cy < shard.y1; ++cy) {
+    for (int cx = shard.x0; cx < shard.x1; ++cx) {
+      const long ai = mapping_.atom_at(cx, cy);
+      if (ai < 0) continue;
+      const auto i = static_cast<std::size_t>(ai);
+      mv2 += potential_->mass(types_[i]) * norm2(Vec3d(velocities_.get(i)));
+    }
+  }
+  return 0.5 * mv2 * units::kMv2ToEnergy;
+}
+
 WseStepStats WseMd::finish_step(const StepWorkspace& ws,
                                 std::size_t swaps_applied, bool swapped) {
   WseStepStats stats = ws.reduced;

@@ -234,6 +234,70 @@ class WseMd {
   WseStepStats reduce_region(const ShardRect& shard,
                              const StepWorkspace& ws) const;
 
+  /// --- Region-scoped stepping (src/dist) --------------------------------
+  /// A distributed rank runs the phase kernels over only its own core
+  /// strip (plus ghost halos exchanged out-of-band), so the full-grid
+  /// begin/commit/reduce above would waste O(N) work per rank per step and
+  /// read workspace slots that were never written. These variants touch
+  /// only what a region step defines.
+
+  /// Size the workspace buffers without seeding them from the full current
+  /// state (no O(N) copies or fills). Every slot the phase kernels read for
+  /// a region atom is written earlier in the same step, so undefined slots
+  /// outside the caller's regions are never observed.
+  void begin_step_region(StepWorkspace& ws) const;
+
+  /// Partial FP64 energy sums over one region, each accumulated in
+  /// row-major core order (embedding and pair kept separate so a
+  /// coordinator can combine partials in a fixed rank order).
+  struct RegionEnergy {
+    double embed = 0.0;
+    double pair = 0.0;
+  };
+  RegionEnergy reduce_region_energy(const ShardRect& shard,
+                                    const StepWorkspace& ws) const;
+
+  /// Raw (unnormalized) accounting partials over one region, combinable
+  /// across disjoint regions without loss: sums, sum of squares, max and
+  /// occupied-core count instead of the means reduce_region reports.
+  struct RegionAccounting {
+    double candidate_total = 0.0;
+    double interaction_total = 0.0;
+    double cycles_sum = 0.0;
+    double cycles_sq_sum = 0.0;
+    double cycles_max = 0.0;
+    std::uint64_t occupied = 0;
+  };
+  RegionAccounting reduce_region_raw(const ShardRect& shard,
+                                     const StepWorkspace& ws) const;
+
+  /// Commit the integrated state for the region's atoms only (copy, not
+  /// the serial path's full-array swap) and advance the step counter. The
+  /// cached full-grid potential energy is left untouched — a rank never
+  /// holds the full energy; the coordinator combines the partials returned
+  /// through `pe`. Returns true when this step is an atom-swap step.
+  bool commit_region(const ShardRect& shard, StepWorkspace& ws,
+                     RegionEnergy& pe);
+
+  /// Kinetic energy partial over the region's atoms, row-major core order.
+  double kinetic_energy_region(const ShardRect& shard) const;
+
+  /// Displacement baseline (what save_state stores), without forcing the
+  /// lazy energy evaluation save_state performs.
+  const std::vector<Vec3d>& initial_positions() const {
+    return initial_positions_;
+  }
+
+  /// Embedding-derivative plane, exchanged across rank halos between the
+  /// density and force phases (mutable derived state, republished every
+  /// step).
+  std::vector<float>& fprime() { return fprime_; }
+  /// FP32 atom state planes, written directly by the halo unpack (the
+  /// exchanged values are exactly the FP32 state the owner holds, so this
+  /// is a bitwise transfer, not a round-trip through FP64).
+  Vec3fPlanes& positions_f32() { return positions_; }
+  Vec3fPlanes& velocities_f32() { return velocities_; }
+
   /// Final serial reduction: full-grid stats, modeled wall time (doubled on
   /// swap steps, paper Sec. V-E), and the cumulative clock.
   WseStepStats finish_step(const StepWorkspace& ws, std::size_t swaps_applied,

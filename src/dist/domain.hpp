@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file domain.hpp
+/// Spatial domain decomposition bookkeeping for the distributed wafer
+/// backend (and, for the strip arithmetic, the thread-sharded one).
+///
+/// The core grid splits into M horizontal strips — one per rank process —
+/// exactly like ShardedWafer's per-thread row strips, so `ranks:M` and
+/// `sharded:N` share one partition function and one modeled ghost-cost
+/// formula. A rank owns the atoms mapped to the cores of its strip and
+/// holds a read-only ghost copy of the rows within the neighborhood radius
+/// `b` (cutoff + skin, the same radius the candidate multicast spans) on
+/// either side. Because `gather_neighborhood` clips at the grid edges
+/// (no wraparound), the halo topology is a chain, except that a radius
+/// spanning a whole neighbor strip (small grids, large b) adds
+/// next-nearest peers — `halo_rows` handles both by pure interval
+/// arithmetic on the partition.
+///
+/// Atom migration: the online atom swap moves atoms only between adjacent
+/// cores (swap radius 1), so an atom leaving a strip lands in the first
+/// halo row of the neighbor — its position and velocity are already valid
+/// there, and the post-commit state exchange re-synchronizes the halos
+/// before the next step reads them.
+
+#include <string>
+#include <vector>
+
+#include "core/mapping.hpp"
+#include "core/wse_md.hpp"
+#include "wse/cost_model.hpp"
+
+namespace wsmd::dist {
+
+/// Split a width x height core grid into `count` horizontal strips of
+/// near-equal height (strip t owns rows [h*t/count, h*(t+1)/count)).
+/// Strips may be empty when the grid has fewer rows than workers.
+std::vector<core::ShardRect> row_strips(int width, int height, int count);
+
+/// Half-open row interval [lo, hi) of `owner`'s strip that `needer` reads
+/// as ghost rows with neighborhood radius b: the intersection of owner's
+/// rows with needer's b-expanded strip. Empty (lo >= hi) when the strips
+/// are farther apart than b or either strip is empty. Both sides of an
+/// exchange compute this identically from the shared partition, so the
+/// wire format needs no row indices.
+struct RowSpan {
+  int lo = 0;
+  int hi = 0;
+  bool empty() const { return hi <= lo; }
+  int rows() const { return hi > lo ? hi - lo : 0; }
+};
+RowSpan halo_rows(const std::vector<core::ShardRect>& strips, int owner,
+                  int needer, int b);
+
+/// Unordered peer pairs (i < j) that exchange halo data somewhere in the
+/// partition, in lexicographic order. Every rank walks this list in order
+/// and serves the pairs it is part of — a globally consistent schedule,
+/// deadlock-free because the smallest uncompleted pair's two members have
+/// (by induction) finished all their earlier pairs.
+std::vector<std::pair<int, int>> halo_pairs(
+    const std::vector<core::ShardRect>& strips, int b);
+
+/// Atom ids mapped to the cores of rows [lo, hi), row-major, skipping
+/// empty cores — the deterministic pack/unpack order of a halo message.
+/// Sender and receiver derive the same list from their (swap-synchronized)
+/// mappings, so only values travel on the wire.
+std::vector<std::uint32_t> atoms_in_rows(const core::AtomMapping& mapping,
+                                         int lo, int hi);
+
+/// Modeled cycles per step spent refreshing the strips' ghost halos (two
+/// neighborhood exchanges per step cross each strip boundary: candidate
+/// positions and embedding derivatives). Shared by ShardedWafer and
+/// DistributedEngine so `wsmd report` joins measured halo seconds against
+/// one prediction regardless of backend.
+double halo_cycles_per_step(const std::vector<core::ShardRect>& strips, int b,
+                            int grid_width, int grid_height,
+                            const wse::CostModel& model);
+
+/// Rank-suffixed scratch path under `dir`: "<dir>/<base>.rank<k>". Every
+/// per-rank side file (stderr capture, debris from aborted runs) goes
+/// through this so concurrent ranks — and concurrent runs pointing at the
+/// same --output-dir — never collide on a name.
+std::string rank_scratch_path(const std::string& dir, const std::string& base,
+                              int rank);
+
+/// Owned scratch directory for one distributed run: creates
+/// "<parent>/.wsmd-dist-<pid>" (pid-suffixed, so concurrent runs sharing
+/// an --output-dir stay disjoint) and removes it with everything inside on
+/// destruction — teardown is atomic from the runner's point of view: the
+/// directory either exists with whatever the ranks wrote, or is gone.
+class ScratchDir {
+ public:
+  /// `parent` empty: use the system temp directory.
+  explicit ScratchDir(const std::string& parent);
+  ~ScratchDir();
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  /// "<path()>/<base>.rank<k>".
+  std::string rank_file(const std::string& base, int rank) const;
+  /// Keep the directory on destruction (diagnostic bundles point into it).
+  void keep() { keep_ = true; }
+
+ private:
+  std::string path_;
+  bool keep_ = false;
+};
+
+}  // namespace wsmd::dist

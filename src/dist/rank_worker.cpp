@@ -1,0 +1,389 @@
+#include "dist/rank_worker.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace wsmd::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Idle wait for the next coordinator command. Effectively unbounded — a
+/// vanished coordinator wakes the rank with EOF, not a timeout.
+constexpr int kCommandTimeoutMs = 7 * 24 * 3600 * 1000;
+
+}  // namespace
+
+RankWorker::RankWorker(core::WseMd& md, RankWorkerConfig config,
+                       Channel control, std::vector<std::pair<int, Channel>> peers)
+    : md_(md),
+      config_(config),
+      control_(std::move(control)),
+      peers_(std::move(peers)),
+      strips_(row_strips(md.mapping().grid_width(), md.mapping().grid_height(),
+                         config.world)),
+      strip_(strips_[static_cast<std::size_t>(config.rank)]),
+      pool_(config.threads > 0 ? config.threads : 1) {}
+
+std::vector<core::ShardRect> RankWorker::sub_strips() const {
+  const int h = strip_.y1 - strip_.y0;
+  auto subs = row_strips(strip_.x1 - strip_.x0, h > 0 ? h : 0, pool_.size());
+  for (auto& s : subs) {
+    s.y0 += strip_.y0;
+    s.y1 += strip_.y0;
+  }
+  return subs;
+}
+
+Channel* RankWorker::peer_channel(int rank) {
+  for (auto& [r, ch] : peers_) {
+    if (r == rank) return &ch;
+  }
+  return nullptr;
+}
+
+void RankWorker::handshake() {
+  Handshake hello;
+  hello.rank = static_cast<std::uint16_t>(config_.rank);
+  hello.world = static_cast<std::uint16_t>(config_.world);
+  hello.atoms = md_.atom_count();
+  hello.grid_width = md_.mapping().grid_width();
+  hello.grid_height = md_.mapping().grid_height();
+  hello.b = md_.b();
+  control_.send_pod(Tag::kHello, hello, config_.peer_timeout_ms);
+  const auto ack =
+      control_.recv_pod<Handshake>(Tag::kHelloAck, config_.peer_timeout_ms);
+  WSMD_REQUIRE(ack.rank == hello.rank && ack.world == hello.world &&
+                   ack.atoms == hello.atoms,
+               "dist: handshake echo mismatch on rank " << config_.rank);
+}
+
+void RankWorker::run() {
+  try {
+    handshake();
+    for (;;) {
+      const auto idle_start = Clock::now();
+      Tag tag;
+      std::vector<std::uint8_t> payload;
+      try {
+        payload = control_.recv_any(tag, kCommandTimeoutMs);
+      } catch (const PeerClosedError&) {
+        // Coordinator gone (abort, crash, _Exit watchdog path): a quiet
+        // exit, not an error — the rank has nobody left to report to.
+        std::_Exit(0);
+      }
+      barrier_s_ += since(idle_start);
+
+      switch (tag) {
+        case Tag::kStep:
+          do_step();
+          break;
+        case Tag::kThermalize: {
+          Unpacker u(payload);
+          const auto cmd = u.get<ThermalizeCmd>();
+          Rng rng;
+          rng.set_state(cmd.rng);
+          md_.thermalize(cmd.temperature_K, rng);
+          control_.send_pod(Tag::kOk, Ack{md_.step_count()},
+                            config_.peer_timeout_ms);
+          break;
+        }
+        case Tag::kGatherState: {
+          // Owned atoms in row-major core order; the coordinator walks the
+          // same rows of its (swap-synchronized) mapping to place them.
+          const auto atoms =
+              atoms_in_rows(md_.mapping(), strip_.y0, strip_.y1);
+          std::vector<float> values;
+          values.reserve(atoms.size() * 6);
+          for (const std::uint32_t a : atoms) {
+            const Vec3f r = md_.positions_f32().get(a);
+            const Vec3f v = md_.velocities_f32().get(a);
+            values.push_back(r.x);
+            values.push_back(r.y);
+            values.push_back(r.z);
+            values.push_back(v.x);
+            values.push_back(v.y);
+            values.push_back(v.z);
+          }
+          Packer p;
+          p.put_array(values.data(), values.size());
+          control_.send(Tag::kStateSlice, p.bytes().data(), p.bytes().size(),
+                        config_.peer_timeout_ms);
+          break;
+        }
+        case Tag::kRestore: {
+          Unpacker u(payload);
+          md_.restore_state(unpack_saved_state(u));
+          control_.send_pod(Tag::kOk, Ack{md_.step_count()},
+                            config_.peer_timeout_ms);
+          break;
+        }
+        case Tag::kSetPositions: {
+          Unpacker u(payload);
+          md_.set_positions(u.get_array<Vec3d>());
+          control_.send_pod(Tag::kOk, Ack{md_.step_count()},
+                            config_.peer_timeout_ms);
+          break;
+        }
+        case Tag::kSetVelocities: {
+          Unpacker u(payload);
+          md_.set_velocities(u.get_array<Vec3d>());
+          control_.send_pod(Tag::kOk, Ack{md_.step_count()},
+                            config_.peer_timeout_ms);
+          break;
+        }
+        case Tag::kEvalPe:
+          do_eval_pe();
+          break;
+        case Tag::kKinetic:
+          control_.send_pod(Tag::kKePartial,
+                            KineticPartial{md_.kinetic_energy_region(strip_)},
+                            config_.peer_timeout_ms);
+          break;
+        case Tag::kShutdown:
+          control_.send_pod(Tag::kBye, Ack{md_.step_count()},
+                            config_.peer_timeout_ms);
+          std::_Exit(0);
+        default:
+          WSMD_REQUIRE(false, "dist: rank " << config_.rank
+                                            << " got unexpected command tag "
+                                            << static_cast<int>(tag));
+      }
+    }
+  } catch (const std::exception& e) {
+    // Peer death, timeout, or a physics precondition: report on stderr
+    // (captured into the rank's scratch log) and exit nonzero so the
+    // failure cascades to the coordinator as EOFs.
+    std::fprintf(stderr, "[wsmd rank %d] fatal: %s\n", config_.rank, e.what());
+    std::_Exit(1);
+  }
+  std::_Exit(1);  // unreachable
+}
+
+void RankWorker::exchange_fprime() {
+  const int b = md_.b();
+  const auto pairs = halo_pairs(strips_, b);
+  std::vector<float>& fprime = md_.fprime();
+  for (const auto& [i, j] : pairs) {
+    if (i != config_.rank && j != config_.rank) continue;
+    const int other = i == config_.rank ? j : i;
+    Channel* ch = peer_channel(other);
+    WSMD_REQUIRE(ch != nullptr, "dist: no channel to peer rank " << other);
+
+    const RowSpan out_span = halo_rows(strips_, config_.rank, other, b);
+    const RowSpan in_span = halo_rows(strips_, other, config_.rank, b);
+
+    const auto pack_start = Clock::now();
+    const auto out_atoms =
+        atoms_in_rows(md_.mapping(), out_span.lo, out_span.hi);
+    std::vector<float> out_values(out_atoms.size());
+    for (std::size_t k = 0; k < out_atoms.size(); ++k) {
+      out_values[k] = fprime[out_atoms[k]];
+    }
+    Packer p;
+    p.put_array(out_values.data(), out_values.size());
+    pack_s_ += since(pack_start);
+
+    const auto wire_start = Clock::now();
+    const auto in_bytes = ch->exchange(Tag::kHaloFprime, p.bytes().data(),
+                                       p.bytes().size(),
+                                       config_.peer_timeout_ms);
+    exchange_s_ += since(wire_start);
+
+    const auto unpack_start = Clock::now();
+    Unpacker u(in_bytes);
+    const auto in_values = u.get_array<float>();
+    const auto in_atoms = atoms_in_rows(md_.mapping(), in_span.lo, in_span.hi);
+    WSMD_REQUIRE(in_values.size() == in_atoms.size(),
+                 "dist: F' halo size mismatch from rank "
+                     << other << " (" << in_values.size() << " vs "
+                     << in_atoms.size() << ")");
+    for (std::size_t k = 0; k < in_atoms.size(); ++k) {
+      fprime[in_atoms[k]] = in_values[k];
+    }
+    unpack_s_ += since(unpack_start);
+  }
+}
+
+void RankWorker::exchange_state() {
+  // One row of slack over the candidate radius: an atom-swap migrates
+  // atoms by at most one core, so refreshing b+1 rows guarantees no
+  // post-swap ghost within b is ever stale.
+  const int radius = md_.b() + 1;
+  const auto pairs = halo_pairs(strips_, radius);
+  for (const auto& [i, j] : pairs) {
+    if (i != config_.rank && j != config_.rank) continue;
+    const int other = i == config_.rank ? j : i;
+    Channel* ch = peer_channel(other);
+    WSMD_REQUIRE(ch != nullptr, "dist: no channel to peer rank " << other);
+
+    const RowSpan out_span = halo_rows(strips_, config_.rank, other, radius);
+    const RowSpan in_span = halo_rows(strips_, other, config_.rank, radius);
+
+    const auto pack_start = Clock::now();
+    const auto out_atoms =
+        atoms_in_rows(md_.mapping(), out_span.lo, out_span.hi);
+    std::vector<float> out_values;
+    out_values.reserve(out_atoms.size() * 6);
+    for (const std::uint32_t a : out_atoms) {
+      const Vec3f r = md_.positions_f32().get(a);
+      const Vec3f v = md_.velocities_f32().get(a);
+      out_values.push_back(r.x);
+      out_values.push_back(r.y);
+      out_values.push_back(r.z);
+      out_values.push_back(v.x);
+      out_values.push_back(v.y);
+      out_values.push_back(v.z);
+    }
+    Packer p;
+    p.put_array(out_values.data(), out_values.size());
+    pack_s_ += since(pack_start);
+
+    const auto wire_start = Clock::now();
+    const auto in_bytes = ch->exchange(Tag::kHaloState, p.bytes().data(),
+                                       p.bytes().size(),
+                                       config_.peer_timeout_ms);
+    exchange_s_ += since(wire_start);
+
+    const auto unpack_start = Clock::now();
+    Unpacker u(in_bytes);
+    const auto in_values = u.get_array<float>();
+    const auto in_atoms = atoms_in_rows(md_.mapping(), in_span.lo, in_span.hi);
+    WSMD_REQUIRE(in_values.size() == in_atoms.size() * 6,
+                 "dist: state halo size mismatch from rank "
+                     << other << " (" << in_values.size() << " vs "
+                     << in_atoms.size() * 6 << ")");
+    for (std::size_t k = 0; k < in_atoms.size(); ++k) {
+      const std::uint32_t a = in_atoms[k];
+      const float* v6 = in_values.data() + k * 6;
+      md_.positions_f32().set(a, Vec3f{v6[0], v6[1], v6[2]});
+      md_.velocities_f32().set(a, Vec3f{v6[3], v6[4], v6[5]});
+    }
+    unpack_s_ += since(unpack_start);
+  }
+}
+
+void RankWorker::do_step() {
+  if (config_.kill_rank == config_.rank &&
+      md_.step_count() + 1 == config_.kill_step) {
+    // Dead-rank drill (scenarios/health decks): die abruptly mid-step, the
+    // way an OOM-killed or crashed rank would.
+    std::fprintf(stderr, "[wsmd rank %d] drill: killing rank at step %ld\n",
+                 config_.rank, config_.kill_step);
+    std::_Exit(9);
+  }
+
+  const auto subs = sub_strips();
+  auto t = Clock::now();
+  md_.begin_step_region(ws_);
+  pool_.run([&](int k) {
+    md_.density_phase(subs[static_cast<std::size_t>(k)], ws_);
+  });
+  busy_s_ += since(t);
+
+  exchange_fprime();
+
+  t = Clock::now();
+  pool_.run([&](int k) {
+    md_.force_phase(subs[static_cast<std::size_t>(k)], ws_);
+  });
+  core::WseMd::RegionEnergy pe;
+  const bool swap_now = md_.commit_region(strip_, ws_, pe);
+  // Reduce before any swap perturbs the strip's atom set: the workspace
+  // slots of an atom migrating in belong to its previous owner.
+  const auto acc = md_.reduce_region_raw(strip_, ws_);
+  busy_s_ += since(t);
+
+  // Fresh committed state to every halo *before* the swap phase reads
+  // boundary positions — and at radius b+1, so atoms that migrate across
+  // the strip boundary this step carry valid state with them.
+  exchange_state();
+
+  std::size_t applied = 0;
+  if (swap_now) {
+    t = Clock::now();
+    pool_.run([&](int k) {
+      md_.swap_select(subs[static_cast<std::size_t>(k)], ws_.partner);
+    });
+    busy_s_ += since(t);
+
+    // Gather this strip's partner slots (a contiguous row-major slice of
+    // the core array), receive the globally merged array, and apply the
+    // same deterministic serial commit every other rank applies.
+    const int w = md_.mapping().grid_width();
+    const auto lo = static_cast<std::size_t>(strip_.y0) *
+                    static_cast<std::size_t>(w);
+    const auto hi = static_cast<std::size_t>(strip_.y1) *
+                    static_cast<std::size_t>(w);
+    std::vector<std::int32_t> slice(ws_.partner.begin() +
+                                        static_cast<std::ptrdiff_t>(lo),
+                                    ws_.partner.begin() +
+                                        static_cast<std::ptrdiff_t>(hi));
+    Packer p;
+    p.put_array(slice.data(), slice.size());
+    control_.send(Tag::kSwapPartners, p.bytes().data(), p.bytes().size(),
+                  config_.peer_timeout_ms);
+    const auto wait_start = Clock::now();
+    const auto merged_bytes =
+        control_.recv(Tag::kSwapMerged, config_.peer_timeout_ms);
+    barrier_s_ += since(wait_start);
+
+    t = Clock::now();
+    Unpacker u(merged_bytes);
+    const auto merged = u.get_array<std::int32_t>();
+    std::vector<int> partner(merged.begin(), merged.end());
+    applied = md_.swap_commit(partner);
+    busy_s_ += since(t);
+  }
+
+  t = Clock::now();
+  StepRecord rec;
+  rec.step = md_.step_count();
+  rec.pe_embed = pe.embed;
+  rec.pe_pair = pe.pair;
+  rec.kinetic = md_.kinetic_energy_region(strip_);
+  rec.candidate_total = acc.candidate_total;
+  rec.interaction_total = acc.interaction_total;
+  rec.cycles_sum = acc.cycles_sum;
+  rec.cycles_sq_sum = acc.cycles_sq_sum;
+  rec.cycles_max = acc.cycles_max;
+  rec.occupied = acc.occupied;
+  rec.swaps_applied = applied;
+  rec.swapped = swap_now ? 1 : 0;
+  busy_s_ += since(t);
+  rec.busy_seconds = busy_s_;
+  rec.halo_pack_seconds = pack_s_;
+  rec.halo_exchange_seconds = exchange_s_;
+  rec.halo_unpack_seconds = unpack_s_;
+  rec.barrier_seconds = barrier_s_;
+  control_.send_pod(Tag::kStepDone, rec, config_.peer_timeout_ms);
+}
+
+void RankWorker::do_eval_pe() {
+  // Energy of the *current* configuration (construction, post-restore,
+  // post-set_positions): run the density/force phases over the strip
+  // without committing anything. Requires valid halo positions, which
+  // every full-state broadcast guarantees.
+  const auto subs = sub_strips();
+  md_.begin_step_region(ws_);
+  pool_.run([&](int k) {
+    md_.density_phase(subs[static_cast<std::size_t>(k)], ws_);
+  });
+  exchange_fprime();
+  pool_.run([&](int k) {
+    md_.force_phase(subs[static_cast<std::size_t>(k)], ws_);
+  });
+  const auto pe = md_.reduce_region_energy(strip_, ws_);
+  control_.send_pod(Tag::kPePartial, EnergyPartial{pe.embed, pe.pair},
+                    config_.peer_timeout_ms);
+}
+
+}  // namespace wsmd::dist

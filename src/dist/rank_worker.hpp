@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file rank_worker.hpp
+/// The rank-process side of the distributed wafer backend.
+///
+/// A rank inherits the coordinator's fully-constructed WseMd by fork
+/// (copy-on-write — structure, potential tables, and mapping arrive
+/// bitwise with no serialization), then serves a lockstep command loop:
+/// the coordinator broadcasts one command, every rank executes it and
+/// replies. A timestep runs the phase kernels over the rank's core-grid
+/// row strip only, with two pairwise halo exchanges against peer ranks:
+/// F' after the density phase (radius b, what the force kernels read) and
+/// committed positions+velocities after the commit (radius b+1, one row
+/// of slack so an atom-swap migration never exposes a stale ghost).
+///
+/// Per-atom state therefore evolves bitwise identically to the serial
+/// engine — every value an atom's update reads (neighbor positions, F',
+/// its own velocity) is the exact FP32 value the serial sweep would read;
+/// only the global energy reductions differ (rank-ordered partial sums,
+/// combined by the coordinator).
+///
+/// Teardown: a clean run ends with kShutdown -> kBye -> _Exit(0). If the
+/// coordinator dies first, the control socket EOFs and the rank exits
+/// quietly; if a *peer* dies mid-exchange, the rank exits nonzero and the
+/// failure cascades to the coordinator as EOFs.
+
+#include <utility>
+#include <vector>
+
+#include "core/wse_md.hpp"
+#include "dist/domain.hpp"
+#include "dist/protocol.hpp"
+#include "dist/transport.hpp"
+#include "engine/shard_pool.hpp"
+
+namespace wsmd::dist {
+
+struct RankWorkerConfig {
+  int rank = 0;
+  int world = 1;
+  int threads = 1;  ///< shard threads inside this rank (ranks:MxN)
+  /// Peer-exchange deadline; a stuck peer turns into a transport error
+  /// (and a nonzero exit) instead of a silent hang.
+  int peer_timeout_ms = 600'000;
+  /// Dead-rank drill: _Exit(9) at the start of step `kill_step` when this
+  /// rank is `kill_rank` (deck keys dist.kill_rank / dist.kill_step).
+  int kill_rank = -1;
+  long kill_step = 0;
+};
+
+class RankWorker {
+ public:
+  /// `md` is the forked copy of the coordinator's template engine; the
+  /// worker mutates it freely. `peers[i]` pairs a peer rank id with the
+  /// channel to it, in ascending rank order.
+  RankWorker(core::WseMd& md, RankWorkerConfig config, Channel control,
+             std::vector<std::pair<int, Channel>> peers);
+
+  /// Serve commands until shutdown or coordinator EOF. Never returns.
+  [[noreturn]] void run();
+
+ private:
+  void handshake();
+  void do_step();
+  void do_eval_pe();
+  /// Exchange F' ghost rows (radius b) with every peer, globally-ordered.
+  void exchange_fprime();
+  /// Exchange committed positions+velocities (radius b+1).
+  void exchange_state();
+  /// Sub-strips of this rank's strip for the rank-internal shard pool.
+  std::vector<core::ShardRect> sub_strips() const;
+  Channel* peer_channel(int rank);
+
+  core::WseMd& md_;
+  RankWorkerConfig config_;
+  Channel control_;
+  std::vector<std::pair<int, Channel>> peers_;
+  std::vector<core::ShardRect> strips_;
+  core::ShardRect strip_;
+  engine::ShardPool pool_;
+  core::StepWorkspace ws_;
+
+  // Cumulative wall-clock accounting reported in every StepRecord.
+  double busy_s_ = 0.0;
+  double pack_s_ = 0.0;
+  double exchange_s_ = 0.0;
+  double unpack_s_ = 0.0;
+  double barrier_s_ = 0.0;
+};
+
+}  // namespace wsmd::dist

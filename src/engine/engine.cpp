@@ -1,5 +1,6 @@
 #include "engine/engine.hpp"
 
+#include "dist/distributed_engine.hpp"
 #include "engine/reference_engine.hpp"
 #include "engine/sharded_wafer.hpp"
 #include "engine/wafer_engine.hpp"
@@ -33,6 +34,18 @@ std::unique_ptr<Engine> make_engine(Backend backend,
       sw.wse = config.wafer;
       sw.threads = config.threads;
       return std::make_unique<ShardedWafer>(s, std::move(potential), sw);
+    }
+    case Backend::kRanks: {
+      dist::DistributedConfig dc;
+      dc.wse = config.wafer;
+      dc.ranks = config.ranks;
+      dc.threads = config.rank_threads;
+      dc.step_timeout_ms = config.dist_timeout_ms;
+      dc.kill_rank = config.dist_kill_rank;
+      dc.kill_step = config.dist_kill_step;
+      dc.scratch_parent = config.dist_scratch;
+      return std::make_unique<dist::DistributedEngine>(s, std::move(potential),
+                                                       std::move(dc));
     }
   }
   WSMD_REQUIRE(false, "unknown engine backend");

@@ -19,6 +19,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/wse_md.hpp"
@@ -172,12 +173,21 @@ enum class Backend {
   kReference,     ///< md::Simulation, FP64
   kWafer,         ///< core::WseMd, serial sweep
   kShardedWafer,  ///< core::WseMd phases over per-thread shards
+  kRanks,         ///< dist::DistributedEngine, M forked rank processes
 };
 
 struct EngineConfig {
   md::SimulationConfig reference;  ///< used by kReference
-  core::WseMdConfig wafer;         ///< used by kWafer / kShardedWafer
+  core::WseMdConfig wafer;         ///< used by kWafer / kShardedWafer / kRanks
   int threads = 1;                 ///< kShardedWafer worker count (0 = auto)
+
+  // kRanks only (see dist::DistributedConfig for semantics).
+  int ranks = 2;                ///< rank processes (ranks:M)
+  int rank_threads = 1;         ///< shard threads per rank (ranks:MxN)
+  int dist_timeout_ms = 300'000;  ///< rank-response deadline
+  int dist_kill_rank = -1;        ///< dead-rank drill: rank to kill...
+  long dist_kill_step = 0;        ///< ...at the start of this step
+  std::string dist_scratch;       ///< per-rank scratch parent (""=temp dir)
 };
 
 std::unique_ptr<Engine> make_engine(Backend backend,

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "dist/domain.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
@@ -15,21 +16,6 @@ int resolve_threads(int requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
-}
-
-/// Split the grid into `count` horizontal strips of near-equal height.
-/// Strips may be empty when the grid has fewer rows than workers.
-std::vector<core::ShardRect> make_row_shards(int width, int height,
-                                             int count) {
-  std::vector<core::ShardRect> shards(static_cast<std::size_t>(count));
-  for (int t = 0; t < count; ++t) {
-    auto& s = shards[static_cast<std::size_t>(t)];
-    s.x0 = 0;
-    s.x1 = width;
-    s.y0 = height * t / count;
-    s.y1 = height * (t + 1) / count;
-  }
-  return shards;
 }
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
@@ -44,8 +30,10 @@ ShardedWafer::ShardedWafer(const lattice::Structure& s,
                            ShardedWaferConfig config)
     : WaferEngine(s, std::move(potential), config.wse),
       pool_(resolve_threads(config.threads)) {
-  shards_ = make_row_shards(md_.mapping().grid_width(),
-                            md_.mapping().grid_height(), pool_.size());
+  // Same partition the distributed backend uses for rank strips — one
+  // function, one modeled ghost-cost formula (dist::domain).
+  shards_ = dist::row_strips(md_.mapping().grid_width(),
+                             md_.mapping().grid_height(), pool_.size());
   shard_stats_.resize(shards_.size());
   cum_load_.resize(shards_.size());
 }
@@ -118,26 +106,10 @@ ModeledPhaseCost ShardedWafer::modeled_phase_cost() const {
 }
 
 double ShardedWafer::halo_cycles_per_step() const {
-  const auto& model = md_.config().cost_model;
-  const int b = md_.b();
-  const int w = md_.mapping().grid_width();
-  const int h = md_.mapping().grid_height();
-  double cycles = 0.0;
-  for (const auto& s : shards_) {
-    if (s.empty()) continue;
-    // Ghost cores: the (2b+1)-halo of the shard clipped to the physical
-    // grid — only cores held by *other* shards cross a boundary. A single
-    // full-grid shard therefore has no halo at all.
-    const int gx0 = std::max(0, s.x0 - b), gx1 = std::min(w, s.x1 + b);
-    const int gy0 = std::max(0, s.y0 - b), gy1 = std::min(h, s.y1 + b);
-    const double ghost =
-        static_cast<double>(gx1 - gx0) * (gy1 - gy0) -
-        static_cast<double>(s.x1 - s.x0) * (s.y1 - s.y0);
-    // Two neighborhood exchanges per timestep cross the shard boundary:
-    // candidate positions and embedding derivatives (paper phases 1 and 3).
-    cycles += 2.0 * ghost * model.ghost_core_cycles();
-  }
-  return cycles;
+  return dist::halo_cycles_per_step(shards_, md_.b(),
+                                    md_.mapping().grid_width(),
+                                    md_.mapping().grid_height(),
+                                    md_.config().cost_model);
 }
 
 }  // namespace wsmd::engine

@@ -9,6 +9,7 @@
 #include <memory>
 #include <optional>
 
+#include "dist/distributed_engine.hpp"
 #include "io/checkpoint.hpp"
 #include "io/thermo_log.hpp"
 #include "io/trajectory.hpp"
@@ -285,7 +286,8 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
   if (resume != nullptr) validate_resume(sc, structure, *resume);
   auto eng = opt.engine_factory
                  ? opt.engine_factory(sc, structure)
-                 : build_engine(sc, structure, opt.backend_override);
+                 : build_engine(sc, structure, opt.backend_override,
+                                opt.output_dir);
   WSMD_REQUIRE(eng != nullptr, "engine factory returned no engine");
   result.backend_name = eng->backend_name();
   say(format("%s: %zu atoms (%s %s), backend %s", sc.name.c_str(),
@@ -767,6 +769,69 @@ ScenarioResult run_impl(const Scenario& sc, const RunOptions& opt,
       sr.end = eng->thermo();
       result.stages.push_back(std::move(sr));
     }
+  } catch (const dist::RankFailureError& ex) {
+    // A rank process died or stopped answering its deadline: the run can
+    // never make progress again, which is exactly the condition the stall
+    // detector guards — so a dead rank always takes the stall-abort path
+    // (diagnostic bundle + exit code 2), health.stall configured or not.
+    // Unlike the runner-thread bundle above there is no checkpoint: the
+    // atom state lives sharded across the ranks and part of it died with
+    // the failed one.
+    telemetry::HealthEvent ev;
+    ev.detector = "stall";
+    ev.action = telemetry::HealthAction::kAbort;
+    ev.step = eng->step_count();
+    ev.value = static_cast<double>(ex.failed_rank());
+    ev.message = ex.what();
+    namespace fs = std::filesystem;
+    try {
+      fs::create_directories(bundle_dir);
+      telemetry::HealthArtifacts art;
+      art.dir = bundle_dir;
+      art.metrics = result.metrics_path;
+      if (health) {
+        art.thermo_tail = (fs::path(bundle_dir) / "thermo_tail.csv").string();
+        telemetry::write_thermo_tail_csv(art.thermo_tail, health->tail());
+      }
+      if (telemetry_on) {
+        art.trace = (fs::path(bundle_dir) / "trace.json").string();
+        telemetry::write_trace_json(art.trace);
+      }
+      // Per-rank post-mortem: last-known step counters from the failure
+      // itself, stderr captures copied out of the engine's scratch dir
+      // (which its destructor is about to remove) under their
+      // rank-suffixed names.
+      std::vector<telemetry::RankStatus> ranks;
+      if (auto* de = dynamic_cast<dist::DistributedEngine*>(eng.get())) {
+        const auto logs = de->rank_log_paths();
+        const auto& steps = ex.last_known_steps();
+        for (std::size_t r = 0; r < logs.size(); ++r) {
+          telemetry::RankStatus rs;
+          rs.rank = static_cast<int>(r);
+          rs.last_step = r < steps.size() ? steps[r] : -1;
+          const fs::path src(logs[r]);
+          if (fs::exists(src)) {
+            const fs::path dst = fs::path(bundle_dir) / src.filename();
+            fs::copy_file(src, dst, fs::copy_options::overwrite_existing);
+            rs.log = dst.string();
+          }
+          ranks.push_back(std::move(rs));
+        }
+      }
+      auto events =
+          health ? health->events() : std::vector<telemetry::HealthEvent>{};
+      events.push_back(ev);
+      telemetry::write_health_json(
+          (fs::path(bundle_dir) / "health.json").string(), sc.name,
+          result.backend_name, events, &ev, art, ranks);
+      say(format("  health: ABORT (stall: rank %d failed) — bundle -> %s",
+                 ex.failed_rank(), bundle_dir.c_str()));
+    } catch (...) {
+      // Bundle writing is best-effort; the rank failure is the error.
+    }
+    if (health) health->stop();
+    finalize_exports();
+    throw telemetry::HealthAbortError(ev, bundle_dir);
   } catch (...) {
     if (health) health->stop();
     finalize_exports();

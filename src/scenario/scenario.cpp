@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "dist/distributed_engine.hpp"
 #include "eam/lennard_jones.hpp"
 #include "eam/zhou.hpp"
 #include "lattice/grain_boundary.hpp"
@@ -115,10 +116,42 @@ BackendSpec parse_backend(const std::string& spec) {
     }
     return bs;
   }
-  WSMD_REQUIRE(
-      false, "unknown backend '"
-                 << spec
-                 << "' (want reference|reference:N|wafer|sharded|sharded:N)");
+  if (spec == "ranks" || starts_with(spec, "ranks:")) {
+    // ranks:M forks M rank processes; ranks:MxN additionally runs N shard
+    // threads inside each rank. Plain "ranks" means ranks:2.
+    bs.backend = engine::Backend::kRanks;
+    bs.threads = 1;
+    if (starts_with(spec, "ranks:")) {
+      const std::string n = spec.substr(6);
+      char* end = nullptr;
+      const long ranks = std::strtol(n.c_str(), &end, 10);
+      WSMD_REQUIRE(end != nullptr && end != n.c_str() && ranks >= 1 &&
+                       ranks <= dist::kMaxRanks,
+                   "bad rank count '" << n << "' (want 1.."
+                                      << dist::kMaxRanks
+                                      << ", e.g. ranks:4 or ranks:4x2)");
+      bs.ranks = static_cast<int>(ranks);
+      if (*end == 'x') {
+        const char* t = end + 1;
+        const long threads = std::strtol(t, &end, 10);
+        WSMD_REQUIRE(end != nullptr && end != t && *end == '\0' &&
+                         threads > 0,
+                     "bad per-rank thread count '" << n
+                                                   << "' (want ranks:MxN)");
+        bs.threads = static_cast<int>(threads);
+      } else {
+        WSMD_REQUIRE(*end == '\0', "bad rank spec '"
+                                       << n
+                                       << "' (want ranks:M or ranks:MxN)");
+      }
+    }
+    return bs;
+  }
+  WSMD_REQUIRE(false,
+               "unknown backend '"
+                   << spec
+                   << "' (want reference|reference:N|wafer|sharded|"
+                      "sharded:N|ranks:M|ranks:MxN)");
   return bs;  // unreachable
 }
 
@@ -141,6 +174,9 @@ Scenario scenario_from_deck(const Deck& deck) {
   // health.* entries likewise, so band-without-detector errors blame the
   // right line; snapshot/metrics interplay needs the same treatment.
   std::map<std::string, const DeckEntry*> health_seen;
+  // dist.* entries: they only mean anything on a ranks: backend, and the
+  // kill drill keys come in pairs — blame the offending line.
+  std::map<std::string, const DeckEntry*> dist_seen;
   const DeckEntry* snapshot_entry = nullptr;
   bool metrics_off = false;  ///< telemetry.metrics explicitly disabled
   const DeckEntry* checkpoint_path_entry = nullptr;
@@ -358,6 +394,21 @@ Scenario scenario_from_deck(const Deck& deck) {
         sc.telemetry_snapshot_s = v;
         snapshot_entry = &e;
       }
+    } else if (e.key == "dist.timeout") {
+      const double v = one_double(deck, e);
+      if (v <= 0.0) bad_entry(deck, e, "timeout must be > 0 seconds");
+      sc.dist_timeout_s = v;
+      dist_seen[e.key] = &e;
+    } else if (e.key == "dist.kill_rank") {
+      const long v = one_long(deck, e);
+      if (v < 0) bad_entry(deck, e, "kill rank must be >= 0");
+      sc.dist_kill_rank = static_cast<int>(v);
+      dist_seen[e.key] = &e;
+    } else if (e.key == "dist.kill_step") {
+      const long v = one_long(deck, e);
+      if (v < 1) bad_entry(deck, e, "kill step must be >= 1 (1-based)");
+      sc.dist_kill_step = v;
+      dist_seen[e.key] = &e;
     } else if (e.key == "health.nan" || e.key == "health.energy_drift" ||
                e.key == "health.temperature" || e.key == "health.stall") {
       telemetry::HealthAction action = telemetry::HealthAction::kOff;
@@ -509,6 +560,31 @@ Scenario scenario_from_deck(const Deck& deck) {
               "the NaN fault drill needs health.nan = warn|abort");
   }
 
+  // dist.* cross-key validation, eager like everything above: the keys
+  // are dead configuration off a ranks: backend, and the kill drill is a
+  // (rank, step) pair — half of it would silently never fire.
+  if (!dist_seen.empty()) {
+    const BackendSpec bs = parse_backend(sc.backend);
+    if (bs.backend != engine::Backend::kRanks) {
+      bad_entry(deck, *dist_seen.begin()->second,
+                "dist.* keys need backend = ranks:M (got '" + sc.backend +
+                    "')");
+    }
+    if (sc.dist_kill_rank >= 0 && sc.dist_kill_step == 0) {
+      bad_entry(deck, *dist_seen.at("dist.kill_rank"),
+                "dist.kill_rank needs dist.kill_step");
+    }
+    if (sc.dist_kill_step > 0 && sc.dist_kill_rank < 0) {
+      bad_entry(deck, *dist_seen.at("dist.kill_step"),
+                "dist.kill_step needs dist.kill_rank");
+    }
+    if (sc.dist_kill_rank >= bs.ranks) {
+      bad_entry(deck, *dist_seen.at("dist.kill_rank"),
+                format("kill rank %d is outside backend %s (ranks 0..%d)",
+                       sc.dist_kill_rank, sc.backend.c_str(), bs.ranks - 1));
+    }
+  }
+
   // observe.* cross-key validation. Each rule blames the deck line that
   // introduced the inconsistent key, so the fix is one hop away.
   if (!observe_seen.empty() && sc.observe.probes.empty()) {
@@ -622,6 +698,18 @@ Deck deck_from_scenario(const Scenario& sc) {
   add("swap_interval", std::to_string(sc.swap_interval));
   add("rescale_interval", std::to_string(sc.rescale_interval));
   add("seed", std::to_string(sc.seed));
+  // dist.* keys only under a ranks: backend (the parser rejects them
+  // elsewhere) and only off their defaults, so round-trips of non-ranks
+  // scenarios are byte-identical to before the keys existed. A checkpoint
+  // resumed with --backend=ranks:4 re-ranks: the slab partition is derived
+  // from the rank count at restore, never stored.
+  if (parse_backend(sc.backend).backend == engine::Backend::kRanks) {
+    if (sc.dist_timeout_s != 300.0) add("dist.timeout", num(sc.dist_timeout_s));
+    if (sc.dist_kill_rank >= 0) {
+      add("dist.kill_rank", std::to_string(sc.dist_kill_rank));
+      add("dist.kill_step", std::to_string(sc.dist_kill_step));
+    }
+  }
   for (const auto& st : sc.schedule) {
     switch (st.kind) {
       case Stage::Kind::kThermalize:
@@ -794,7 +882,7 @@ lattice::Structure build_structure(const Scenario& sc, StructureInfo* info) {
 
 std::unique_ptr<engine::Engine> build_engine(
     const Scenario& sc, const lattice::Structure& s,
-    const std::string& backend_override) {
+    const std::string& backend_override, const std::string& scratch_dir) {
   const BackendSpec bs = parse_backend(
       backend_override.empty() ? sc.backend : backend_override);
   eam::EamPotentialPtr potential;
@@ -819,6 +907,12 @@ std::unique_ptr<engine::Engine> build_engine(
   config.wafer.swap_interval = sc.swap_interval;
   config.wafer.mapping.cell_size = material_facts(sc).lattice_constant;
   config.threads = bs.threads;
+  config.ranks = bs.ranks;
+  config.rank_threads = bs.threads;
+  config.dist_timeout_ms = static_cast<int>(sc.dist_timeout_s * 1000.0);
+  config.dist_kill_rank = sc.dist_kill_rank;
+  config.dist_kill_step = sc.dist_kill_step;
+  config.dist_scratch = scratch_dir;
   return engine::make_engine(bs.backend, s, std::move(potential), config);
 }
 

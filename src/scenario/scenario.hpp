@@ -26,8 +26,19 @@
 ///   replicate = NX NY NZ           — explicit unit-cell replication
 ///   vacancy_fraction = F           — random vacancies (slab/bulk)
 ///   tilt_angle_deg = D, gb_atoms = N — bicrystal controls (grain_boundary)
-///   backend  = reference|reference:N|wafer|sharded|sharded:N
+///   backend  = reference|reference:N|wafer|sharded|sharded:N|
+///              ranks:M|ranks:MxN   — ranks: forks M rank processes, each
+///                                    owning a row slab of the core grid
+///                                    (N shard threads per rank; see
+///                                    src/dist/)
 ///   dt, swap_interval, rescale_interval, seed
+///   dist.timeout = S               — ranks: backends only: per-message
+///                                    send/recv deadline in seconds before
+///                                    a rank is declared dead (default 300)
+///   dist.kill_rank = R             — fault drill (ranks: only): rank R
+///   dist.kill_step = K               exits hard before its K-th step, so
+///                                    the dead-rank path is rehearsable
+///                                    from a plain deck (both or neither)
 ///   thermalize = T                 — schedule stages, in deck order:
 ///   equilibrate = T STEPS            one-shot MB velocities; velocity-
 ///   ramp = T0 T1 STEPS               rescale toward T; linear target;
@@ -111,10 +122,13 @@ struct Stage {
   const char* name() const;
 };
 
-/// Parsed backend selector ("reference[:N]" | "wafer" | "sharded[:N]").
+/// Parsed backend selector ("reference[:N]" | "wafer" | "sharded[:N]" |
+/// "ranks:M[xN]").
 struct BackendSpec {
   engine::Backend backend = engine::Backend::kReference;
-  int threads = 1;  ///< worker count (reference/sharded; 0 = auto)
+  int threads = 1;  ///< worker count (reference/sharded; 0 = auto) or, for
+                    ///< ranks:MxN, shard threads per rank process
+  int ranks = 2;    ///< rank-process count (ranks: backends only)
 
   bool is_wafer() const { return backend != engine::Backend::kReference; }
 };
@@ -138,6 +152,14 @@ struct Scenario {
   int swap_interval = 0;    ///< wafer backends: atom-swap cadence (0 = off)
   int rescale_interval = 10;
   std::uint64_t seed = 2024;
+
+  /// Distributed (ranks:) backend knobs; ignored elsewhere. The kill pair
+  /// is the dead-rank fault drill (dist::DistributedConfig): rank
+  /// `dist_kill_rank` exits hard before its `dist_kill_step`-th step.
+  double dist_timeout_s = 300.0;  ///< per-message deadline before a rank
+                                  ///< is declared dead
+  int dist_kill_rank = -1;        ///< -1 = drill off
+  long dist_kill_step = 0;
 
   std::vector<Stage> schedule;
 
@@ -216,9 +238,13 @@ struct StructureInfo {
 lattice::Structure build_structure(const Scenario& sc, StructureInfo* info = nullptr);
 
 /// Construct the scenario's engine over `s`. `backend_override`, when
-/// non-empty, replaces the deck's backend selection.
+/// non-empty, replaces the deck's backend selection. `scratch_dir` is the
+/// parent for per-run scratch files (the ranks: backend's rank-suffixed
+/// stderr logs live in a pid-suffixed subdirectory of it, so concurrent
+/// runs sharing an --output-dir never collide); empty = system temp.
 std::unique_ptr<engine::Engine> build_engine(
     const Scenario& sc, const lattice::Structure& s,
-    const std::string& backend_override = "");
+    const std::string& backend_override = "",
+    const std::string& scratch_dir = "");
 
 }  // namespace wsmd::scenario

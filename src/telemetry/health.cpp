@@ -262,7 +262,8 @@ void write_health_json(const std::string& path, const std::string& scenario,
                        const std::string& backend,
                        const std::vector<HealthEvent>& events,
                        const HealthEvent* fatal,
-                       const HealthArtifacts& artifacts) {
+                       const HealthArtifacts& artifacts,
+                       const std::vector<RankStatus>& ranks) {
   std::string events_json = "[";
   for (std::size_t i = 0; i < events.size(); ++i) {
     if (i > 0) events_json += ", ";
@@ -286,6 +287,19 @@ void write_health_json(const std::string& path, const std::string& scenario,
       .set_raw("fatal", fatal != nullptr ? encode_event(*fatal) : "null")
       .set_raw("events", events_json)
       .set_raw("artifacts", artifacts_obj.encode());
+  if (!ranks.empty()) {
+    std::string ranks_json = "[";
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+      if (i > 0) ranks_json += ", ";
+      JsonObject r;
+      r.set("rank", ranks[i].rank)
+          .set("last_step", static_cast<long long>(ranks[i].last_step))
+          .set("log", ranks[i].log);
+      ranks_json += r.encode();
+    }
+    ranks_json += "]";
+    obj.set_raw("ranks", ranks_json);
+  }
 
   std::ofstream os(path);
   WSMD_REQUIRE(os.good(), "cannot open health file '" << path << "'");

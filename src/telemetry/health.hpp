@@ -220,13 +220,25 @@ struct HealthArtifacts {
 void write_thermo_tail_csv(const std::string& path,
                            const std::vector<HealthSample>& samples);
 
+/// Per-rank status of a distributed (ranks:) run at bundle time: the step
+/// the rank last reported completing and where its stderr capture was
+/// copied inside the bundle. Empty list = not a distributed run.
+struct RankStatus {
+  int rank = 0;
+  long last_step = 0;
+  std::string log;  ///< bundle-relative or absolute stderr path ("" = none)
+};
+
 /// Write the bundle verdict: {"schema": 1, "scenario", "backend",
 /// "verdict": "abort"|"warn"|"ok", "fatal": {...}|null, "events": [...],
-/// "artifacts": {...}}.
+/// "artifacts": {...}}. A non-empty `ranks` adds a "ranks" array (one
+/// {"rank","last_step","log"} object per rank process) — schema 1 readers
+/// that predate it ignore unknown keys.
 void write_health_json(const std::string& path, const std::string& scenario,
                        const std::string& backend,
                        const std::vector<HealthEvent>& events,
                        const HealthEvent* fatal,
-                       const HealthArtifacts& artifacts);
+                       const HealthArtifacts& artifacts,
+                       const std::vector<RankStatus>& ranks = {});
 
 }  // namespace wsmd::telemetry

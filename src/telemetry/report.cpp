@@ -32,14 +32,32 @@ std::vector<PhaseRow> build_cost_report(
   const double swap = span_total_seconds("wse.swap_select") +
                       span_total_seconds("wse.swap_commit");
   const double barrier = span_total_seconds("shard.barrier_wait");
+  // Distributed (ranks:) runs measure the ghost-halo exchange directly:
+  // pack/exchange/unpack spans plus a lockstep-coordination span. When
+  // present, the halo measurement joins against the model's
+  // halo_exchange_cycles prediction in its own row; a threads-only run
+  // keeps the historical barrier-vs-halo join (the barrier wait is where
+  // the halo cost surfaces for shard threads in shared memory).
+  const double halo = span_total_seconds("dist.halo_pack") +
+                      span_total_seconds("dist.halo_exchange") +
+                      span_total_seconds("dist.halo_unpack");
+  const double dist_barrier = span_total_seconds("dist.barrier");
+  const bool distributed = halo > 0.0 || dist_barrier > 0.0;
 
   std::vector<PhaseRow> rows;
   rows.push_back(make_row("density", density, m, modeled.density_seconds));
   rows.push_back(make_row("force", force, m, modeled.force_seconds));
   rows.push_back(make_row("commit", commit, m, modeled.fixed_seconds));
   rows.push_back(make_row("swap", swap, m, modeled.swap_seconds));
-  rows.push_back(make_row("barrier", barrier, m, modeled.halo_seconds));
-  rows.push_back(make_row("total", density + force + commit + swap + barrier,
+  if (distributed) {
+    rows.push_back(make_row("halo", halo, m, modeled.halo_seconds));
+    rows.push_back(make_row("barrier", barrier + dist_barrier, false, 0.0));
+  } else {
+    rows.push_back(make_row("barrier", barrier, m, modeled.halo_seconds));
+  }
+  rows.push_back(make_row("total",
+                          density + force + commit + swap + barrier + halo +
+                              dist_barrier,
                           m, modeled.total_seconds));
   return rows;
 }

@@ -35,8 +35,11 @@ struct PhaseRow {
 /// exchange + neighbor filtering), force (interactions + integration),
 /// commit (fixed per-step bookkeeping: begin + commit), swap (atom-swap
 /// select + commit), barrier (sharded barrier wait vs modeled halo), and
-/// a total row. The modeled total is the engine's max-cycles clock, so
-/// modeled components summing below it is expected (load imbalance).
+/// a total row. Distributed (ranks:) runs, which record dist.halo_* spans,
+/// get a dedicated halo row joined against the modeled halo cost instead
+/// (their barrier row then carries the raw lockstep wait, unmodeled). The
+/// modeled total is the engine's max-cycles clock, so modeled components
+/// summing below it is expected (load imbalance).
 std::vector<PhaseRow> build_cost_report(
     const engine::ModeledPhaseCost& modeled);
 

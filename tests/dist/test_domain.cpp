@@ -1,0 +1,174 @@
+/// \file test_domain.cpp
+/// Domain-decomposition bookkeeping: row-strip partition properties, halo
+/// interval arithmetic (including radii spanning whole neighbor strips),
+/// deterministic pack order, the shared modeled halo cost, and the
+/// rank-scratch path scheme that keeps concurrent ranks from colliding.
+
+#include "dist/domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "eam/zhou.hpp"
+#include "lattice/lattice.hpp"
+
+namespace wsmd::dist {
+namespace {
+
+TEST(RowStrips, TileTheGridInOrder) {
+  const auto strips = row_strips(7, 20, 3);
+  ASSERT_EQ(strips.size(), 3u);
+  EXPECT_EQ(strips.front().y0, 0);
+  EXPECT_EQ(strips.back().y1, 20);
+  for (std::size_t t = 0; t < strips.size(); ++t) {
+    EXPECT_EQ(strips[t].x0, 0);
+    EXPECT_EQ(strips[t].x1, 7);
+    if (t > 0) {
+      EXPECT_EQ(strips[t].y0, strips[t - 1].y1);
+    }
+  }
+}
+
+TEST(RowStrips, MoreStripsThanRowsLeavesEmpties) {
+  const auto strips = row_strips(4, 3, 8);
+  int covered = 0, empties = 0;
+  for (const auto& s : strips) {
+    covered += s.y1 - s.y0;
+    if (s.empty()) ++empties;
+  }
+  EXPECT_EQ(covered, 3);
+  EXPECT_EQ(empties, 5);
+}
+
+TEST(HaloRows, AdjacentStripsShareBandsOfWidthB) {
+  const auto strips = row_strips(8, 12, 2);  // rows [0,6) and [6,12)
+  const int b = 2;
+  // Strip 1 needs rows [4,6) of strip 0; strip 0 needs rows [6,8) of 1.
+  const RowSpan down = halo_rows(strips, 0, 1, b);
+  EXPECT_EQ(down.lo, 4);
+  EXPECT_EQ(down.hi, 6);
+  const RowSpan up = halo_rows(strips, 1, 0, b);
+  EXPECT_EQ(up.lo, 6);
+  EXPECT_EQ(up.hi, 8);
+  // A strip needs nothing from itself.
+  EXPECT_TRUE(halo_rows(strips, 0, 0, b).empty());
+}
+
+TEST(HaloRows, FarApartStripsExchangeNothing) {
+  const auto strips = row_strips(8, 30, 3);  // heights 10 each
+  EXPECT_TRUE(halo_rows(strips, 0, 2, 3).empty());
+  EXPECT_TRUE(halo_rows(strips, 2, 0, 3).empty());
+}
+
+TEST(HaloRows, RadiusSpanningWholeNeighborStripReachesFurther) {
+  // Strip height 2 with b = 5: the ghost region of strip 2 spans strips
+  // 0..1 entirely plus part of 3 — next-nearest peers appear.
+  const auto strips = row_strips(4, 8, 4);  // heights 2 each
+  const RowSpan from0 = halo_rows(strips, 0, 2, 5);
+  EXPECT_FALSE(from0.empty());
+  EXPECT_EQ(from0.lo, 0);
+  EXPECT_EQ(from0.hi, 2);  // all of strip 0 is within 5 rows of strip 2
+}
+
+TEST(HaloPairs, ChainForSmallBAllPairsForLargeB) {
+  const auto strips = row_strips(4, 30, 3);  // heights 10
+  const auto chain = halo_pairs(strips, 3);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0], std::make_pair(0, 1));
+  EXPECT_EQ(chain[1], std::make_pair(1, 2));
+
+  const auto all = halo_pairs(strips, 25);  // b > 2 strip heights
+  EXPECT_EQ(all.size(), 3u);  // (0,1), (0,2), (1,2) — lexicographic
+  EXPECT_EQ(all[1], std::make_pair(0, 2));
+}
+
+TEST(HaloPairs, EmptyStripsHaveNoPairs) {
+  const auto strips = row_strips(4, 2, 4);  // two strips empty
+  for (const auto& [i, j] : halo_pairs(strips, 3)) {
+    EXPECT_FALSE(strips[static_cast<std::size_t>(i)].empty());
+    EXPECT_FALSE(strips[static_cast<std::size_t>(j)].empty());
+  }
+}
+
+TEST(AtomsInRows, RowMajorAndComplete) {
+  // Real mapping: every atom appears exactly once over the full row range,
+  // in row-major core order (the deterministic wire order).
+  const auto p = eam::zhou_parameters("Ta");
+  const auto structure = lattice::replicate(
+      lattice::UnitCell::of(p.structure, p.lattice_constant()), 4, 4, 3);
+  const auto potential = std::make_shared<eam::ZhouEam>("Ta", p.paper_cutoff());
+  core::WseMdConfig cfg;
+  cfg.mapping.cell_size = p.lattice_constant();
+  core::WseMd md(structure, potential, cfg);
+
+  const auto& mapping = md.mapping();
+  const auto atoms = atoms_in_rows(mapping, 0, mapping.grid_height());
+  EXPECT_EQ(atoms.size(), md.atom_count());
+  std::set<std::uint32_t> seen(atoms.begin(), atoms.end());
+  EXPECT_EQ(seen.size(), atoms.size());
+
+  // Concatenating per-strip lists reproduces the full list: pack order is
+  // independent of the partition.
+  const auto strips = row_strips(mapping.grid_width(), mapping.grid_height(), 3);
+  std::vector<std::uint32_t> glued;
+  for (const auto& s : strips) {
+    const auto part = atoms_in_rows(mapping, s.y0, s.y1);
+    glued.insert(glued.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(glued, atoms);
+}
+
+TEST(HaloCost, SingleStripIsFreeMoreStripsCostMore) {
+  const auto model = wse::CostModel::paper_baseline();
+  const auto one = row_strips(20, 20, 1);
+  EXPECT_EQ(halo_cycles_per_step(one, 2, 20, 20, model), 0.0);
+
+  const auto two = row_strips(20, 20, 2);
+  const auto four = row_strips(20, 20, 4);
+  const double c2 = halo_cycles_per_step(two, 2, 20, 20, model);
+  const double c4 = halo_cycles_per_step(four, 2, 20, 20, model);
+  EXPECT_GT(c2, 0.0);
+  EXPECT_GT(c4, c2);
+
+  // Two strips: ghost cores are the 2b-wide band either side of the shared
+  // edge, clipped nowhere horizontally; x2 for two exchanges per step.
+  const double expected = 2.0 * 2.0 * 20.0 * 2.0 * model.ghost_core_cycles();
+  EXPECT_NEAR(c2, expected, 1e-9);
+}
+
+TEST(ScratchPaths, RankSuffixedAndRunDisjoint) {
+  EXPECT_EQ(rank_scratch_path("/tmp/out", "stderr", 3), "/tmp/out/stderr.rank3");
+  EXPECT_EQ(rank_scratch_path("/tmp/out/", "stderr", 0),
+            "/tmp/out/stderr.rank0");
+
+  std::string dir;
+  {
+    ScratchDir scratch("");
+    dir = scratch.path();
+    EXPECT_TRUE(std::filesystem::is_directory(dir));
+    // Pid-suffixed: two runs sharing a parent cannot collide.
+    EXPECT_NE(dir.find(".wsmd-dist-"), std::string::npos);
+    std::ofstream(scratch.rank_file("stderr", 1)) << "rank log\n";
+    EXPECT_TRUE(std::filesystem::exists(dir + "/stderr.rank1"));
+  }
+  // Atomic teardown: the directory and everything in it are gone.
+  EXPECT_FALSE(std::filesystem::exists(dir));
+}
+
+TEST(ScratchPaths, KeepSurvivesDestruction) {
+  std::string dir;
+  {
+    ScratchDir scratch("");
+    dir = scratch.path();
+    std::ofstream(scratch.rank_file("stderr", 0)) << "evidence\n";
+    scratch.keep();
+  }
+  EXPECT_TRUE(std::filesystem::exists(dir + "/stderr.rank0"));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace wsmd::dist

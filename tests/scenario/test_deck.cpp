@@ -215,6 +215,31 @@ TEST(Scenario, BackendSpecParsing) {
   EXPECT_THROW(parse_backend("sharded:x"), Error);
 }
 
+TEST(Scenario, RanksBackendSpecParsing) {
+  const auto ranks = parse_backend("ranks:4");
+  EXPECT_EQ(ranks.backend, engine::Backend::kRanks);
+  EXPECT_EQ(ranks.ranks, 4);
+  EXPECT_EQ(ranks.threads, 1);  // one shard thread per rank by default
+  EXPECT_TRUE(ranks.is_wafer());
+
+  // ranks:MxN — N shard threads inside each of the M rank processes.
+  const auto grid = parse_backend("ranks:2x3");
+  EXPECT_EQ(grid.backend, engine::Backend::kRanks);
+  EXPECT_EQ(grid.ranks, 2);
+  EXPECT_EQ(grid.threads, 3);
+
+  // Bare "ranks" keeps the default rank count.
+  EXPECT_EQ(parse_backend("ranks").backend, engine::Backend::kRanks);
+  EXPECT_EQ(parse_backend("ranks").ranks, 2);
+
+  EXPECT_THROW(parse_backend("ranks:0"), Error);
+  EXPECT_THROW(parse_backend("ranks:x"), Error);
+  EXPECT_THROW(parse_backend("ranks:17"), Error);   // > kMaxRanks
+  EXPECT_THROW(parse_backend("ranks:2x0"), Error);
+  EXPECT_THROW(parse_backend("ranks:2x"), Error);
+  EXPECT_THROW(parse_backend("ranks:2y3"), Error);
+}
+
 TEST(Scenario, BuildStructureGeometries) {
   // Explicit replication, open slab.
   auto sc = scenario_from_deck(parse_deck_string(
@@ -581,6 +606,54 @@ TEST(Scenario, HealthAndSnapshotKeysRoundTripThroughDeckFromScenario) {
   }
 }
 
+TEST(Scenario, DistKeysValidateEagerlyAndRoundTrip) {
+  // dist.* keys are dead configuration off a ranks: backend.
+  try {
+    scenario_from_deck(
+        parse_deck_string("backend = sharded:2\ndist.timeout = 10\n",
+                          "d.deck"));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("d.deck:2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("ranks:M"), std::string::npos);
+  }
+  // The kill drill is a pair: either half alone would silently never fire.
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "backend = ranks:2\ndist.kill_rank = 0\n")),
+               Error);
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "backend = ranks:2\ndist.kill_step = 3\n")),
+               Error);
+  // The killed rank must exist under the configured rank count.
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "backend = ranks:2\ndist.kill_rank = 2\n"
+                   "dist.kill_step = 3\n")),
+               Error);
+  // Value validation is eager too.
+  EXPECT_THROW(scenario_from_deck(parse_deck_string(
+                   "backend = ranks:2\ndist.timeout = 0\n")),
+               Error);
+
+  const auto sc = scenario_from_deck(parse_deck_string(
+      "backend = ranks:4\ndist.timeout = 15\n"
+      "dist.kill_rank = 3\ndist.kill_step = 5\n"));
+  EXPECT_DOUBLE_EQ(sc.dist_timeout_s, 15.0);
+  EXPECT_EQ(sc.dist_kill_rank, 3);
+  EXPECT_EQ(sc.dist_kill_step, 5);
+  const auto again = scenario_from_deck(deck_from_scenario(sc));
+  EXPECT_DOUBLE_EQ(again.dist_timeout_s, 15.0);
+  EXPECT_EQ(again.dist_kill_rank, 3);
+  EXPECT_EQ(again.dist_kill_step, 5);
+
+  // Non-ranks scenarios round-trip without any dist.* keys (byte-stable
+  // embedded checkpoint decks).
+  const auto plain = deck_from_scenario(scenario_from_deck(
+      parse_deck_string("backend = sharded:2\n")));
+  for (const auto& e : plain.entries) {
+    EXPECT_EQ(e.key.rfind("dist.", 0), std::string::npos) << e.key;
+  }
+}
+
 TEST(Scenario, BuildEngineHonorsBackendAndOverride) {
   const auto sc = scenario_from_deck(parse_deck_string(
       "element = Ta\ngeometry = slab\nreplicate = 3 3 2\n"
@@ -592,6 +665,9 @@ TEST(Scenario, BuildEngineHonorsBackendAndOverride) {
   EXPECT_STREQ(ref->backend_name(), "reference-fp64");
   auto sharded = build_engine(sc, structure, "sharded:2");
   EXPECT_STREQ(sharded->backend_name(), "sharded-wafer");
+  auto ranks = build_engine(sc, structure, "ranks:2");
+  EXPECT_STREQ(ranks->backend_name(), "ranks");
+  EXPECT_EQ(ranks->atom_count(), structure.size());
   EXPECT_EQ(wafer->atom_count(), structure.size());
 }
 

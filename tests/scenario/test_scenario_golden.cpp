@@ -227,6 +227,42 @@ INSTANTIATE_TEST_SUITE_P(Decks, ScenarioGolden,
                            return fs::path(i.param).stem().string();
                          });
 
+/// Distributed acceptance: the golden cu_slab deck replayed on the
+/// executed ranks: backend at two rank counts must land inside the same
+/// FP32 band the serial wafer replay uses. Per-atom trajectories are
+/// bitwise-identical to the serial wafer (pinned by the engine tests); the
+/// thermo stream differs only by the fixed-rank-order regrouping of the
+/// global FP64 reductions, so any real halo/migration bug blows straight
+/// through kWaferTol. One dedicated test instead of a parameterized third
+/// leg: forking M processes per deck would triple the suite's cost.
+TEST(ScenarioGoldenRanks, CuSlabMatchesGoldenOnTwoAndFourRanks) {
+  const std::string deck_path = scenarios_dir() + "/cu_slab.deck";
+  ASSERT_TRUE(fs::exists(deck_path));
+  const auto golden =
+      io::read_thermo_csv_file(scenarios_dir() + "/golden/cu_slab.thermo.csv");
+  ASSERT_FALSE(golden.empty());
+
+  for (const std::string backend : {"ranks:2", "ranks:4"}) {
+    Deck deck = parse_deck_file(deck_path);
+    const std::string thermo_path =
+        ::testing::TempDir() + "wsmd_golden_cu_slab_" + backend + ".csv";
+    deck.set("thermo", thermo_path);
+    deck.set("thermo_format", "csv");
+    deck.set("thermo_every", "1");
+    deck.set("xyz", "");
+    deck.set("summary", "");
+
+    RunOptions opt;
+    opt.backend_override = backend;
+    const auto result = run_scenario(scenario_from_deck(deck), opt);
+    EXPECT_EQ(result.backend_name, "ranks");
+    EXPECT_EQ(result.total_steps, golden.back().step);
+    const auto got = io::read_thermo_csv_file(thermo_path);
+    compare_stream(golden, got, kWaferTol, "cu_slab on " + backend);
+    std::remove(thermo_path.c_str());
+  }
+}
+
 /// The harness is only meaningful while decks exist; catch an empty or
 /// mislocated scenarios/ directory instead of vacuously passing.
 TEST(ScenarioGoldenSuite, CoversTheCheckedInDecks) {

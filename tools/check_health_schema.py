@@ -15,8 +15,11 @@ health.json (--health PATH):
     (abort <=> fatal is an event object; ok <=> no events),
   * every event (and fatal) carries detector/action/step/message,
   * artifacts is an object of string paths including dir/thermo_tail,
+  * an optional "ranks" list (distributed runs) holds per-rank objects
+    with numeric rank/last_step and a string log path,
   * --expect-detector NAME additionally requires an event from NAME,
-  * --expect-verdict V additionally pins the verdict.
+  * --expect-verdict V additionally pins the verdict,
+  * --expect-ranks K additionally requires the ranks list with K entries.
 
 metrics.jsonl (--metrics PATH):
   * every line is a JSON object with kind snapshot|span|counter,
@@ -30,7 +33,7 @@ metrics.jsonl (--metrics PATH):
     entries (and a positive imbalance once any shard was busy).
 
 Usage: check_health_schema.py [--health H.json [--expect-detector D]
-                               [--expect-verdict V]]
+                               [--expect-verdict V] [--expect-ranks K]]
                               [--metrics M.jsonl [--min-snapshots N]
                                [--expect-shards K]]
 Exit status: 0 when every requested file validates, 1 otherwise.
@@ -67,7 +70,31 @@ def check_event(path, label, event):
     return True
 
 
-def check_health(path, expect_detector, expect_verdict):
+def check_ranks(path, ranks, expect_ranks):
+    if ranks is None:
+        if expect_ranks is not None:
+            return fail(path, f"no 'ranks' list, want {expect_ranks} entries")
+        return True
+    if not isinstance(ranks, list):
+        return fail(path, "'ranks' is not a list")
+    for i, entry in enumerate(ranks):
+        label = f"ranks[{i}]"
+        if not isinstance(entry, dict):
+            return fail(path, f"{label} is not an object")
+        for key in ("rank", "last_step"):
+            if not is_num(entry.get(key)):
+                return fail(path, f"{label}.{key} is not a number")
+        if entry["rank"] != i:
+            return fail(path, f"{label}.rank is {entry['rank']}, want {i}")
+        if not isinstance(entry.get("log"), str):
+            return fail(path, f"{label}.log is not a string")
+    if expect_ranks is not None and len(ranks) != expect_ranks:
+        return fail(path, f"'ranks' has {len(ranks)} entries, want "
+                          f"{expect_ranks}")
+    return True
+
+
+def check_health(path, expect_detector, expect_verdict, expect_ranks):
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -112,6 +139,8 @@ def check_health(path, expect_detector, expect_verdict):
                               f"(saw {[e.get('detector') for e in events]})")
     if expect_verdict is not None and verdict != expect_verdict:
         return fail(path, f"verdict '{verdict}', want '{expect_verdict}'")
+    if not check_ranks(path, doc.get("ranks"), expect_ranks):
+        return False
     print(f"OK   {path}: verdict={verdict}, {len(events)} event(s)")
     return True
 
@@ -215,6 +244,8 @@ def main():
                     help="require an event from this detector")
     ap.add_argument("--expect-verdict", choices=VERDICTS,
                     help="require this verdict")
+    ap.add_argument("--expect-ranks", type=int,
+                    help="require a per-rank status list with K entries")
     ap.add_argument("--metrics", help="metrics JSONL to validate")
     ap.add_argument("--min-snapshots", type=int, default=0,
                     help="minimum snapshot rows in --metrics")
@@ -226,7 +257,7 @@ def main():
     ok = True
     if args.health is not None:
         ok &= check_health(args.health, args.expect_detector,
-                           args.expect_verdict)
+                           args.expect_verdict, args.expect_ranks)
     if args.metrics is not None:
         ok &= check_metrics(args.metrics, args.min_snapshots,
                             args.expect_shards)
