@@ -91,6 +91,9 @@ void print_usage(std::FILE* out) {
                "                    ranks:M|ranks:MxN — M forked rank\n"
                "                    processes with ghost-halo exchange,\n"
                "                    optionally N shard threads each)\n"
+               "  --transport=T     halo transport override for ranks:\n"
+               "                    backends (shm|socket); same as\n"
+               "                    dist.transport=T\n"
                "  --output-dir=DIR  prefix for relative output paths\n"
                "  --print           parse and show the effective scenario,\n"
                "                    do not run\n"
@@ -124,7 +127,7 @@ void print_usage(std::FILE* out) {
                "  checkpoint.path telemetry.trace telemetry.metrics\n"
                "  telemetry.snapshot\n"
                "distributed keys (ranks: backends only):\n"
-               "  dist.timeout dist.kill_rank dist.kill_step\n"
+               "  dist.transport dist.timeout dist.kill_rank dist.kill_step\n"
                "health keys (run-health watchdog; warn|abort|off):\n"
                "  health.nan health.energy_drift health.energy_band\n"
                "  health.temperature health.temperature_band health.stall\n"
@@ -286,6 +289,17 @@ bool parse_telemetry_flag(const std::string& arg,
   return true;
 }
 
+/// Parse --transport=shm|socket into the dist.transport deck override (the
+/// value check stays in scenario parsing, so the flag and the deck key
+/// cannot drift).
+bool parse_transport_flag(const std::string& arg,
+                          std::vector<wsmd::scenario::DeckEntry>& overrides) {
+  using wsmd::scenario::DeckEntry;
+  if (!wsmd::starts_with(arg, "--transport=")) return false;
+  overrides.push_back(DeckEntry{"dist.transport", arg.substr(12), 0});
+  return true;
+}
+
 int run_report(int argc, char** argv) {
   using namespace wsmd;
   std::vector<std::string> decks;
@@ -324,6 +338,8 @@ int run_report(int argc, char** argv) {
       opt.output_dir = arg.substr(13);
     } else if (parse_telemetry_flag(arg, overrides)) {
       // handled
+    } else if (parse_transport_flag(arg, overrides)) {
+      // handled
     } else if (parse_progress_flag(arg, opt)) {
       // handled
     } else if (starts_with(arg, "--")) {
@@ -347,6 +363,12 @@ int run_report(int argc, char** argv) {
                               ? scenario::Deck{"<cli>", {}, }
                               : scenario::parse_deck_file(path);
     for (const auto& o : overrides) deck.set(o.key, o.value);
+    // Fold --backend= into the deck before validation: dist.* keys (e.g.
+    // a --transport= flag) are eagerly rejected off a ranks: backend, and
+    // the check must see the backend the run will actually use.
+    if (!opt.backend_override.empty()) {
+      deck.set("backend", opt.backend_override);
+    }
     if (html && !deck.has("telemetry.snapshot")) {
       // The dashboard's time series come from interval snapshots; arm a
       // tight cadence so even short report runs chart a few points.
@@ -459,6 +481,8 @@ int run_resume(int argc, char** argv) {
       scenario::parse_backend(opt.backend_override);  // validate now
     } else if (starts_with(arg, "--output-dir=")) {
       opt.output_dir = arg.substr(13);
+    } else if (parse_transport_flag(arg, overrides)) {
+      // handled
     } else if (starts_with(arg, "--")) {
       WSMD_REQUIRE(false, "unknown resume option '" << arg << "'");
     } else if (arg.find('=') != std::string::npos) {
@@ -563,6 +587,8 @@ int main(int argc, char** argv) {
         opt.output_dir = arg.substr(13);
       } else if (parse_telemetry_flag(arg, overrides)) {
         // handled
+      } else if (parse_transport_flag(arg, overrides)) {
+        // handled
       } else if (parse_progress_flag(arg, opt)) {
         // handled
       } else if (starts_with(arg, "--")) {
@@ -592,11 +618,16 @@ int main(int argc, char** argv) {
           path.empty() ? scenario::Deck{"<cli>", {}, }
                        : scenario::parse_deck_file(path);
       for (const auto& o : overrides) deck.set(o.key, o.value);
+      // Fold --backend= into the deck before validation: dist.* keys
+      // (e.g. a --transport= flag) are eagerly rejected off a ranks:
+      // backend, and the check must see the backend the run will
+      // actually use. This also makes --print show the effective
+      // scenario directly.
+      if (!opt.backend_override.empty()) {
+        deck.set("backend", opt.backend_override);
+      }
       auto sc = scenario::scenario_from_deck(deck);
       if (print_only) {
-        // Show the *effective* scenario: what a run with these exact
-        // flags would execute, --backend= override included.
-        if (!opt.backend_override.empty()) sc.backend = opt.backend_override;
         print_scenario(sc);
         continue;
       }

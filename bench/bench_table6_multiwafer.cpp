@@ -13,15 +13,17 @@
 ///
 ///   bench_table6_multiwafer [--execute=M] [--steps=K] [--scale=S]
 ///                           [--replicate=X,Y,Z] [--threads=N]
-///                           [--timeout=SECONDS]
+///                           [--timeout=SECONDS] [--transport=shm|socket]
 ///
 /// --scale divides the paper slab's x-y replication (default 16);
 /// --replicate builds an explicit open-boundary Cu cell grid instead
 /// (e.g. --replicate=100,100,50 is a 2,000,000-atom slab). Results land
 /// in BENCH_table6_multiwafer.json: the deterministic modeled rows are
 /// row-gated by the bench baseline, and the executed leg's
-/// halo-seconds-vs-model ratio is sanity-banded (the host transport can
-/// never beat the modeled wafer fabric, so executed/modeled >= 1).
+/// halo-seconds-vs-model ratio is sanity-banded for the socket carrier
+/// (a socket transport can never beat the modeled wafer fabric, so
+/// executed/modeled >= 1 there; the shm tier can and does go below the
+/// model, so the gate keys on the recorded transport).
 
 #include <chrono>
 #include <cstdio>
@@ -53,7 +55,8 @@ struct ExecutedLeg {
 };
 
 ExecutedLeg run_executed(int ranks, int threads, long steps, int scale,
-                         const int* replicate, int timeout_s) {
+                         const int* replicate, int timeout_s,
+                         dist::HaloTransport transport) {
   const auto p = eam::zhou_parameters("Cu");
   lattice::Structure slab;
   if (replicate != nullptr) {
@@ -72,6 +75,7 @@ ExecutedLeg run_executed(int ranks, int threads, long steps, int scale,
   cfg.ranks = ranks;
   cfg.threads = threads;
   if (timeout_s > 0) cfg.step_timeout_ms = timeout_s * 1000;
+  cfg.transport = transport;
   dist::DistributedEngine engine(slab, pot, cfg);
   Rng rng(12345);
   engine.thermalize(290.0, rng);
@@ -104,6 +108,7 @@ int main(int argc, char** argv) try {
   int timeout_s = 0;  // 0 = DistributedConfig default
   int replicate[3] = {0, 0, 0};
   bool have_replicate = false;
+  std::string transport = "shm";
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg.rfind("--execute=", 0) == 0) {
@@ -116,6 +121,12 @@ int main(int argc, char** argv) try {
       timeout_s = std::atoi(arg.c_str() + 10);
     } else if (arg.rfind("--scale=", 0) == 0) {
       scale = std::atoi(arg.c_str() + 8);
+    } else if (arg.rfind("--transport=", 0) == 0) {
+      transport = arg.substr(12);
+      if (transport != "shm" && transport != "socket") {
+        std::fprintf(stderr, "bad --transport (want shm|socket)\n");
+        return 2;
+      }
     } else if (arg.rfind("--replicate=", 0) == 0) {
       if (std::sscanf(arg.c_str() + 12, "%d,%d,%d", &replicate[0],
                       &replicate[1], &replicate[2]) != 3 ||
@@ -178,9 +189,11 @@ int main(int argc, char** argv) try {
   t.print();
 
   if (execute_ranks > 0) {
-    const ExecutedLeg leg =
-        run_executed(execute_ranks, threads, steps, scale,
-                     have_replicate ? replicate : nullptr, timeout_s);
+    const ExecutedLeg leg = run_executed(
+        execute_ranks, threads, steps, scale,
+        have_replicate ? replicate : nullptr, timeout_s,
+        transport == "socket" ? dist::HaloTransport::kSocket
+                              : dist::HaloTransport::kShm);
     // Per-step halo seconds: the model predicts one step's halo exchange;
     // the measurement summed `steps` of them across all ranks.
     const double measured_halo_per_step =
@@ -189,6 +202,7 @@ int main(int argc, char** argv) try {
                              ? measured_halo_per_step / leg.modeled_halo_s
                              : 0.0;
     json.meta().set("executed_ranks", execute_ranks);
+    json.meta().set("transport", transport);
     json.add_row()
         .set("leg", "modeled")
         .set("ranks", execute_ranks)
@@ -206,11 +220,11 @@ int main(int argc, char** argv) try {
         .set("modeled_vs_measured_halo_ratio", ratio);
     std::printf(
         "\nExecuted leg — Cu slab on the ranks:%d backend (%zu atoms,\n"
-        "%ld steps, %d shard thread(s)/rank): halo exchange measured\n"
-        "%.3g s/step vs modeled %.3g s/step (x%.0f; the host socket\n"
-        "transport vs the modeled 0.94 GHz wafer fabric — the ratio is a\n"
-        "sanity floor, not a target), throughput %.1f steps/s.\n",
-        execute_ranks, leg.atoms, leg.steps, threads, measured_halo_per_step,
+        "%ld steps, %d shard thread(s)/rank, %s halo transport): halo\n"
+        "exchange measured %.3g s/step vs modeled %.3g s/step (x%.2f vs\n"
+        "the modeled 0.94 GHz wafer fabric), throughput %.1f steps/s.\n",
+        execute_ranks, leg.atoms, leg.steps, threads, transport.c_str(),
+        measured_halo_per_step,
         leg.modeled_halo_s, ratio,
         leg.wall_seconds > 0.0
             ? static_cast<double>(leg.steps) / leg.wall_seconds

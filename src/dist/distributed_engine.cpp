@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "dist/rank_worker.hpp"
+#include "dist/shm_channel.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
@@ -92,6 +93,34 @@ void DistributedEngine::spawn_ranks() {
     }
   }
 
+  // Shm tier: create every halo pair's shared segment *before* forking —
+  // the ranks inherit the live mappings, and because each segment is
+  // shm_unlinked inside its constructor, no /dev/shm entry survives this
+  // loop, let alone a crashed rank. Pairs come from the state-exchange
+  // radius b+1 (a superset of the F' pairs at radius b); slots are sized
+  // for the largest message either direction can carry — rows x grid
+  // width is an upper bound on halo atoms, swaps included.
+  std::vector<ShmPairSegment> segments;
+  if (config_.transport == HaloTransport::kShm) {
+    const int b = template_.b();
+    const int w = template_.mapping().grid_width();
+    const long pid = static_cast<long>(::getpid());
+    for (const auto& [i, j] : halo_pairs(strips_, b + 1)) {
+      std::size_t slot_bytes = 64;
+      for (const auto& [owner, needer] :
+           {std::pair<int, int>{i, j}, std::pair<int, int>{j, i}}) {
+        const std::size_t fp_rows = static_cast<std::size_t>(
+            halo_rows(strips_, owner, needer, b).rows());
+        const std::size_t st_rows = static_cast<std::size_t>(
+            halo_rows(strips_, owner, needer, b + 1).rows());
+        slot_bytes = std::max(
+            {slot_bytes, fp_rows * static_cast<std::size_t>(w) * 4,
+             st_rows * static_cast<std::size_t>(w) * 24});
+      }
+      segments.emplace_back(pid, i, j, slot_bytes);
+    }
+  }
+
   for (int r = 0; r < m; ++r) {
     const pid_t pid = ::fork();
     WSMD_REQUIRE(pid >= 0, "dist: fork failed for rank " << r);
@@ -119,17 +148,35 @@ void DistributedEngine::spawn_ranks() {
         controls[static_cast<std::size_t>(q)].a.close();
         if (q != r) controls[static_cast<std::size_t>(q)].b.close();
       }
-      std::vector<std::pair<int, Channel>> my_peers;
+      std::vector<PeerLink> my_peers;
       for (auto& pp : peers) {
         if (pp.i == r) {
           pp.pair.b.close();
-          my_peers.emplace_back(pp.j, std::move(pp.pair.a));
+          PeerLink link;
+          link.rank = pp.j;
+          link.channel = std::move(pp.pair.a);
+          my_peers.push_back(std::move(link));
         } else if (pp.j == r) {
           pp.pair.a.close();
-          my_peers.emplace_back(pp.i, std::move(pp.pair.b));
+          PeerLink link;
+          link.rank = pp.i;
+          link.channel = std::move(pp.pair.b);
+          my_peers.push_back(std::move(link));
         } else {
           pp.pair.a.close();
           pp.pair.b.close();
+        }
+      }
+      // Keep ring views only toward this rank's own peers; drop the other
+      // pairs' inherited mappings so the memory frees with its two owners.
+      for (auto& seg : segments) {
+        if (seg.rank_i() == r || seg.rank_j() == r) {
+          const int other = seg.rank_i() == r ? seg.rank_j() : seg.rank_i();
+          for (auto& link : my_peers) {
+            if (link.rank == other) link.shm = seg.halo_for(r);
+          }
+        } else {
+          seg.unmap();
         }
       }
       RankWorkerConfig wc;
@@ -139,6 +186,7 @@ void DistributedEngine::spawn_ranks() {
       wc.peer_timeout_ms = config_.step_timeout_ms;
       wc.kill_rank = config_.kill_rank;
       wc.kill_step = config_.kill_step;
+      wc.transport = config_.transport;
       try {
         RankWorker worker(template_, wc, std::move(control),
                           std::move(my_peers));
@@ -158,6 +206,8 @@ void DistributedEngine::spawn_ranks() {
   }
   // `peers` destructs here, closing the coordinator's copies of every
   // rank<->rank fd — only the two owning ranks hold each pair now.
+  // `segments` destructs too: the coordinator's mappings go away, leaving
+  // each shm segment alive exactly as long as its two ranks stay mapped.
 }
 
 void DistributedEngine::shutdown_ranks() noexcept {
@@ -354,6 +404,7 @@ engine::Thermo DistributedEngine::step() {
 
   // Per-rank accounting deltas -> shard_load() and the dist.* spans.
   double d_pack = 0.0, d_wire = 0.0, d_unpack = 0.0, d_barrier = 0.0;
+  double d_overlap = 0.0;
   for (std::size_t r = 0; r < records.size(); ++r) {
     const StepRecord& rec = records[r];
     const StepRecord& prev = prev_[r];
@@ -371,6 +422,8 @@ engine::Thermo DistributedEngine::step() {
     d_wire += wire;
     d_unpack += unpack;
     d_barrier += barrier;
+    d_overlap +=
+        rec.overlap_compute_seconds - prev.overlap_compute_seconds;
     prev_[r] = rec;
     last_steps_[r] = rec.step;
   }
@@ -380,6 +433,7 @@ engine::Thermo DistributedEngine::step() {
     telemetry::add_span_time("dist.halo_exchange", d_wire, m);
     telemetry::add_span_time("dist.halo_unpack", d_unpack, m);
     telemetry::add_span_time("dist.barrier", d_barrier, m);
+    telemetry::add_span_time("dist.overlap_compute", d_overlap, m);
   }
   return thermo();
 }
@@ -572,6 +626,8 @@ engine::ModeledPhaseCost DistributedEngine::modeled_phase_cost() const {
                            template_.mapping().grid_width(),
                            template_.mapping().grid_height(), model) *
       steps / (model.clock_ghz() * 1e9);
+  cost.halo_transport =
+      config_.transport == HaloTransport::kShm ? "shm" : "socket";
   return cost;
 }
 

@@ -64,6 +64,10 @@ struct DistributedConfig {
   /// kill_rank calls _Exit at the start of step kill_step.
   int kill_rank = -1;
   long kill_step = 0;
+  /// Which tier carries the halo payloads (deck key dist.transport):
+  /// per-pair shared-memory rings (default) or the peer sockets. The
+  /// trajectory is bitwise transport-invariant; only the wire differs.
+  HaloTransport transport = HaloTransport::kShm;
   /// Parent directory for the per-rank scratch files (stderr captures);
   /// empty uses the system temp dir. The runner points this at
   /// --output-dir so diagnostics land next to the run's artifacts without

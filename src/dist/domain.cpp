@@ -80,21 +80,36 @@ double halo_cycles_per_step(const std::vector<core::ShardRect>& strips, int b,
   return cycles;
 }
 
+std::string run_scoped_name(const std::string& kind, long pid) {
+  return "wsmd-" + kind + "-" + std::to_string(pid);
+}
+
+std::string rank_suffix(const std::string& base, int rank) {
+  return base + ".rank" + std::to_string(rank);
+}
+
+std::string shm_segment_name(long pid, int rank_i, int rank_j) {
+  std::string name = "/";
+  name += rank_suffix(run_scoped_name("shm", pid), rank_i);
+  name += '-';
+  name += std::to_string(rank_j);
+  return name;
+}
+
 std::string rank_scratch_path(const std::string& dir, const std::string& base,
                               int rank) {
   std::string path = dir;
   if (!path.empty() && path.back() != '/') path += '/';
-  path += base;
-  path += ".rank";
-  path += std::to_string(rank);
+  path += rank_suffix(base, rank);
   return path;
 }
 
 ScratchDir::ScratchDir(const std::string& parent) {
   namespace fs = std::filesystem;
   fs::path root = parent.empty() ? fs::temp_directory_path() : fs::path(parent);
-  fs::path dir =
-      root / (".wsmd-dist-" + std::to_string(static_cast<long>(::getpid())));
+  std::string leaf = ".";
+  leaf += run_scoped_name("dist", static_cast<long>(::getpid()));
+  fs::path dir = root / leaf;
   std::error_code ec;
   fs::create_directories(dir, ec);  // best-effort; ranks fall back to stderr
   path_ = dir.string();

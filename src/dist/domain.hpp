@@ -75,6 +75,27 @@ double halo_cycles_per_step(const std::vector<core::ShardRect>& strips, int b,
                             int grid_width, int grid_height,
                             const wse::CostModel& model);
 
+/// --- Run-scoped resource naming ------------------------------------------
+/// Every per-run OS resource a distributed run creates — the scratch
+/// directory, the per-rank stderr captures inside it, and the POSIX shm
+/// halo segments — derives its name from these two helpers, so diagnostic
+/// bundles and cleanup sweeps can never disagree about what belongs to a
+/// run. `run_scoped_name` pins the run (kind + coordinator pid, so
+/// concurrent runs sharing a host stay disjoint); `rank_suffix` pins the
+/// rank(s) within it.
+
+/// "wsmd-<kind>-<pid>" — the per-run stem.
+std::string run_scoped_name(const std::string& kind, long pid);
+
+/// "<base>.rank<k>" — the per-rank leaf under a run-scoped stem.
+std::string rank_suffix(const std::string& base, int rank);
+
+/// POSIX shm segment name for the halo mailboxes of peer pair (i, j),
+/// i < j: "/wsmd-shm-<pid>.rank<i>-<j>" (shm_open requires the leading
+/// slash; the visible /dev/shm entry, while it exists, carries the same
+/// run/rank provenance as the scratch files).
+std::string shm_segment_name(long pid, int rank_i, int rank_j);
+
 /// Rank-suffixed scratch path under `dir`: "<dir>/<base>.rank<k>". Every
 /// per-rank side file (stderr capture, debris from aborted runs) goes
 /// through this so concurrent ranks — and concurrent runs pointing at the

@@ -41,6 +41,10 @@ struct StepRecord {
   double halo_exchange_seconds = 0.0;
   double halo_unpack_seconds = 0.0;
   double barrier_seconds = 0.0;
+  /// Portion of busy_seconds spent on interior tiles and reductions while
+  /// halo messages were in flight — the compute the overlap pipeline hides
+  /// behind communication (also counted in busy_seconds).
+  double overlap_compute_seconds = 0.0;
 };
 static_assert(std::is_trivially_copyable_v<StepRecord>);
 

@@ -49,6 +49,13 @@ class TimeoutError : public TransportError {
 constexpr std::uint32_t kMagic = 0x444D5357;  // "WSMD" little-endian
 constexpr std::uint16_t kProtocolVersion = 1;
 
+/// Which tier carries the rank <-> rank halo payloads (deck key
+/// `dist.transport`). The AF_UNIX socket plane always exists — it is the
+/// control plane and the failure detector — the choice is only whether
+/// halo payloads ride it too (kSocket) or go through the per-pair POSIX
+/// shared-memory rings (kShm, the default; see shm_channel.hpp).
+enum class HaloTransport { kSocket, kShm };
+
 /// Message tags. Coordinator <-> rank control plane and rank <-> rank halo
 /// plane share one numbering so a crossed wire fails loudly.
 enum class Tag : std::uint16_t {
@@ -156,6 +163,45 @@ struct ChannelPair {
   Channel b;
 };
 ChannelPair make_channel_pair();
+
+/// N concurrent full-duplex exchanges — `Channel::exchange`'s
+/// POLLIN|POLLOUT state machine generalized over many fds in one poll
+/// loop. A rank `add()`s one exchange per halo neighbor, then either
+/// `drain()`s them to completion or interleaves nonblocking `post()`
+/// passes with compute: every registered send makes progress whenever its
+/// socket has buffer space, so neighbor latencies overlap instead of
+/// serializing pair by pair, and the no-write-write-deadlock property of
+/// the single-fd exchange carries over unchanged.
+///
+/// The caller keeps each `out` buffer alive and unmodified until drain()
+/// returns; received payloads come back in add() order.
+class MultiExchange {
+ public:
+  MultiExchange();
+  ~MultiExchange();
+  MultiExchange(MultiExchange&&) noexcept;
+  MultiExchange& operator=(MultiExchange&&) noexcept;
+
+  /// Register a pairwise exchange on `ch`: send `out`, receive one frame
+  /// that must carry the same `tag`.
+  void add(const Channel& ch, Tag tag, const void* out, std::size_t out_size);
+
+  /// One nonblocking progress pass: push sends into kernel buffers and
+  /// pull any arrived bytes, without ever sleeping. Returns true when all
+  /// registered exchanges are complete.
+  bool post();
+
+  /// Complete every registered exchange (polling with a deadline like the
+  /// blocking Channel operations) and return the received payloads in
+  /// add() order. Resets the object for reuse.
+  std::vector<std::vector<std::uint8_t>> drain(int timeout_ms);
+
+  bool empty() const { return ops_.empty(); }
+
+ private:
+  struct Op;
+  std::vector<Op> ops_;
+};
 
 /// Serialization scratch: append/extract PODs and POD arrays to a byte
 /// buffer in declaration order. Writer and reader are the same build, so

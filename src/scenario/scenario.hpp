@@ -32,6 +32,11 @@
 ///                                    (N shard threads per rank; see
 ///                                    src/dist/)
 ///   dt, swap_interval, rescale_interval, seed
+///   dist.transport = shm|socket    — ranks: backends only: halo payload
+///                                    carrier — per-pair POSIX shared-memory
+///                                    rings (default) or the AF_UNIX peer
+///                                    sockets; trajectories are bitwise
+///                                    transport-invariant
 ///   dist.timeout = S               — ranks: backends only: per-message
 ///                                    send/recv deadline in seconds before
 ///                                    a rank is declared dead (default 300)
@@ -156,6 +161,7 @@ struct Scenario {
   /// Distributed (ranks:) backend knobs; ignored elsewhere. The kill pair
   /// is the dead-rank fault drill (dist::DistributedConfig): rank
   /// `dist_kill_rank` exits hard before its `dist_kill_step`-th step.
+  std::string dist_transport = "shm";  ///< halo carrier: "shm" | "socket"
   double dist_timeout_s = 300.0;  ///< per-message deadline before a rank
                                   ///< is declared dead
   int dist_kill_rank = -1;        ///< -1 = drill off

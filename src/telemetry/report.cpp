@@ -42,6 +42,10 @@ std::vector<PhaseRow> build_cost_report(
                       span_total_seconds("dist.halo_exchange") +
                       span_total_seconds("dist.halo_unpack");
   const double dist_barrier = span_total_seconds("dist.barrier");
+  // Compute each rank kept running while its halos were in flight — time
+  // that would otherwise sit inside halo_exchange. Reported as its own row
+  // so the overlap win is visible next to the residual halo cost.
+  const double overlap = span_total_seconds("dist.overlap_compute");
   const bool distributed = halo > 0.0 || dist_barrier > 0.0;
 
   std::vector<PhaseRow> rows;
@@ -50,7 +54,15 @@ std::vector<PhaseRow> build_cost_report(
   rows.push_back(make_row("commit", commit, m, modeled.fixed_seconds));
   rows.push_back(make_row("swap", swap, m, modeled.swap_seconds));
   if (distributed) {
-    rows.push_back(make_row("halo", halo, m, modeled.halo_seconds));
+    // Tag the halo row with the carrier that produced the measurement
+    // ("halo[shm]" / "halo[socket]") — a halo number is meaningless
+    // without knowing which wire it rode.
+    std::string halo_label = "halo";
+    if (!modeled.halo_transport.empty())
+      halo_label += "[" + modeled.halo_transport + "]";
+    rows.push_back(make_row(std::move(halo_label), halo, m,
+                            modeled.halo_seconds));
+    if (overlap > 0.0) rows.push_back(make_row("overlap", overlap, false, 0.0));
     rows.push_back(make_row("barrier", barrier + dist_barrier, false, 0.0));
   } else {
     rows.push_back(make_row("barrier", barrier, m, modeled.halo_seconds));
@@ -64,16 +76,16 @@ std::vector<PhaseRow> build_cost_report(
 
 std::string format_cost_report(const std::vector<PhaseRow>& rows) {
   std::ostringstream os;
-  os << format("%-10s %14s %14s %10s\n", "phase", "measured (s)",
+  os << format("%-13s %14s %14s %10s\n", "phase", "measured (s)",
                "modeled (s)", "ratio");
-  os << format("%-10s %14s %14s %10s\n", "----------", "------------",
+  os << format("%-13s %14s %14s %10s\n", "-------------", "------------",
                "-----------", "-----");
   for (const PhaseRow& r : rows) {
     if (r.has_modeled) {
-      os << format("%-10s %14.6f %14.6f %10.2f\n", r.phase.c_str(),
+      os << format("%-13s %14.6f %14.6f %10.2f\n", r.phase.c_str(),
                    r.measured_seconds, r.modeled_seconds, r.ratio);
     } else {
-      os << format("%-10s %14.6f %14s %10s\n", r.phase.c_str(),
+      os << format("%-13s %14.6f %14s %10s\n", r.phase.c_str(),
                    r.measured_seconds, "-", "-");
     }
   }

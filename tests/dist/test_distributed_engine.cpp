@@ -12,6 +12,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 
@@ -208,6 +209,80 @@ TEST(DistributedEngine, BitwiseStableAcrossRepeatedRuns) {
   EXPECT_EQ(t1.kinetic_energy, t2.kinetic_energy);
 }
 
+/// /dev/shm entries created for this run (should always be none: segments
+/// are unlinked before fork, whatever happens later).
+int dev_shm_entries() {
+  namespace fs = std::filesystem;
+  int n = 0;
+  if (!fs::exists("/dev/shm")) return 0;  // tmpfs not mounted here
+  for (const auto& e : fs::directory_iterator("/dev/shm")) {
+    if (e.path().filename().string().rfind("wsmd-shm-", 0) == 0) ++n;
+  }
+  return n;
+}
+
+TEST(DistributedEngine, TrajectoriesAreBitwiseTransportInvariant) {
+  // Same structure, same seed, the two halo carriers: per-atom state and
+  // the fixed-rank-order reductions must agree bitwise. Both tiers run the
+  // identical do_step pipeline; only the wire differs.
+  Fixture f;
+  auto run_with = [&](HaloTransport transport, std::vector<Vec3d>& pos,
+                      std::vector<Vec3d>& vel, engine::Thermo& t) {
+    DistributedConfig dc = f.dist_config(2);
+    dc.wse.swap_interval = 7;  // migrations ride the state exchange too
+    dc.transport = transport;
+    DistributedEngine dist(f.structure, f.potential, dc);
+    Rng rng(31);
+    dist.thermalize(310.0, rng);
+    t = dist.run(30);
+    pos = dist.positions();
+    vel = dist.velocities();
+  };
+  std::vector<Vec3d> ps, pm, vs, vm;
+  engine::Thermo ts, tm;
+  run_with(HaloTransport::kSocket, ps, vs, ts);
+  run_with(HaloTransport::kShm, pm, vm, tm);
+  ASSERT_EQ(ps.size(), pm.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    ASSERT_EQ(ps[i].x, pm[i].x) << "atom " << i;
+    ASSERT_EQ(ps[i].y, pm[i].y) << "atom " << i;
+    ASSERT_EQ(ps[i].z, pm[i].z) << "atom " << i;
+    ASSERT_EQ(vs[i].x, vm[i].x) << "atom " << i;
+    ASSERT_EQ(vs[i].y, vm[i].y) << "atom " << i;
+    ASSERT_EQ(vs[i].z, vm[i].z) << "atom " << i;
+  }
+  EXPECT_EQ(ts.potential_energy, tm.potential_energy);
+  EXPECT_EQ(ts.kinetic_energy, tm.kinetic_energy);
+}
+
+TEST(DistributedEngine, SocketTransportKeepsSerialParity) {
+  // The fallback tier gets the same bitwise-parity scrutiny as the
+  // default: socket ranks vs the serial wafer engine.
+  Fixture f;
+  engine::WaferEngine serial(f.structure, f.potential, f.config());
+  DistributedConfig dc = f.dist_config(3);
+  dc.transport = HaloTransport::kSocket;
+  DistributedEngine dist(f.structure, f.potential, dc);
+  Rng a(17), b(17);
+  serial.thermalize(290.0, a);
+  dist.thermalize(290.0, b);
+  serial.run(25);
+  dist.run(25);
+  expect_identical_state(serial, dist);
+}
+
+TEST(DistributedEngine, ShmSegmentsNeverAppearInDevShm) {
+  // Unlink-before-fork: no wsmd shm entry exists even while the engine is
+  // alive and exchanging halos, so nothing can be left to leak.
+  Fixture f;
+  const int before = dev_shm_entries();
+  DistributedEngine dist(f.structure, f.potential, f.dist_config(4));
+  Rng rng(23);
+  dist.thermalize(290.0, rng);
+  dist.run(5);
+  EXPECT_EQ(dev_shm_entries(), before);
+}
+
 TEST(DistributedEngine, ThermalizeAdvancesCallerRngLikeSerial) {
   Fixture f;
   engine::WaferEngine serial(f.structure, f.potential, f.config());
@@ -309,29 +384,45 @@ TEST(DistributedEngine, SetPositionsAndVelocitiesPropagate) {
   expect_identical_state(serial, dist);
 }
 
-TEST(DistributedEngine, DeadRankTripsRankFailure) {
+class DeadRankDrill : public ::testing::TestWithParam<HaloTransport> {};
+
+TEST_P(DeadRankDrill, TripsRankFailureAndLeavesNoShmDebris) {
   Fixture f;
+  const int shm_before = dev_shm_entries();
   DistributedConfig dc = f.dist_config(2);
+  dc.transport = GetParam();
   dc.kill_rank = 1;
   dc.kill_step = 3;
   dc.step_timeout_ms = 20'000;
-  DistributedEngine dist(f.structure, f.potential, dc);
-  Rng rng(4);
-  dist.thermalize(290.0, rng);
-  dist.run(2);  // steps 1..2 complete
+  {
+    DistributedEngine dist(f.structure, f.potential, dc);
+    Rng rng(4);
+    dist.thermalize(290.0, rng);
+    dist.run(2);  // steps 1..2 complete
 
-  try {
-    dist.step();  // rank 1 dies at the start of step 3
-    FAIL() << "expected RankFailureError";
-  } catch (const RankFailureError& e) {
-    ASSERT_EQ(e.last_known_steps().size(), 2u);
-    // Both ranks had completed step 2; nobody finished step 3.
-    EXPECT_EQ(e.last_known_steps()[0], 2);
-    EXPECT_EQ(e.last_known_steps()[1], 2);
-    EXPECT_NE(std::string(e.what()).find("failed"), std::string::npos);
+    try {
+      dist.step();  // rank 1 dies at the start of step 3
+      FAIL() << "expected RankFailureError";
+    } catch (const RankFailureError& e) {
+      ASSERT_EQ(e.last_known_steps().size(), 2u);
+      // Both ranks had completed step 2; nobody finished step 3.
+      EXPECT_EQ(e.last_known_steps()[0], 2);
+      EXPECT_EQ(e.last_known_steps()[1], 2);
+      EXPECT_NE(std::string(e.what()).find("failed"), std::string::npos);
+    }
+    EXPECT_EQ(dist.last_known_steps()[0], 2);
   }
-  EXPECT_EQ(dist.last_known_steps()[0], 2);
+  // A hard rank death and the abort teardown leak no /dev/shm entries.
+  EXPECT_EQ(dev_shm_entries(), shm_before);
 }
+
+INSTANTIATE_TEST_SUITE_P(Transports, DeadRankDrill,
+                         ::testing::Values(HaloTransport::kShm,
+                                           HaloTransport::kSocket),
+                         [](const ::testing::TestParamInfo<HaloTransport>& i) {
+                           return i.param == HaloTransport::kShm ? "shm"
+                                                                 : "socket";
+                         });
 
 TEST(DistributedEngine, ModeledHaloCostJoinsSharedFormula) {
   Fixture f;

@@ -139,6 +139,22 @@ TEST(HaloCost, SingleStripIsFreeMoreStripsCostMore) {
   EXPECT_NEAR(c2, expected, 1e-9);
 }
 
+TEST(RunScopedNames, OneSchemeForScratchAndShmSegments) {
+  // Every per-run resource name flows through the same helpers: a run is
+  // pinned by kind + coordinator pid, a rank by the ".rankK" suffix.
+  EXPECT_EQ(run_scoped_name("dist", 1234), "wsmd-dist-1234");
+  EXPECT_EQ(run_scoped_name("shm", 7), "wsmd-shm-7");
+  EXPECT_EQ(rank_suffix("stderr", 3), "stderr.rank3");
+  EXPECT_EQ(rank_suffix(run_scoped_name("shm", 7), 0), "wsmd-shm-7.rank0");
+
+  // shm_open names: leading slash, run-scoped, both pair members named.
+  EXPECT_EQ(shm_segment_name(1234, 0, 1), "/wsmd-shm-1234.rank0-1");
+  EXPECT_EQ(shm_segment_name(99, 2, 3), "/wsmd-shm-99.rank2-3");
+  // Distinct runs and distinct pairs never collide.
+  EXPECT_NE(shm_segment_name(1, 0, 1), shm_segment_name(2, 0, 1));
+  EXPECT_NE(shm_segment_name(1, 0, 1), shm_segment_name(1, 0, 2));
+}
+
 TEST(ScratchPaths, RankSuffixedAndRunDisjoint) {
   EXPECT_EQ(rank_scratch_path("/tmp/out", "stderr", 3), "/tmp/out/stderr.rank3");
   EXPECT_EQ(rank_scratch_path("/tmp/out/", "stderr", 0),
